@@ -1,0 +1,16 @@
+"""Figure 4 — the effect of pipeline configuration on throughput.
+
+Paper section 6.2.1: horizontal (all Filters in one Stage, threads
+shared) vs vertical (one Stage per Filter) mappings, swept over 1-5
+stage threads at n=128, sf=100, s=1%.
+
+Expected shape: horizontal scales with its thread count and beats
+vertical whenever it has more than one thread; vertical is flat (the
+inter-stage transfer cost eats the parallelism).
+"""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_fig4_pipeline_configuration(benchmark):
+    run_and_verify(benchmark, "fig4")

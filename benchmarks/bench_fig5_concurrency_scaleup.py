@@ -1,0 +1,13 @@
+"""Figure 5 — query throughput scale-up with the number of queries.
+
+Paper section 6.2.2: sf=100, s=1%, n swept 1..256.  Expected shape:
+CJOIN scales linearly to n=128 and sub-linearly to 256, beating both
+comparators from n=32 on and by an order of magnitude at n=256, while
+System X and PostgreSQL peak around n=32 and then *decline*.
+"""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_fig5_throughput_scaleup(benchmark):
+    run_and_verify(benchmark, "fig5")

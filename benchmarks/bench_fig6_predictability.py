@@ -1,0 +1,15 @@
+"""Figure 6 — predictability of query response time (template Q4.2).
+
+Paper section 6.2.2: going from 1 to 256 concurrent queries grows
+CJOIN's response time by < 30%, System X's by ~19x, PostgreSQL's by
+~66x; CJOIN's response-time standard deviation stays within ~0.5% of
+the mean.  The CJOIN series comes from the closed-loop event
+simulator (per-query records), the comparators from their analytic
+models.
+"""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_fig6_response_time_predictability(benchmark):
+    run_and_verify(benchmark, "fig6")

@@ -1,0 +1,15 @@
+"""Figure 8 — influence of data scale on normalized throughput.
+
+Paper section 6.2.4: n=128, s=1%, sf swept 1..100; throughput is
+normalized by multiplying with sf.  Expected shape: System X *wins*
+at sf=1 (CJOIN delivers ~85% of its throughput — the paper's honest
+crossover), CJOIN wins by a large factor at sf=100 and beats
+PostgreSQL everywhere; CJOIN's normalized curve *rises* with sf
+because admission overhead amortizes.
+"""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_fig8_data_scale_influence(benchmark):
+    run_and_verify(benchmark, "fig8")

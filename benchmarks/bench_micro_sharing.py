@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the *real* pipeline's work sharing.
+
+Not a paper artifact — supporting evidence that the implemented
+operator (not just its model) shares work: one CJOIN pass answers n
+queries against n baseline passes, with measured wall time and page
+counts on a milli-scale SSB instance.
+"""
+
+from repro.baseline import QueryAtATimeEngine
+from repro.cjoin import CJoinOperator
+from repro.storage.buffer import BufferPool
+from repro.storage.iostats import IOStats
+
+
+def _run_cjoin(catalog, star, queries):
+    operator = CJoinOperator(catalog, star, buffer_pool=BufferPool(64))
+    handles = [operator.submit(query) for query in queries]
+    operator.run_until_drained()
+    return [handle.results() for handle in handles]
+
+
+def _run_baseline(catalog, star, queries):
+    engine = QueryAtATimeEngine(catalog, star, BufferPool(64))
+    return engine.execute_concurrent(queries)
+
+
+def test_cjoin_wall_time_for_eight_queries(benchmark, ssb_bench, bench_workload):
+    catalog, star = ssb_bench
+    results = benchmark(_run_cjoin, catalog, star, bench_workload)
+    assert len(results) == len(bench_workload)
+
+
+def test_baseline_wall_time_for_eight_queries(
+    benchmark, ssb_bench, bench_workload
+):
+    catalog, star = ssb_bench
+    results = benchmark(_run_baseline, catalog, star, bench_workload)
+    assert len(results) == len(bench_workload)
+
+
+def test_scan_sharing_factor():
+    """CJOIN reads the fact table ~once; the baseline reads it n times.
+
+    Uses a larger instance than the wall-time benches so the fact table
+    dwarfs the buffer pool, as it would in a real warehouse.
+    """
+    from repro.ssb.generator import load_ssb
+    from repro.ssb.queries import ssb_workload_generator
+
+    catalog, star = load_ssb(scale_factor=0.002, seed=23)
+    generator = ssb_workload_generator(seed=4, catalog=catalog)
+    bench_workload = generator.generate(8, selectivity=0.1)
+    fact_pages = catalog.table("lineorder").page_count
+    n = len(bench_workload)
+
+    cjoin_stats = IOStats()
+    operator = CJoinOperator(
+        catalog, star, buffer_pool=BufferPool(8, cjoin_stats)
+    )
+    for query in bench_workload:
+        operator.submit(query)
+    operator.run_until_drained()
+
+    baseline_stats = IOStats()
+    engine = QueryAtATimeEngine(
+        catalog, star, BufferPool(8, baseline_stats)
+    )
+    engine.execute_concurrent(bench_workload)
+
+    print(
+        f"\nfact pages: {fact_pages}; queries: {n}; "
+        f"cjoin disk reads: {cjoin_stats.disk_reads} "
+        f"(seq {cjoin_stats.sequential_fraction:.0%}); "
+        f"baseline disk reads: {baseline_stats.disk_reads} "
+        f"(seq {baseline_stats.sequential_fraction:.0%})"
+    )
+    # the baseline's lockstep-ish round-robin lets followers ride the
+    # buffer pool, so its read count is below the ideal n-fold blowup;
+    # the sharing factor is still large and the access-pattern gap clear
+    assert cjoin_stats.disk_reads < baseline_stats.disk_reads / 2
+    assert cjoin_stats.sequential_fraction > 0.85
+    assert baseline_stats.sequential_fraction < 0.75

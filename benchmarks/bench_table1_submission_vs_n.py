@@ -1,0 +1,30 @@
+"""Table 1 — influence of concurrency on query submission time.
+
+Paper section 6.2.2: submission time is ~2.4s regardless of n (32..
+256) and negligible against the ~700-860s response times.  The bench
+also verifies the *real* admission path scales the same way: measured
+wall-clock admission into a live operator must not grow with the
+number of already-registered queries.
+"""
+
+from benchmarks.conftest import run_and_verify
+from repro.cjoin import CJoinOperator
+from repro.ssb.queries import ssb_workload_generator
+
+
+def test_table1_submission_time_vs_concurrency(benchmark):
+    run_and_verify(benchmark, "tab1")
+
+
+def test_real_admission_time_independent_of_registered_queries(ssb_bench):
+    """Wall-clock admission on the real pipeline: first vs 40th query."""
+    catalog, star = ssb_bench
+    generator = ssb_workload_generator(seed=9, catalog=catalog)
+    operator = CJoinOperator(catalog, star, max_concurrent=64)
+    for query in generator.generate(40, selectivity=0.05):
+        operator.submit(query)
+    timings = operator.manager.timings.submission_seconds
+    early = sum(timings[:5]) / 5
+    late = sum(timings[-5:]) / 5
+    # generous bound: admission must not blow up with registered count
+    assert late < max(early * 5, early + 0.05)

@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every figure/table bench runs its experiment through pytest-benchmark
+(so regeneration cost is tracked), prints the paper-vs-measured series
+to stdout (run pytest with ``-s`` to see them), and asserts the shape
+checks from :mod:`repro.bench.experiments`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_comparison, run_experiment
+from repro.ssb.generator import load_ssb
+from repro.ssb.queries import ssb_workload_generator
+
+
+def run_and_verify(benchmark, experiment_id: str):
+    """Benchmark one experiment runner, print and assert its shapes."""
+    result = benchmark(run_experiment, experiment_id)
+    print()
+    print(format_comparison(result))
+    failed = [d for d, passed in result.checks if not passed]
+    assert not failed, f"{experiment_id} shape checks failed: {failed}"
+    return result
+
+
+@pytest.fixture(scope="session")
+def ssb_bench():
+    """A milli-scale SSB instance for real-execution micro benches."""
+    return load_ssb(scale_factor=0.0005, seed=23)
+
+
+@pytest.fixture(scope="session")
+def bench_workload(ssb_bench):
+    catalog, _ = ssb_bench
+    generator = ssb_workload_generator(seed=4, catalog=catalog)
+    return generator.generate(8, selectivity=0.1)

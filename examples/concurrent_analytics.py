@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The paper's headline scenario: many concurrent ad-hoc star queries.
+
+Runs the same 24-query workload through the CJOIN path and through the
+query-at-a-time baseline over identical storage, then compares:
+
+* result equivalence (they must agree row-for-row),
+* fact-table I/O volume (CJOIN reads it ~once; the baseline n times),
+* access pattern (shared scan stays sequential; concurrent private
+  scans degrade to random I/O — the paper's section 1 motivation).
+
+Run:  python examples/concurrent_analytics.py
+"""
+
+import time
+
+from repro.baseline import EngineProfile, QueryAtATimeEngine
+from repro.cjoin import CJoinOperator
+from repro.ssb.generator import load_ssb
+from repro.ssb.queries import ssb_workload_generator
+from repro.storage.buffer import BufferPool
+from repro.storage.iostats import IOStats
+
+QUERY_COUNT = 24
+SELECTIVITY = 0.10
+
+
+def main() -> None:
+    print("Loading SSB (sf=0.002) and generating the workload...")
+    catalog, star = load_ssb(scale_factor=0.002, seed=9)
+    generator = ssb_workload_generator(seed=31, catalog=catalog)
+    queries = generator.generate(QUERY_COUNT, selectivity=SELECTIVITY)
+    fact_pages = catalog.table("lineorder").page_count
+
+    print(f"\n== CJOIN: {QUERY_COUNT} queries, one always-on pipeline ==")
+    cjoin_stats = IOStats()
+    operator = CJoinOperator(
+        catalog, star, buffer_pool=BufferPool(16, cjoin_stats)
+    )
+    started = time.perf_counter()
+    handles = [operator.submit(query) for query in queries]
+    operator.run_until_drained()
+    cjoin_elapsed = time.perf_counter() - started
+    cjoin_results = [handle.results() for handle in handles]
+    print(f"  wall time: {cjoin_elapsed:.2f}s")
+    print(
+        f"  fact pages on disk: {fact_pages}; disk reads: "
+        f"{cjoin_stats.disk_reads} ({cjoin_stats.sequential_fraction:.0%} "
+        f"sequential)"
+    )
+    print(f"  probes per scanned tuple: {operator.stats.probes_per_tuple:.2f}")
+
+    print(f"\n== Baseline: {QUERY_COUNT} private hash-join plans ==")
+    baseline_stats = IOStats()
+    engine = QueryAtATimeEngine(
+        catalog,
+        star,
+        BufferPool(16, baseline_stats),
+        EngineProfile.system_x(),
+    )
+    started = time.perf_counter()
+    baseline_results = engine.execute_concurrent(queries, max_in_flight=8)
+    baseline_elapsed = time.perf_counter() - started
+    print(f"  wall time: {baseline_elapsed:.2f}s")
+    print(
+        f"  disk reads: {baseline_stats.disk_reads} "
+        f"({baseline_stats.sequential_fraction:.0%} sequential)"
+    )
+
+    assert cjoin_results == baseline_results, "engines disagree!"
+    print("\nBoth engines returned identical results for all queries.")
+    print(
+        f"I/O sharing factor: {baseline_stats.disk_reads / max(cjoin_stats.disk_reads, 1):.1f}x "
+        f"fewer disk reads under CJOIN"
+    )
+    print(
+        "(Wall-clock parity is expected here: pure Python pays per-tuple "
+        "overhead that a C engine would not; the sharing shows in the "
+        "I/O counters and in the calibrated models under benchmarks/.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Mixed queries and updates under snapshot isolation (section 3.5).
+
+Interleaves fact-table updates with long-running star queries: each
+query is pinned to the snapshot current at submission, all snapshots
+share the single CJOIN operator (visibility is the Preprocessor's
+"virtual predicate"), and late queries see the new data.
+
+Run:  python examples/updates_and_snapshots.py
+"""
+
+from repro.engine import Warehouse
+
+
+def revenue_sql() -> str:
+    return (
+        "SELECT d_year, SUM(lo_revenue) AS revenue "
+        "FROM lineorder, date "
+        "WHERE lo_orderdate = d_datekey GROUP BY d_year"
+    )
+
+
+def main() -> None:
+    warehouse = Warehouse.from_ssb(
+        scale_factor=0.0005, seed=3, enable_updates=True
+    )
+    fact = warehouse.catalog.table("lineorder")
+    date_key = warehouse.catalog.table("date").all_rows()[0][0]
+    template_row = fact.all_rows()[0]
+
+    print(f"Initial fact rows: {fact.row_count}")
+    before = warehouse.submit_sql("SELECT COUNT(*) FROM lineorder")
+
+    # a burst of late-arriving sales, committed as one transaction
+    new_rows = []
+    for i in range(50):
+        row = list(template_row)
+        row[5] = date_key           # lo_orderdate
+        row[12] = 1_000_000 + i     # lo_revenue (recognizable)
+        new_rows.append(tuple(row))
+    snapshot_id = warehouse.apply_update(inserts=new_rows)
+    print(f"Committed 50 inserts as snapshot {snapshot_id}")
+
+    after = warehouse.submit_sql("SELECT COUNT(*) FROM lineorder")
+    warehouse.run()
+
+    count_before = before.results()[0][0]
+    count_after = after.results()[0][0]
+    print(f"Query submitted before the commit sees {count_before} rows")
+    print(f"Query submitted after  the commit sees {count_after} rows")
+    assert count_after == count_before + 50
+
+    print("\nDeleting the first 10 fact rows (snapshot", end=" ")
+    snapshot_id = warehouse.apply_update(deletes=list(range(10)))
+    print(f"{snapshot_id})")
+    final = warehouse.execute_sql("SELECT COUNT(*) FROM lineorder")
+    print(f"Latest snapshot row count: {final[0][0]}")
+    assert final[0][0] == count_after - 10
+
+    print("\nRevenue by year on the latest snapshot:")
+    for year, revenue in warehouse.execute_sql(revenue_sql()):
+        print(f"  {year}: {revenue:,}")
+    print(
+        "\nAll three snapshots were served by ONE CJOIN operator; "
+        "visibility was evaluated per query by the Preprocessor."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro — a reproduction of "A Scalable, Predictable Join Operator for
+
+Highly Concurrent Data Warehouses" (Candea, Polyzotis, Vingralek;
+VLDB 2009): the CJOIN shared star-join operator, a query-at-a-time
+baseline engine, the Star Schema Benchmark substrate, and the
+calibrated performance models that regenerate the paper's evaluation.
+
+Quick start::
+
+    from repro import Warehouse
+
+    warehouse = Warehouse.from_ssb(scale_factor=0.001)
+    rows = warehouse.execute_sql(
+        "SELECT d_year, SUM(lo_revenue) AS revenue "
+        "FROM lineorder, date "
+        "WHERE lo_orderdate = d_datekey GROUP BY d_year"
+    )
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.catalog import (
+    Catalog,
+    Column,
+    DataType,
+    ForeignKey,
+    GalaxySchema,
+    StarSchema,
+    TableSchema,
+)
+from repro.cjoin import CJoinOperator, ExecutorConfig, QueryHandle
+from repro.engine import Warehouse
+from repro.errors import ReproError
+from repro.query import (
+    AggregateSpec,
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    InList,
+    Not,
+    Or,
+    StarQuery,
+    TruePredicate,
+)
+from repro.storage import Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateSpec",
+    "And",
+    "Between",
+    "CJoinOperator",
+    "Catalog",
+    "Column",
+    "ColumnRef",
+    "Comparison",
+    "DataType",
+    "ExecutorConfig",
+    "ForeignKey",
+    "GalaxySchema",
+    "InList",
+    "Not",
+    "Or",
+    "QueryHandle",
+    "ReproError",
+    "StarQuery",
+    "StarSchema",
+    "Table",
+    "TableSchema",
+    "TruePredicate",
+    "Warehouse",
+    "__version__",
+]

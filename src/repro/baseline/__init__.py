@@ -1,0 +1,21 @@
+"""The query-at-a-time baseline engine.
+
+The conventional architecture CJOIN is evaluated against (paper
+section 6.1.1): each star query gets its own physical plan — a
+pipeline of hash joins filtering a private scan of the fact table —
+with no work sharing beyond what the buffer pool provides.  Both
+commercial "System X" and PostgreSQL used exactly this plan shape in
+the paper's experiments; the engine's ``shared_scans`` flag models
+PostgreSQL's synchronized-scan feature.
+"""
+
+from repro.baseline.engine import EngineProfile, QueryAtATimeEngine
+from repro.baseline.hashjoin import HashJoinPipeline
+from repro.baseline.optimizer import order_dimensions_by_selectivity
+
+__all__ = [
+    "EngineProfile",
+    "HashJoinPipeline",
+    "QueryAtATimeEngine",
+    "order_dimensions_by_selectivity",
+]

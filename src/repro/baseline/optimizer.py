@@ -1,0 +1,31 @@
+"""Join-order selection for the baseline engine.
+
+The classical static heuristic: probe the most selective dimension
+first, so fact tuples die as early as possible.  Selectivity is
+measured exactly over the (small) dimension tables — the stand-in for
+the optimizer statistics the paper's comparison systems were tuned
+with (section 6.1.1).
+"""
+
+from __future__ import annotations
+
+from repro.catalog.catalog import Catalog
+from repro.query.predicate import estimate_selectivity
+from repro.query.star import StarQuery
+
+
+def order_dimensions_by_selectivity(
+    query: StarQuery, catalog: Catalog
+) -> list[str]:
+    """Referenced dimensions ordered most-selective-first."""
+    selectivities = []
+    for name in query.referenced_dimensions():
+        dimension = catalog.table(name)
+        fraction = estimate_selectivity(
+            query.predicate_on(name),
+            dimension.all_rows(),
+            dimension.schema,
+        )
+        selectivities.append((fraction, name))
+    selectivities.sort()
+    return [name for _, name in selectivities]

@@ -1,0 +1,21 @@
+"""Experiment harness: regenerates every table and figure of section 6.
+
+Each experiment id (fig4..fig8, tab1..tab3) has a runner in
+:mod:`repro.bench.experiments` producing the same rows/series the
+paper reports, next to the digitized paper values from
+:mod:`repro.bench.paper_data` for side-by-side comparison.
+``benchmarks/`` wraps each runner in a pytest-benchmark target.
+"""
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    run_experiment,
+)
+from repro.bench.reporting import format_comparison, format_series
+
+__all__ = [
+    "EXPERIMENTS",
+    "format_comparison",
+    "format_series",
+    "run_experiment",
+]

@@ -1,0 +1,49 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.bench                    # run all experiments
+    python -m repro.bench fig5 tab2          # run selected ones
+    python -m repro.bench --chart fig5 fig6  # add ASCII charts
+    python -m repro.bench --chart --log fig6 # log-scale y axis
+
+Prints each experiment's paper-vs-measured series plus its shape
+checks; exits non-zero if any check fails.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.charts import render_chart
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.reporting import format_comparison
+
+
+def main(argv: list[str]) -> int:
+    show_chart = "--chart" in argv
+    log_y = "--log" in argv
+    requested = [arg for arg in argv if not arg.startswith("--")]
+    requested = requested or sorted(EXPERIMENTS)
+    unknown = [eid for eid in requested if eid not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; known: {sorted(EXPERIMENTS)}")
+        return 2
+    all_passed = True
+    for experiment_id in requested:
+        result = run_experiment(experiment_id)
+        print(format_comparison(result))
+        if show_chart:
+            print()
+            print(render_chart(result, log_y=log_y))
+        print()
+        all_passed = all_passed and result.all_checks_pass
+    if not all_passed:
+        print("SOME SHAPE CHECKS FAILED")
+        return 1
+    print(f"all shape checks passed across {len(requested)} experiment(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,82 @@
+"""ASCII charts for experiment results.
+
+`python -m repro.bench --chart` renders each figure's measured series
+as a terminal plot, which makes the shapes (crossovers, peaks, flat
+lines) directly visible next to the numeric tables.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.experiments import ExperimentResult
+
+#: glyph per series, cycled in order
+GLYPHS = "ox+*#@"
+
+
+def render_chart(
+    result: ExperimentResult,
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+) -> str:
+    """Render the measured series of ``result`` as an ASCII chart.
+
+    X positions use the rank of each x value (the sweeps are small and
+    often logarithmic); Y is linear unless ``log_y``.
+    """
+    series = {
+        name: [(x, value) for x, value in points if value is not None]
+        for name, points in result.measured.items()
+    }
+    series = {name: points for name, points in series.items() if points}
+    if not series:
+        return f"{result.title}\n(no plottable series)"
+    xs: list = []
+    for points in series.values():
+        for x, _ in points:
+            if x not in xs:
+                xs.append(x)
+    xs.sort(key=lambda value: (isinstance(value, str), value))
+    values = [value for points in series.values() for _, value in points]
+    top = max(values)
+    bottom = min(values)
+    if log_y:
+        transform = lambda v: math.log10(max(v, 1e-9))  # noqa: E731
+        top, bottom = transform(top), transform(bottom)
+    else:
+        transform = lambda v: v  # noqa: E731
+    if top == bottom:
+        top = bottom + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (name, points) in enumerate(series.items()):
+        glyph = GLYPHS[series_index % len(GLYPHS)]
+        for x, value in points:
+            column = round(
+                xs.index(x) / max(len(xs) - 1, 1) * (width - 1)
+            )
+            row = round(
+                (transform(value) - bottom) / (top - bottom) * (height - 1)
+            )
+            grid[height - 1 - row][column] = glyph
+
+    lines = [result.title]
+    scale = " (log y)" if log_y else ""
+    lines.append(
+        f"y: {bottom if not log_y else 10 ** bottom:.3g} .. "
+        f"{top if not log_y else 10 ** top:.3g}{scale}"
+    )
+    border = "+" + "-" * width + "+"
+    lines.append(border)
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append(border)
+    lines.append(f"x: {result.x_label}: {', '.join(str(x) for x in xs)}")
+    legend = "   ".join(
+        f"{GLYPHS[i % len(GLYPHS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

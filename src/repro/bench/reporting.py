@@ -1,0 +1,59 @@
+"""Plain-text rendering of experiment results.
+
+Every benchmark prints its series through these helpers so the
+paper-vs-measured comparison is visible directly in the pytest output
+(and gets copied into EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import ExperimentResult
+
+
+def _format_value(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 1:
+        return f"{value:.1f}"
+    return f"{value:.3f}"
+
+
+def format_series(result: ExperimentResult) -> str:
+    """Render the measured series as an aligned table."""
+    lines = [result.title, f"x = {result.x_label}"]
+    names = list(result.measured)
+    xs = [x for x, _ in next(iter(result.measured.values()))]
+    header = ["x".rjust(10)] + [name.rjust(14) for name in names]
+    lines.append(" ".join(header))
+    for row_index, x in enumerate(xs):
+        cells = [str(x).rjust(10)]
+        for name in names:
+            cells.append(
+                _format_value(result.measured[name][row_index][1]).rjust(14)
+            )
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def format_comparison(result: ExperimentResult) -> str:
+    """Render measured-vs-paper side by side, plus shape checks."""
+    lines = [result.title, f"x = {result.x_label}", ""]
+    for name, measured_points in result.measured.items():
+        paper_points = dict(result.paper.get(name, []))
+        lines.append(f"series: {name}")
+        lines.append(
+            f"  {'x':>10} {'measured':>14} {'paper':>14}"
+        )
+        for x, measured_value in measured_points:
+            lines.append(
+                f"  {str(x):>10} {_format_value(measured_value):>14} "
+                f"{_format_value(paper_points.get(x)):>14}"
+            )
+    lines.append("")
+    lines.append("shape checks:")
+    for description, passed in result.checks:
+        status = "PASS" if passed else "FAIL"
+        lines.append(f"  [{status}] {description}")
+    return "\n".join(lines)

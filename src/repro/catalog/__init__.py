@@ -1,0 +1,21 @@
+"""Schema catalog: tables, columns, foreign keys, star/galaxy topologies."""
+
+from repro.catalog.schema import (
+    Column,
+    DataType,
+    ForeignKey,
+    GalaxySchema,
+    StarSchema,
+    TableSchema,
+)
+from repro.catalog.catalog import Catalog
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "DataType",
+    "ForeignKey",
+    "GalaxySchema",
+    "StarSchema",
+    "TableSchema",
+]

@@ -1,0 +1,134 @@
+"""A registry mapping schema objects to their stored tables.
+
+The :class:`Catalog` is the handle shared by the query engines: it
+resolves table names to :class:`~repro.storage.table.Table` instances
+and exposes the star/galaxy topology registered by the warehouse.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.catalog.schema import GalaxySchema, StarSchema, TableSchema
+from repro.errors import SchemaError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.storage.table import Table
+
+
+class Catalog:
+    """Name -> table registry plus star/galaxy schema bookkeeping."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, "Table"] = {}
+        self._stars: dict[str, StarSchema] = {}
+        self._galaxy: GalaxySchema | None = None
+        self._dimension_views: list = []
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def register_table(self, table: "Table") -> None:
+        """Add ``table`` to the catalog.
+
+        Raises:
+            SchemaError: if a table of the same name is already present.
+        """
+        name = table.schema.name
+        if name in self._tables:
+            raise SchemaError(f"table {name!r} is already registered")
+        self._tables[name] = table
+
+    def table(self, name: str) -> "Table":
+        """Return the stored table named ``name``."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"catalog has no table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        """Return True iff a table named ``name`` is registered."""
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        """Return registered table names in registration order."""
+        return list(self._tables)
+
+    def schema(self, name: str) -> TableSchema:
+        """Return the schema of the stored table named ``name``."""
+        return self.table(name).schema
+
+    # ------------------------------------------------------------------
+    # Star / galaxy topology
+    # ------------------------------------------------------------------
+    def register_star(self, star: StarSchema) -> None:
+        """Register a star schema; all member tables must exist already."""
+        for table_name in [star.fact.name, *star.dimension_names()]:
+            if table_name not in self._tables:
+                raise SchemaError(
+                    f"star schema references unregistered table {table_name!r}"
+                )
+        self._stars[star.fact.name] = star
+
+    def star(self, fact_name: str) -> StarSchema:
+        """Return the star schema centered on fact table ``fact_name``."""
+        try:
+            return self._stars[fact_name]
+        except KeyError:
+            raise SchemaError(
+                f"no star schema registered on fact table {fact_name!r}"
+            ) from None
+
+    def star_names(self) -> list[str]:
+        """Return the fact-table names of all registered stars."""
+        return list(self._stars)
+
+    def register_galaxy(self, galaxy: GalaxySchema) -> None:
+        """Register a galaxy schema over already-registered stars."""
+        for fact_name in galaxy.stars:
+            if fact_name not in self._stars:
+                raise SchemaError(
+                    f"galaxy references unregistered star {fact_name!r}"
+                )
+        self._galaxy = galaxy
+
+    @property
+    def galaxy(self) -> GalaxySchema:
+        """Return the registered galaxy schema.
+
+        Raises:
+            SchemaError: if none was registered.
+        """
+        if self._galaxy is None:
+            raise SchemaError("no galaxy schema registered")
+        return self._galaxy
+
+    # ------------------------------------------------------------------
+    # Dimension materialized views (paper section 5)
+    # ------------------------------------------------------------------
+    def register_dimension_view(self, view) -> None:
+        """Register a :class:`~repro.storage.matview.DimensionView`.
+
+        Raises:
+            SchemaError: if the underlying dimension is unknown or a
+                view of the same name exists.
+        """
+        if view.dimension_name not in self._tables:
+            raise SchemaError(
+                f"view {view.name!r} references unregistered table "
+                f"{view.dimension_name!r}"
+            )
+        if any(v.name == view.name for v in self._dimension_views):
+            raise SchemaError(f"view {view.name!r} is already registered")
+        self._dimension_views.append(view)
+
+    def find_dimension_view(self, dimension_name: str, predicate):
+        """The first view answering ``predicate`` on a dimension, or None."""
+        for view in self._dimension_views:
+            if view.matches(dimension_name, predicate):
+                return view
+        return None
+
+    def dimension_view_names(self) -> list[str]:
+        """Registered view names, in registration order."""
+        return [view.name for view in self._dimension_views]

@@ -1,0 +1,271 @@
+"""Relational schema model.
+
+The warehouse model of the paper (section 2.1): a fact table ``F``
+linked through key/foreign-key equi-joins to dimension tables
+``D1..Dd`` (a *star* schema), generalized to several fact tables
+sharing dimensions (a *galaxy* schema, section 5).
+
+Schemas here are metadata only; rows live in :mod:`repro.storage`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+
+class DataType(enum.Enum):
+    """Column types supported by the storage and query layers."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    DATE = "date"  # stored as int yyyymmdd; kept distinct for readability
+
+    def python_type(self) -> type:
+        """Return the Python type used to hold values of this column."""
+        if self is DataType.FLOAT:
+            return float
+        if self is DataType.STRING:
+            return str
+        return int
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    dtype: DataType
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name: {self.name!r}")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A key/foreign-key link from a fact column to a dimension key."""
+
+    column: str          # referencing column on the owning table
+    referenced_table: str
+    referenced_column: str
+
+
+class TableSchema:
+    """An ordered set of columns with an optional primary key.
+
+    Column positions are fixed at construction; rows are stored as plain
+    tuples indexed by those positions.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: list[Column],
+        primary_key: str | None = None,
+        foreign_keys: list[ForeignKey] | None = None,
+    ) -> None:
+        if not name or not name.isidentifier():
+            raise SchemaError(f"invalid table name: {name!r}")
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        self.name = name
+        self.columns = list(columns)
+        self._index_of = {column.name: i for i, column in enumerate(columns)}
+        if len(self._index_of) != len(columns):
+            raise SchemaError(f"duplicate column names in table {name!r}")
+        if primary_key is not None and primary_key not in self._index_of:
+            raise SchemaError(
+                f"primary key {primary_key!r} is not a column of {name!r}"
+            )
+        self.primary_key = primary_key
+        self.foreign_keys = list(foreign_keys or [])
+        for fk in self.foreign_keys:
+            if fk.column not in self._index_of:
+                raise SchemaError(
+                    f"foreign key column {fk.column!r} is not a column of {name!r}"
+                )
+
+    def column_index(self, column_name: str) -> int:
+        """Return the position of ``column_name`` in a row tuple."""
+        try:
+            return self._index_of[column_name]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {column_name!r}"
+            ) from None
+
+    def has_column(self, column_name: str) -> bool:
+        """Return True iff this table defines ``column_name``."""
+        return column_name in self._index_of
+
+    def column(self, column_name: str) -> Column:
+        """Return the :class:`Column` named ``column_name``."""
+        return self.columns[self.column_index(column_name)]
+
+    def column_names(self) -> list[str]:
+        """Return column names in storage order."""
+        return [column.name for column in self.columns]
+
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return len(self.columns)
+
+    def validate_row(self, row: tuple) -> None:
+        """Check arity and value types of ``row`` against this schema.
+
+        Raises:
+            SchemaError: on arity or type mismatch.  ``None`` is allowed
+                in any column (SQL NULL).
+        """
+        if len(row) != self.arity:
+            raise SchemaError(
+                f"row arity {len(row)} != {self.arity} for table {self.name!r}"
+            )
+        for value, column in zip(row, self.columns):
+            if value is None:
+                continue
+            expected = column.dtype.python_type()
+            if expected is float and isinstance(value, int):
+                continue  # ints are acceptable floats
+            if not isinstance(value, expected):
+                raise SchemaError(
+                    f"column {self.name}.{column.name} expects "
+                    f"{expected.__name__}, got {type(value).__name__}"
+                )
+
+    def foreign_key_to(self, dimension_name: str) -> ForeignKey:
+        """Return the foreign key referencing ``dimension_name``.
+
+        Raises:
+            SchemaError: if no (or more than one) such key exists.
+        """
+        matches = [
+            fk for fk in self.foreign_keys if fk.referenced_table == dimension_name
+        ]
+        if not matches:
+            raise SchemaError(
+                f"table {self.name!r} has no foreign key to {dimension_name!r}"
+            )
+        if len(matches) > 1:
+            raise SchemaError(
+                f"table {self.name!r} has multiple foreign keys to "
+                f"{dimension_name!r}; name the column explicitly"
+            )
+        return matches[0]
+
+    def __repr__(self) -> str:
+        return f"TableSchema({self.name!r}, {len(self.columns)} columns)"
+
+
+@dataclass
+class StarSchema:
+    """A fact table plus the dimension tables it references.
+
+    The constructor checks the star topology: every dimension must be
+    reachable from the fact table through exactly the declared foreign
+    keys, and every foreign key must land on the dimension's primary key
+    (the paper's key/foreign-key equi-join requirement).
+    """
+
+    fact: TableSchema
+    dimensions: dict[str, TableSchema] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, dimension in self.dimensions.items():
+            if name != dimension.name:
+                raise SchemaError(
+                    f"dimension registered as {name!r} but named {dimension.name!r}"
+                )
+            if dimension.primary_key is None:
+                raise SchemaError(
+                    f"dimension {name!r} must declare a primary key"
+                )
+            fk = self.fact.foreign_key_to(name)
+            if fk.referenced_column != dimension.primary_key:
+                raise SchemaError(
+                    f"foreign key {self.fact.name}.{fk.column} must reference "
+                    f"the primary key of {name!r}"
+                )
+
+    def dimension(self, name: str) -> TableSchema:
+        """Return the dimension schema named ``name``."""
+        try:
+            return self.dimensions[name]
+        except KeyError:
+            raise SchemaError(
+                f"star schema on {self.fact.name!r} has no dimension {name!r}"
+            ) from None
+
+    def dimension_names(self) -> list[str]:
+        """Return dimension names in registration order."""
+        return list(self.dimensions)
+
+    def fact_fk_index(self, dimension_name: str) -> int:
+        """Return the fact-row position of the FK column to a dimension."""
+        fk = self.fact.foreign_key_to(dimension_name)
+        return self.fact.column_index(fk.column)
+
+    def table(self, name: str) -> TableSchema:
+        """Return the fact or dimension schema named ``name``."""
+        if name == self.fact.name:
+            return self.fact
+        return self.dimension(name)
+
+    def owner_of_column(self, column_name: str) -> TableSchema:
+        """Resolve an unqualified column name to its owning table.
+
+        Raises:
+            SchemaError: if the name is missing or ambiguous.
+        """
+        owners = [
+            table
+            for table in [self.fact, *self.dimensions.values()]
+            if table.has_column(column_name)
+        ]
+        if not owners:
+            raise SchemaError(f"no table defines column {column_name!r}")
+        if len(owners) > 1:
+            names = ", ".join(table.name for table in owners)
+            raise SchemaError(
+                f"column {column_name!r} is ambiguous (defined by {names})"
+            )
+        return owners[0]
+
+
+@dataclass
+class GalaxySchema:
+    """Several star schemas whose fact tables may join to each other.
+
+    Section 5 of the paper ("Galaxy Schemata"): a query joining two fact
+    tables is split at the fact-to-fact join into two star sub-queries,
+    each evaluated by the CJOIN operator of its own star.
+    """
+
+    stars: dict[str, StarSchema] = field(default_factory=dict)
+    fact_links: list[ForeignKey] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for name, star in self.stars.items():
+            if name != star.fact.name:
+                raise SchemaError(
+                    f"star registered as {name!r} but its fact is {star.fact.name!r}"
+                )
+        fact_names = set(self.stars)
+        for link in self.fact_links:
+            if link.referenced_table not in fact_names:
+                raise SchemaError(
+                    f"fact link references unknown fact table "
+                    f"{link.referenced_table!r}"
+                )
+
+    def star(self, fact_name: str) -> StarSchema:
+        """Return the star schema centered on ``fact_name``."""
+        try:
+            return self.stars[fact_name]
+        except KeyError:
+            raise SchemaError(f"galaxy has no star on {fact_name!r}") from None

@@ -1,0 +1,30 @@
+"""The CJOIN operator (paper section 3): a single always-on pipeline
+
+evaluating all concurrent star queries over one continuous fact scan.
+
+Public entry point: :class:`~repro.cjoin.operator.CJoinOperator`.
+
+    operator = CJoinOperator(catalog, star_schema)
+    handle = operator.submit(query)
+    operator.run_until_drained()
+    print(handle.results())
+
+Components mirror the paper's Figure 1: Preprocessor -> Filters ->
+Distributor, orchestrated by a Pipeline Manager that admits/finalizes
+queries (Algorithms 1 and 2) and re-optimizes the filter order on line.
+"""
+
+from repro.cjoin.operator import CJoinOperator
+from repro.cjoin.registry import QueryHandle
+from repro.cjoin.executor import ExecutorConfig
+from repro.cjoin.galaxy import GalaxyJoinQuery, evaluate_galaxy_join
+from repro.cjoin.snapshots import SnapshotPartitionedCJoin
+
+__all__ = [
+    "CJoinOperator",
+    "ExecutorConfig",
+    "GalaxyJoinQuery",
+    "QueryHandle",
+    "SnapshotPartitionedCJoin",
+    "evaluate_galaxy_join",
+]

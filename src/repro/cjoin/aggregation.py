@@ -1,0 +1,210 @@
+"""Per-query output operators fed by the Distributor.
+
+Each registered query owns one operator: a hash-based group-by
+aggregator for the common case, or a plain listing collector when the
+query has no aggregates (``k = 0``) — the shape used by galaxy
+fact-to-fact sub-plans (section 5).
+
+Operators read fact attributes directly from the tuple and dimension
+attributes through the row pointers the Filters attached (section
+3.2.2), so no probing happens here.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import StarSchema
+from repro.cjoin.tuples import FactTuple
+from repro.errors import PipelineError
+from repro.query.aggregates import AggregateSpec, make_accumulator
+from repro.query.star import ColumnRef, StarQuery
+
+
+def _make_extractor(ref: ColumnRef, query: StarQuery, star: StarSchema):
+    """Compile a ColumnRef into a FactTuple -> value closure."""
+    if ref.table == query.fact_table:
+        index = star.fact.column_index(ref.column)
+        return lambda fact_tuple: fact_tuple.row[index]
+    dimension = star.dimension(ref.table)
+    index = dimension.column_index(ref.column)
+    name = ref.table
+    return lambda fact_tuple: fact_tuple.dim_rows[name][index]
+
+
+def _make_aggregate_input(spec: AggregateSpec, query: StarQuery, star: StarSchema):
+    """Compile an aggregate's input expression into a closure."""
+    if spec.is_count_star:
+        return lambda fact_tuple: 0  # any non-None marker
+    first = _make_extractor(ColumnRef(spec.table, spec.column), query, star)
+    if spec.column2 is None:
+        return first
+    second = _make_extractor(ColumnRef(spec.table, spec.column2), query, star)
+    return lambda fact_tuple: spec.combine_values(
+        first(fact_tuple), second(fact_tuple)
+    )
+
+
+class OutputOperator:
+    """Base class: consumes routed fact tuples, produces result rows."""
+
+    def consume(self, fact_tuple: FactTuple) -> None:
+        """Fold one routed fact tuple into the operator state."""
+        raise NotImplementedError
+
+    def results(self) -> list[tuple]:
+        """Canonical result rows (sorted by the select prefix)."""
+        raise NotImplementedError
+
+
+class AggregationOperator(OutputOperator):
+    """Hash-based GROUP BY with streaming aggregate accumulators."""
+
+    def __init__(self, query: StarQuery, star: StarSchema) -> None:
+        if not query.is_aggregation:
+            raise PipelineError("query has no aggregates; use ListingOperator")
+        self.query = query
+        self._key_extractors = [
+            _make_extractor(ref, query, star) for ref in query.group_by
+        ]
+        self._select_extractors = [
+            _make_extractor(ref, query, star) for ref in query.select
+        ]
+        self._aggregate_inputs = [
+            _make_aggregate_input(spec, query, star) for spec in query.aggregates
+        ]
+        self._groups: dict[tuple, list] = {}
+
+    def consume(self, fact_tuple: FactTuple) -> None:
+        key = tuple(extract(fact_tuple) for extract in self._key_extractors)
+        state = self._groups.get(key)
+        if state is None:
+            select_values = tuple(
+                extract(fact_tuple) for extract in self._select_extractors
+            )
+            state = [
+                select_values,
+                [make_accumulator(spec) for spec in self.query.aggregates],
+            ]
+            self._groups[key] = state
+        accumulators = state[1]
+        for extract_input, accumulator in zip(
+            self._aggregate_inputs, accumulators
+        ):
+            accumulator.add(extract_input(fact_tuple))
+
+    def results(self) -> list[tuple]:
+        rows = [
+            select_values + tuple(acc.result() for acc in accumulators)
+            for select_values, accumulators in self._groups.values()
+        ]
+        rows.sort(key=lambda row: row[: len(self.query.select)])
+        return rows
+
+    @property
+    def group_count(self) -> int:
+        """Number of groups accumulated so far."""
+        return len(self._groups)
+
+
+class SortAggregationOperator(OutputOperator):
+    """Sort-based GROUP BY: buffer (key, inputs), sort once at the end.
+
+    The paper's alternative to hash aggregation (section 3.1).  Same
+    results as :class:`AggregationOperator`; trades memory for bounded
+    per-tuple work (an append), with the sort paid at finalization.
+    Preferable when group counts are huge relative to memory locality,
+    or when output must stream in key order anyway.
+    """
+
+    def __init__(self, query: StarQuery, star: StarSchema) -> None:
+        if not query.is_aggregation:
+            raise PipelineError("query has no aggregates; use ListingOperator")
+        self.query = query
+        self._key_extractors = [
+            _make_extractor(ref, query, star) for ref in query.group_by
+        ]
+        self._select_extractors = [
+            _make_extractor(ref, query, star) for ref in query.select
+        ]
+        self._aggregate_inputs = [
+            _make_aggregate_input(spec, query, star) for spec in query.aggregates
+        ]
+        #: buffered (group key, select values, aggregate inputs) rows
+        self._buffer: list[tuple] = []
+
+    def consume(self, fact_tuple: FactTuple) -> None:
+        key = tuple(extract(fact_tuple) for extract in self._key_extractors)
+        select_values = tuple(
+            extract(fact_tuple) for extract in self._select_extractors
+        )
+        inputs = tuple(
+            extract(fact_tuple) for extract in self._aggregate_inputs
+        )
+        self._buffer.append((key, select_values, inputs))
+
+    def results(self) -> list[tuple]:
+        # sort by key (repr-keyed to tolerate mixed None/typed keys),
+        # then fold each run of equal keys through fresh accumulators
+        self._buffer.sort(key=lambda entry: tuple(map(repr, entry[0])))
+        rows: list[tuple] = []
+        index = 0
+        total = len(self._buffer)
+        while index < total:
+            key, select_values, _ = self._buffer[index]
+            accumulators = [
+                make_accumulator(spec) for spec in self.query.aggregates
+            ]
+            while index < total and self._buffer[index][0] == key:
+                for accumulator, value in zip(
+                    accumulators, self._buffer[index][2]
+                ):
+                    accumulator.add(value)
+                index += 1
+            rows.append(
+                select_values + tuple(acc.result() for acc in accumulators)
+            )
+        rows.sort(key=lambda row: row[: len(self.query.select)])
+        return rows
+
+    @property
+    def buffered_tuples(self) -> int:
+        """Number of tuples buffered so far."""
+        return len(self._buffer)
+
+
+class ListingOperator(OutputOperator):
+    """Collects projected rows for aggregate-free queries."""
+
+    def __init__(self, query: StarQuery, star: StarSchema) -> None:
+        self.query = query
+        self._select_extractors = [
+            _make_extractor(ref, query, star) for ref in query.select
+        ]
+        self._rows: list[tuple] = []
+
+    def consume(self, fact_tuple: FactTuple) -> None:
+        self._rows.append(
+            tuple(extract(fact_tuple) for extract in self._select_extractors)
+        )
+
+    def results(self) -> list[tuple]:
+        return sorted(self._rows)
+
+
+def make_output_operator(
+    query: StarQuery, star: StarSchema, mode: str = "hash"
+) -> OutputOperator:
+    """Create the appropriate operator for ``query``.
+
+    Args:
+        mode: 'hash' (default) or 'sort' aggregation strategy.
+
+    Raises:
+        PipelineError: on an unknown mode.
+    """
+    if mode not in ("hash", "sort"):
+        raise PipelineError(f"unknown aggregation mode {mode!r}")
+    if query.is_aggregation:
+        if mode == "sort":
+            return SortAggregationOperator(query, star)
+        return AggregationOperator(query, star)
+    return ListingOperator(query, star)

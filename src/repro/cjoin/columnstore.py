@@ -1,0 +1,158 @@
+"""CJOIN over a column-store fact table (paper section 5).
+
+The continuous scan becomes a continuous *merge* of only those fact
+columns the query mix needs: the foreign keys of the star's dimensions
+plus whatever fact attributes queries touch.  The rest of the pipeline
+is unchanged — merged rows are full-arity tuples with ``None`` in
+unread positions, so Filters and output operators run as-is, while the
+buffer pool observes proportionally less I/O (the benefit the paper
+describes).
+
+The scanned column set is fixed when the operator is built (a
+deployment decision, like a projection in C-Store); admission rejects
+queries that need unscanned fact columns.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import StarSchema
+from repro.cjoin.operator import CJoinOperator
+from repro.cjoin.registry import QueryHandle
+from repro.errors import AdmissionError
+from repro.query.star import StarQuery
+from repro.storage.buffer import BufferPool
+from repro.storage.column import ColumnStoreTable
+
+
+def fact_columns_needed(query: StarQuery, star: StarSchema) -> set[str]:
+    """Fact columns a query reads: FKs of referenced dims, fact
+
+    predicate inputs, and fact-side outputs (group-by/select/aggregate
+    columns on the fact table).
+    """
+    needed: set[str] = set()
+    for name in query.referenced_dimensions():
+        needed.add(star.fact.foreign_key_to(name).column)
+    if query.fact_predicate is not None:
+        needed |= query.fact_predicate.referenced_columns()
+    for ref in [*query.group_by, *query.select]:
+        if ref.table == query.fact_table:
+            needed.add(ref.column)
+    for spec in query.aggregates:
+        if spec.table == query.fact_table:
+            needed.add(spec.column)
+            if spec.column2 is not None:
+                needed.add(spec.column2)
+    return needed
+
+
+class ColumnMergeContinuousScan:
+    """A circular merge-scan over selected columns of a column store.
+
+    Presents the :class:`~repro.storage.scan.ContinuousScan` interface
+    (``next()``, ``next_position``, ``tuples_returned``); unselected
+    columns are ``None`` in the produced rows.
+    """
+
+    def __init__(
+        self,
+        table: ColumnStoreTable,
+        column_names: Iterable[str],
+        buffer_pool: BufferPool,
+    ) -> None:
+        self.table = table
+        self.buffer_pool = buffer_pool
+        self.column_names = sorted(set(column_names))
+        for name in self.column_names:
+            if name not in table.column_heaps:
+                raise AdmissionError(
+                    f"column store has no column {name!r}"
+                )
+        self._readers = [
+            (table.schema.column_index(name), table.column_heaps[name])
+            for name in self.column_names
+        ]
+        self._position = 0
+        self._tuples_returned = 0
+
+    @property
+    def next_position(self) -> int:
+        """Position of the tuple the next :meth:`next` call returns."""
+        if self._position >= self.table.row_count:
+            return 0
+        return self._position
+
+    @property
+    def tuples_returned(self) -> int:
+        """Total tuples produced since construction."""
+        return self._tuples_returned
+
+    def next(self) -> tuple[int, tuple] | None:
+        """Return the next (position, merged row), or None when empty."""
+        row_count = self.table.row_count
+        if row_count == 0:
+            return None
+        if self._position >= row_count:
+            self._position = 0
+        position = self._position
+        values_per_page = self.table.values_per_page
+        page_id, slot_id = divmod(position, values_per_page)
+        row = [None] * self.table.schema.arity
+        for column_index, heap in self._readers:
+            page = self.buffer_pool.fetch(heap, page_id)
+            row[column_index] = page.slot(slot_id)[0]
+        self._position = position + 1
+        self._tuples_returned += 1
+        return position, tuple(row)
+
+
+class ColumnStoreCJoinOperator(CJoinOperator):
+    """CJOIN whose continuous scan merges a fixed fact-column set.
+
+    The catalog's fact entry must be the :class:`ColumnStoreTable`
+    itself (the operator only needs its schema and row count there).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        star: StarSchema,
+        column_fact: ColumnStoreTable,
+        scanned_columns: Iterable[str] | None = None,
+        **kwargs,
+    ) -> None:
+        self.column_fact = column_fact
+        super().__init__(catalog, star, **kwargs)
+        if scanned_columns is None:
+            # default projection: all foreign keys (any star query joins
+            # through them) — callers add measure columns as needed
+            scanned_columns = [
+                fk.column for fk in star.fact.foreign_keys
+            ]
+        self.scan = ColumnMergeContinuousScan(
+            column_fact, scanned_columns, self.buffer_pool
+        )
+        self.preprocessor.scan = self.scan
+
+    def submit(self, query: StarQuery) -> QueryHandle:
+        """Admit ``query`` after checking its fact columns are scanned.
+
+        Raises:
+            AdmissionError: if the query reads a fact column outside
+                the operator's projection.
+        """
+        needed = fact_columns_needed(query, self.star)
+        missing = needed - set(self.scan.column_names)
+        if missing:
+            raise AdmissionError(
+                f"query needs unscanned fact columns {sorted(missing)}; "
+                f"operator projection is {self.scan.column_names}"
+            )
+        return super().submit(query)
+
+    def pages_per_cycle(self) -> int:
+        """Column pages one scan cycle reads (the I/O-volume win)."""
+        return self.column_fact.pages_for_columns(self.scan.column_names)

@@ -1,0 +1,150 @@
+"""Dimension hash tables (paper section 3.2.1).
+
+``HD_j`` stores the *union* of the dimension tuples selected by any
+active query, keyed by the dimension's primary key.  Each stored tuple
+carries a bit-vector ``b_delta``; the table also keeps one complement
+bitmap ``b_Dj`` — the bit-vector of any tuple *not* stored — defined
+as ``b_Dj[i] = 1`` iff query ``Q_i`` does not reference this
+dimension.
+
+The paper's defining property (used by the Filtering Invariant):
+
+    ``probe(tau)[i] = 1``  iff  ``Q_i`` references ``D_j`` and the
+    joining tuple satisfies ``c_ij``, **or** ``Q_i`` does not
+    reference ``D_j`` at all.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro import bitvec
+from repro.catalog.schema import TableSchema
+from repro.errors import PipelineError
+
+
+class _DimEntry:
+    """One stored dimension tuple and its query bit-vector."""
+
+    __slots__ = ("row", "bits")
+
+    def __init__(self, row: tuple, bits: int) -> None:
+        self.row = row
+        self.bits = bits
+
+
+class DimensionHashTable:
+    """The shared hash table for one dimension (the paper's ``HD_j``)."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        if schema.primary_key is None:
+            raise PipelineError(
+                f"dimension {schema.name!r} must have a primary key"
+            )
+        self.schema = schema
+        self.name = schema.name
+        self._key_index = schema.column_index(schema.primary_key)
+        self._entries: dict[object, _DimEntry] = {}
+        #: the paper's b_Dj: bit i set iff Q_i does NOT reference this dim
+        self.complement_bitmap: int = 0
+
+    # ------------------------------------------------------------------
+    # Probing (the Filter hot path)
+    # ------------------------------------------------------------------
+    def probe(self, key: object) -> tuple[int, tuple | None]:
+        """Return (filtering bit-vector, joined row or None) for ``key``.
+
+        Implements section 3.2.2: a found entry contributes
+        ``b_delta``; a miss contributes ``b_Dj``.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return self.complement_bitmap, None
+        return entry.bits, entry.row
+
+    # ------------------------------------------------------------------
+    # Registration bookkeeping (Algorithms 1 and 2)
+    # ------------------------------------------------------------------
+    def mark_query_not_referencing(self, query_id: int) -> None:
+        """Record that an admitted query does not reference this dimension.
+
+        (Algorithm 1 line 10: ``b_Dj[n] = 1``.)  Every stored tuple
+        must also show bit n, since the query implicitly selects all
+        dimension tuples.
+        """
+        self.complement_bitmap = bitvec.set_bit(self.complement_bitmap, query_id)
+        for entry in self._entries.values():
+            entry.bits = bitvec.set_bit(entry.bits, query_id)
+
+    def mark_query_referencing(self, query_id: int) -> None:
+        """Record that an admitted query references this dimension.
+
+        (Algorithm 1 line 8: ``b_Dj[n] = 0``.)  Selected tuples gain
+        bit n individually via :meth:`register_selected_rows`.
+        """
+        self.complement_bitmap = bitvec.clear_bit(self.complement_bitmap, query_id)
+
+    def register_selected_rows(self, query_id: int, rows: Iterable[tuple]) -> int:
+        """Insert/update the rows selected by query ``query_id``.
+
+        (Algorithm 1 lines 11-16.)  A row absent from the table is
+        inserted with bits initialized to ``b_Dj`` before gaining bit
+        n, exactly as the paper specifies.  Returns the number of rows
+        registered.
+        """
+        count = 0
+        for row in rows:
+            key = row[self._key_index]
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = _DimEntry(row, self.complement_bitmap)
+                self._entries[key] = entry
+            entry.bits = bitvec.set_bit(entry.bits, query_id)
+            count += 1
+        return count
+
+    def unregister_query(self, query_id: int) -> None:
+        """Remove all traces of a finished query (Algorithm 2).
+
+        The paper's Algorithm 2 sets ``b_Dj[n] = 1`` and clears entry
+        bits only for referenced dimensions, leaving the neutral
+        all-ones state for id ``n``.  That makes id *reuse* subtle:
+        entries inserted while the id is parked would inherit a stale
+        1-bit.  We instead maintain the invariant that **unallocated
+        ids carry bit 0 everywhere** (complement bitmap and every
+        entry); Algorithm 1 then re-establishes the correct bits from
+        a clean slate on reuse.  Entries whose bit-vector drops to
+        zero are garbage-collected (section 3.3.2).
+        """
+        self.complement_bitmap = bitvec.clear_bit(self.complement_bitmap, query_id)
+        dead_keys = []
+        for key, entry in self._entries.items():
+            entry.bits = bitvec.clear_bit(entry.bits, query_id)
+            if entry.bits == 0:
+                dead_keys.append(key)
+        for key in dead_keys:
+            del self._entries[key]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def tuple_count(self) -> int:
+        """Number of stored dimension tuples."""
+        return len(self._entries)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no tuples remain (filter can be removed)."""
+        return not self._entries
+
+    def bits_for_key(self, key: object) -> int:
+        """The stored bit-vector for ``key`` (b_Dj if absent) — test hook."""
+        entry = self._entries.get(key)
+        return self.complement_bitmap if entry is None else entry.bits
+
+    def __repr__(self) -> str:
+        return (
+            f"DimensionHashTable({self.name!r}, tuples={self.tuple_count}, "
+            f"bDj={bin(self.complement_bitmap)})"
+        )

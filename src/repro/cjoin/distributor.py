@@ -1,0 +1,85 @@
+"""The Distributor (paper sections 3.1-3.3).
+
+Routes each surviving fact tuple to the output operators of every
+query whose bit survives in ``b_tau``, and reacts to control tuples:
+QueryStart installs the query's output operator *before* any of its
+potential results arrive; QueryEnd finalizes the operator, fulfills
+the caller's handle, and notifies the manager so Algorithm 2 cleanup
+can run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro import bitvec
+from repro.catalog.schema import StarSchema
+from repro.cjoin.aggregation import OutputOperator, make_output_operator
+from repro.cjoin.registry import RegisteredQuery
+from repro.cjoin.stats import PipelineStats
+from repro.cjoin.tuples import FactTuple, QueryEnd, QueryStart
+from repro.errors import PipelineError
+
+
+class Distributor:
+    """Terminal pipeline component: routing plus query lifecycle."""
+
+    def __init__(
+        self,
+        star: StarSchema,
+        stats: PipelineStats,
+        on_query_finished: Callable[[int], None] | None = None,
+        aggregation_mode: str = "hash",
+    ) -> None:
+        self.star = star
+        self.stats = stats
+        self.on_query_finished = on_query_finished
+        self.aggregation_mode = aggregation_mode
+        self._operators: dict[int, OutputOperator] = {}
+        self._registrations: dict[int, RegisteredQuery] = {}
+
+    def process(self, item) -> None:
+        """Handle one pipeline item (fact tuple or control tuple)."""
+        if isinstance(item, FactTuple):
+            self._route(item)
+        elif isinstance(item, QueryStart):
+            self._start_query(item.registration)
+        elif isinstance(item, QueryEnd):
+            self._end_query(item.query_id)
+        else:
+            raise PipelineError(f"unexpected pipeline item {item!r}")
+
+    def _route(self, fact_tuple: FactTuple) -> None:
+        self.stats.tuples_distributed += 1
+        for query_id in bitvec.iter_query_ids(fact_tuple.bitvector):
+            operator = self._operators.get(query_id)
+            if operator is None:
+                raise PipelineError(
+                    f"fact tuple routed to unregistered query {query_id}"
+                )
+            operator.consume(fact_tuple)
+            self._registrations[query_id].tuples_streamed += 1
+
+    def _start_query(self, registration: RegisteredQuery) -> None:
+        query_id = registration.query_id
+        if query_id in self._operators:
+            raise PipelineError(f"query {query_id} already started")
+        self._operators[query_id] = make_output_operator(
+            registration.query, self.star, self.aggregation_mode
+        )
+        self._registrations[query_id] = registration
+
+    def _end_query(self, query_id: int) -> None:
+        operator = self._operators.pop(query_id, None)
+        registration = self._registrations.pop(query_id, None)
+        if operator is None or registration is None:
+            raise PipelineError(f"end-of-query for unknown query {query_id}")
+        registration.handle.complete(operator.results())
+        self.stats.queries_completed += 1
+        if self.on_query_finished is not None:
+            self.on_query_finished(query_id)
+
+    @property
+    def open_query_ids(self) -> list[int]:
+        """Queries whose operators are installed but not yet finalized."""
+        return list(self._operators)

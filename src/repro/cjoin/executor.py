@@ -1,0 +1,371 @@
+"""Execution strategies for the CJOIN pipeline (paper section 4).
+
+Two drivers over the same operator code:
+
+* :class:`SynchronousExecutor` — single-threaded, deterministic; the
+  default for correctness work and for the library's real query
+  answering path.
+* :class:`ThreadedExecutor` — maps components onto threads the way the
+  paper maps them onto cores: the Preprocessor and Distributor each
+  own a thread; Filters are boxed into *Stages*, each Stage served by
+  one or more worker threads.  Configurations:
+
+  - ``horizontal``: one Stage holding the whole filter chain, all
+    worker threads assigned to it (the paper's winning layout);
+  - ``vertical``: one Stage per Filter;
+  - ``hybrid``: explicit boxing of filters into stages.
+
+  Items travel in *batches* (section 4's batched queue transfers).
+  Batches carry monotone ids; the Distributor side re-serializes by
+  batch id, which preserves the ordering of control tuples relative to
+  data tuples (the section 3.3.3 correctness property) even with many
+  workers per stage.
+
+Note on fidelity: under CPython's GIL, stage threads do not speed up
+this pure-Python pipeline — the threaded executor demonstrates the
+*architecture* (and is tested for correctness); the performance
+consequences of thread mappings are reproduced by the calibrated model
+in :mod:`repro.sim` (see DESIGN.md section 4).
+"""
+
+from __future__ import annotations
+
+import heapq
+import queue
+import threading
+from dataclasses import dataclass, field
+
+from repro.cjoin.manager import PipelineManager
+from repro.cjoin.pipeline import CJoinPipeline
+from repro.cjoin.tuples import ControlTuple, FactTuple
+from repro.errors import PipelineError
+
+#: Default number of items pulled from the Preprocessor per batch.
+DEFAULT_BATCH_SIZE = 256
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Tuning for pipeline execution.
+
+    Attributes:
+        mode: 'synchronous', 'horizontal', 'vertical', or 'hybrid'.
+        stage_threads: worker threads for the single horizontal stage,
+            or per-stage thread counts for vertical/hybrid.
+        stage_boxes: for 'hybrid', filter-count per stage (e.g.
+            ``(2, 2)`` boxes a 4-filter chain into two stages).
+        batch_size: items per preprocessor batch.
+        reoptimize_interval: scanned tuples between reoptimization
+            attempts (0 disables on-line reordering).
+        profile_sample_rate: profile every k-th tuple for the ordering
+            policy (0 disables profiling).
+    """
+
+    mode: str = "synchronous"
+    stage_threads: tuple[int, ...] = (1,)
+    stage_boxes: tuple[int, ...] = ()
+    batch_size: int = DEFAULT_BATCH_SIZE
+    reoptimize_interval: int = 4096
+    profile_sample_rate: int = 64
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("synchronous", "horizontal", "vertical", "hybrid"):
+            raise PipelineError(f"unknown executor mode {self.mode!r}")
+        if self.batch_size < 1:
+            raise PipelineError("batch_size must be >= 1")
+        if any(threads < 1 for threads in self.stage_threads):
+            raise PipelineError("stage thread counts must be >= 1")
+
+
+class _ProfilingDriver:
+    """Shared profiling/reoptimization cadence for both executors."""
+
+    def __init__(self, pipeline: CJoinPipeline, manager: PipelineManager,
+                 config: ExecutorConfig) -> None:
+        self.pipeline = pipeline
+        self.manager = manager
+        self.config = config
+        self._since_reopt = 0
+        self._since_profile = 0
+
+    def observe(self, item) -> None:
+        """Feed one preprocessor item into the profiling cadence."""
+        if not isinstance(item, FactTuple):
+            return
+        policy = self.manager.ordering_policy
+        rate = self.config.profile_sample_rate
+        if policy.wants_profiles and rate > 0:
+            self._since_profile += 1
+            if self._since_profile >= rate:
+                self._since_profile = 0
+                policy.record_profile(list(self.pipeline.filters), item)
+        interval = self.config.reoptimize_interval
+        if interval > 0:
+            self._since_reopt += 1
+            if self._since_reopt >= interval:
+                self._since_reopt = 0
+                self.manager.reoptimize()
+
+
+class SynchronousExecutor:
+    """Drives the pipeline to completion on the calling thread."""
+
+    def __init__(
+        self,
+        pipeline: CJoinPipeline,
+        manager: PipelineManager,
+        config: ExecutorConfig | None = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.manager = manager
+        self.config = config if config is not None else ExecutorConfig()
+        self._profiler = _ProfilingDriver(pipeline, manager, self.config)
+
+    def step(self) -> int:
+        """Process one batch; returns the number of items handled."""
+        items = self.pipeline.preprocessor.next_items(self.config.batch_size)
+        for item in items:
+            self._profiler.observe(item)
+            self.pipeline.process_item(item)
+        self.manager.process_finished()
+        return len(items)
+
+    def run_until_drained(self, max_batches: int | None = None) -> None:
+        """Run until every admitted query has completed.
+
+        Raises:
+            PipelineError: if ``max_batches`` elapses first (guards
+                against non-terminating loops in tests).
+        """
+        batches = 0
+        while self.manager.active_query_count > 0:
+            handled = self.step()
+            if handled == 0 and self.manager.active_query_count > 0:
+                # nothing produced yet queries remain: only possible if
+                # cleanup is pending, which step() already flushed.
+                raise PipelineError("pipeline stalled with active queries")
+            batches += 1
+            if max_batches is not None and batches > max_batches:
+                raise PipelineError(
+                    f"pipeline did not drain within {max_batches} batches"
+                )
+
+
+class _Batch:
+    """A batch envelope with a monotone id for re-serialization."""
+
+    __slots__ = ("batch_id", "items")
+
+    def __init__(self, batch_id: int, items: list) -> None:
+        self.batch_id = batch_id
+        self.items = items
+
+    def __lt__(self, other: "_Batch") -> bool:
+        return self.batch_id < other.batch_id
+
+
+_POISON = _Batch(-1, [])
+
+
+class ThreadedExecutor:
+    """Multi-threaded pipeline driver with Stage-based filter mapping."""
+
+    def __init__(
+        self,
+        pipeline: CJoinPipeline,
+        manager: PipelineManager,
+        config: ExecutorConfig | None = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.manager = manager
+        self.config = config if config is not None else ExecutorConfig(
+            mode="horizontal", stage_threads=(2,)
+        )
+        if self.config.mode == "synchronous":
+            raise PipelineError(
+                "ThreadedExecutor requires a threaded mode; use "
+                "SynchronousExecutor for mode='synchronous'"
+            )
+        self._profiler = _ProfilingDriver(pipeline, manager, self.config)
+        self._threads: list[threading.Thread] = []
+        self._queues: list[queue.Queue] = []
+        self._stage_slices: list[slice] = []
+        self._stop = threading.Event()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Stage layout
+    # ------------------------------------------------------------------
+    def _plan_stages(self) -> list[slice]:
+        """Box the filter chain into stages per the configured mode.
+
+        Stages hold *index ranges* resolved against the live filter
+        list at processing time, so run-time reordering (a pure
+        permutation) stays safe.  Vertical/hybrid layouts size their
+        stage count from the star's dimension count — the maximum the
+        filter chain can grow to — so the executor can start before
+        any query is admitted; a stage whose slice is currently empty
+        simply passes tuples through.
+        """
+        if self.config.mode == "horizontal":
+            return [slice(0, None)]
+        capacity = len(self.pipeline.distributor.star.dimensions)
+        if self.config.mode == "vertical":
+            return [slice(i, i + 1) for i in range(capacity)]
+        boxes = self.config.stage_boxes
+        if sum(boxes) != capacity:
+            raise PipelineError(
+                f"hybrid stage_boxes {boxes} do not cover the star's "
+                f"{capacity} dimensions"
+            )
+        slices = []
+        start = 0
+        for box in boxes:
+            slices.append(slice(start, start + box))
+            start += box
+        return slices
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spin up preprocessor, stage, and distributor threads."""
+        if self._started:
+            raise PipelineError("executor already started")
+        self._started = True
+        self._stop.clear()
+        self._stage_slices = self._plan_stages()
+        stage_count = len(self._stage_slices)
+        threads_per_stage = self._threads_per_stage(stage_count)
+        # queue[0] feeds stage 0; queue[i+1] is stage i's output;
+        # the last queue feeds the distributor thread.
+        self._queues = [queue.Queue(maxsize=64) for _ in range(stage_count + 1)]
+        self._threads = [
+            threading.Thread(
+                target=self._preprocessor_loop, name="cjoin-preprocessor",
+                daemon=True,
+            )
+        ]
+        for stage_index in range(stage_count):
+            for worker in range(threads_per_stage[stage_index]):
+                self._threads.append(
+                    threading.Thread(
+                        target=self._stage_loop,
+                        args=(stage_index,),
+                        name=f"cjoin-stage{stage_index}-w{worker}",
+                        daemon=True,
+                    )
+                )
+        self._threads.append(
+            threading.Thread(
+                target=self._distributor_loop, name="cjoin-distributor",
+                daemon=True,
+            )
+        )
+        self._worker_counts = threads_per_stage
+        for thread in self._threads:
+            thread.start()
+
+    def _threads_per_stage(self, stage_count: int) -> list[int]:
+        configured = list(self.config.stage_threads)
+        if len(configured) == 1 and stage_count > 1:
+            configured = configured * stage_count
+        if len(configured) != stage_count:
+            raise PipelineError(
+                f"stage_threads {tuple(configured)} does not match "
+                f"{stage_count} stages"
+            )
+        return configured
+
+    def stop(self) -> None:
+        """Stop all threads (idempotent)."""
+        if not self._started:
+            return
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=10)
+        self._started = False
+
+    def wait_for(self, handles, timeout: float = 60.0) -> None:
+        """Block until every handle completes.
+
+        Raises:
+            PipelineError: on timeout.
+        """
+        for handle in handles:
+            if not handle.wait(timeout):
+                raise PipelineError("timed out waiting for query completion")
+
+    # ------------------------------------------------------------------
+    # Thread bodies
+    # ------------------------------------------------------------------
+    def _preprocessor_loop(self) -> None:
+        batch_id = 0
+        while not self._stop.is_set():
+            items = self.pipeline.preprocessor.next_items(self.config.batch_size)
+            if not items:
+                self.manager.process_finished()
+                self._stop.wait(0.001)
+                continue
+            for item in items:
+                self._profiler.observe(item)
+            self._put(self._queues[0], _Batch(batch_id, items))
+            batch_id += 1
+        self._queues[0].put(_POISON)
+
+    def _stage_loop(self, stage_index: int) -> None:
+        in_queue = self._queues[stage_index]
+        out_queue = self._queues[stage_index + 1]
+        stage_slice = self._stage_slices[stage_index]
+        while True:
+            batch = in_queue.get()
+            if batch is _POISON:
+                # let sibling workers and the next stage terminate too
+                in_queue.put(_POISON)
+                out_queue.put(_POISON)
+                return
+            survivors = []
+            for item in batch.items:
+                if isinstance(item, ControlTuple):
+                    survivors.append(item)
+                    continue
+                stage_filters = tuple(self.pipeline.filters)[stage_slice]
+                if self._run_stage_filters(stage_filters, item):
+                    survivors.append(item)
+            self._put(out_queue, _Batch(batch.batch_id, survivors))
+
+    @staticmethod
+    def _run_stage_filters(stage_filters, fact_tuple: FactTuple) -> bool:
+        for stage_filter in stage_filters:
+            if not stage_filter.process(fact_tuple):
+                return False
+        return True
+
+    def _distributor_loop(self) -> None:
+        expected = 0
+        pending: list[_Batch] = []
+        in_queue = self._queues[-1]
+        poisons = 0
+        while True:
+            batch = in_queue.get()
+            if batch is _POISON:
+                poisons += 1
+                # one poison per worker of the final stage can arrive
+                if poisons >= self._worker_counts[-1]:
+                    return
+                continue
+            heapq.heappush(pending, batch)
+            while pending and pending[0].batch_id == expected:
+                ready = heapq.heappop(pending)
+                for item in ready.items:
+                    self.pipeline.distributor.process(item)
+                expected += 1
+
+    def _put(self, target_queue: queue.Queue, batch: _Batch) -> None:
+        while not self._stop.is_set():
+            try:
+                target_queue.put(batch, timeout=0.05)
+                return
+            except queue.Full:
+                continue
+        # shutting down: drop the batch

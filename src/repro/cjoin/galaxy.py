@@ -1,0 +1,124 @@
+"""Galaxy-schema queries: fact-to-fact joins over star sub-plans
+
+(paper section 5, "Galaxy Schemata").
+
+A query joining two fact tables is split at the fact-to-fact join
+into two star sub-queries Qa / Qb.  Each sub-query registers with the
+CJOIN operator of its own star as a *listing* query (no aggregation),
+projecting its join key plus whatever the final query needs; the
+Distributor's output then feeds a fact-to-fact hash join, and the join
+output feeds the final aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cjoin.operator import CJoinOperator
+from repro.errors import QueryError
+from repro.query.aggregates import AggregateSpec, make_accumulator
+from repro.query.star import StarQuery
+
+
+@dataclass(frozen=True)
+class GalaxyJoinQuery:
+    """A two-star query joined on one fact-to-fact equi-join.
+
+    Attributes:
+        left / right: star sub-queries; both must be listing queries
+            (no aggregates), with their select lists containing the
+            join columns.
+        left_join_column / right_join_column: positions *within each
+            sub-query's select list* of the join key.
+        group_by_columns: positions within the concatenated
+            (left.select + right.select) output used as group key.
+        aggregates: aggregate kinds over positions of the concatenated
+            output, as (kind, position) pairs; e.g. ("sum", 3).
+    """
+
+    left: StarQuery
+    right: StarQuery
+    left_join_column: int
+    right_join_column: int
+    group_by_columns: tuple[int, ...] = ()
+    aggregates: tuple[tuple[str, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.left.is_aggregation or self.right.is_aggregation:
+            raise QueryError(
+                "galaxy sub-queries must be listing queries; aggregation "
+                "happens after the fact-to-fact join"
+            )
+        if not 0 <= self.left_join_column < len(self.left.select):
+            raise QueryError("left join column outside the select list")
+        if not 0 <= self.right_join_column < len(self.right.select):
+            raise QueryError("right join column outside the select list")
+
+
+def evaluate_galaxy_join(
+    galaxy_query: GalaxyJoinQuery,
+    left_operator: CJoinOperator,
+    right_operator: CJoinOperator,
+) -> list[tuple]:
+    """Evaluate a galaxy join using one CJOIN operator per star.
+
+    Both sub-queries are registered concurrently (each shares work with
+    whatever other queries are in flight on its operator); the
+    fact-to-fact join runs on the listed outputs.
+    """
+    left_handle = left_operator.submit(galaxy_query.left)
+    right_handle = right_operator.submit(galaxy_query.right)
+    # Drive both pipelines; the operators may share a catalog but own
+    # independent scans.
+    left_operator.run_until_drained()
+    right_operator.run_until_drained()
+    left_rows = left_handle.results()
+    right_rows = right_handle.results()
+    joined = _hash_join(
+        left_rows,
+        right_rows,
+        galaxy_query.left_join_column,
+        galaxy_query.right_join_column,
+    )
+    return _aggregate(galaxy_query, joined)
+
+
+def _hash_join(
+    left_rows: list[tuple],
+    right_rows: list[tuple],
+    left_key: int,
+    right_key: int,
+) -> list[tuple]:
+    """Equi-join two listings; output rows are left + right concatenated."""
+    build: dict[object, list[tuple]] = {}
+    for row in left_rows:
+        build.setdefault(row[left_key], []).append(row)
+    joined = []
+    for right_row in right_rows:
+        for left_row in build.get(right_row[right_key], ()):
+            joined.append(left_row + right_row)
+    return joined
+
+
+def _aggregate(galaxy_query: GalaxyJoinQuery, joined: list[tuple]) -> list[tuple]:
+    """Group and aggregate the joined rows (canonical sorted output)."""
+    if not galaxy_query.aggregates:
+        return sorted(joined)
+    groups: dict[tuple, list] = {}
+    for row in joined:
+        key = tuple(row[i] for i in galaxy_query.group_by_columns)
+        state = groups.get(key)
+        if state is None:
+            state = [
+                make_accumulator(AggregateSpec(kind, "galaxy", f"col{pos}"))
+                for kind, pos in galaxy_query.aggregates
+            ]
+            groups[key] = state
+        for accumulator, (kind, position) in zip(state, galaxy_query.aggregates):
+            accumulator.add(row[position])
+    rows = [
+        key + tuple(acc.result() for acc in accumulators)
+        for key, accumulators in groups.items()
+    ]
+    rows.sort(key=lambda row: row[: len(galaxy_query.group_by_columns)])
+    return rows

@@ -1,0 +1,371 @@
+"""The Pipeline Manager (paper sections 3.3-3.4).
+
+Runs alongside the pipeline and owns its lifecycle:
+
+* **admission** (Algorithm 1): allocate a query id, update every
+  dimension hash table's complement bitmap, run the dimension filter
+  queries ``sigma_cnj(D_j)`` against the store, install new Filters,
+  and activate the query in the Preprocessor with a start control
+  tuple;
+* **finalization cleanup** (Algorithm 2): after the Distributor
+  retires a query, clear its bits everywhere, garbage-collect dead
+  dimension tuples, and remove empty Filters;
+* **run-time optimization** (section 3.4): periodically ask the
+  ordering policy for a better Filter permutation and install it.
+
+Concurrency notes (for the threaded executor): admissions are
+serialized by the manager lock; pipeline mutations happen under a
+Preprocessor stall.  Permuting the filter chain never requires
+draining in-flight tuples because each tuple snapshots the chain and
+AND-filtering is order-insensitive; new-filter insertion is safe
+because the new table's complement bitmap is initialized from the
+union of preprocessor-active and distributor-open queries (read while
+stalled), which covers every bit any in-flight tuple can carry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro import bitvec
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import StarSchema
+from repro.cjoin.dimtable import DimensionHashTable
+from repro.cjoin.filter import Filter
+from repro.cjoin.optimizer import AGreedyPolicy, OrderingPolicy
+from repro.cjoin.pipeline import CJoinPipeline
+from repro.cjoin.registry import (
+    QueryHandle,
+    QueryIdAllocator,
+    RegisteredQuery,
+)
+from repro.cjoin.stats import PipelineStats
+from repro.errors import AdmissionError
+from repro.query.star import StarQuery
+from repro.storage.buffer import BufferPool
+from repro.storage.scan import TableScan
+
+
+class AdmissionTimings:
+    """Per-admission cost breakdown (drives Tables 1-3 comparisons)."""
+
+    def __init__(self) -> None:
+        self.submission_seconds: list[float] = []
+        self.dimension_rows_loaded: list[int] = []
+
+    def record(self, seconds: float, rows_loaded: int) -> None:
+        """Log one admission."""
+        self.submission_seconds.append(seconds)
+        self.dimension_rows_loaded.append(rows_loaded)
+
+    @property
+    def mean_submission_seconds(self) -> float:
+        """Average submission time across admissions (0.0 if none)."""
+        if not self.submission_seconds:
+            return 0.0
+        return sum(self.submission_seconds) / len(self.submission_seconds)
+
+
+class PipelineManager:
+    """Admission, finalization, and on-line optimization."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        star: StarSchema,
+        pipeline: CJoinPipeline,
+        buffer_pool: BufferPool,
+        stats: PipelineStats,
+        max_concurrent: int = 256,
+        ordering_policy: OrderingPolicy | None = None,
+        probe_skip: bool = True,
+    ) -> None:
+        self.catalog = catalog
+        self.star = star
+        self.pipeline = pipeline
+        self.buffer_pool = buffer_pool
+        self.stats = stats
+        self.probe_skip = probe_skip
+        self.allocator = QueryIdAllocator(max_concurrent)
+        self.ordering_policy = (
+            ordering_policy if ordering_policy is not None else AGreedyPolicy()
+        )
+        self.timings = AdmissionTimings()
+        self._lock = threading.RLock()
+        self._registrations: dict[int, RegisteredQuery] = {}
+        #: hash tables by dimension name (including ones newly created)
+        self._tables: dict[str, DimensionHashTable] = {}
+        #: which dimensions each active query references
+        self._referenced_by: dict[int, set[str]] = {}
+        self._finished_queue: deque[int] = deque()
+
+    # ------------------------------------------------------------------
+    # Admission (Algorithm 1)
+    # ------------------------------------------------------------------
+    def admit(self, query: StarQuery) -> QueryHandle:
+        """Register ``query`` with the always-on pipeline.
+
+        Returns a :class:`QueryHandle`; results become available once
+        the continuous scan wraps around the query's start position.
+        """
+        started = time.perf_counter()
+        query.validate(self.star)
+        with self._lock:
+            self.process_finished()  # reclaim ids before allocating
+            query_id = self.allocator.allocate()
+            try:
+                handle, rows_loaded = self._admit_locked(query, query_id)
+            except Exception:
+                self._rollback_admission(query_id)
+                self.allocator.release(query_id)
+                raise
+        self.stats.queries_admitted += 1
+        self.timings.record(time.perf_counter() - started, rows_loaded)
+        return handle
+
+    def _admit_locked(self, query: StarQuery, query_id: int) -> QueryHandle:
+        handle = QueryHandle(query)
+        registration = RegisteredQuery(query_id, query, handle)
+        handle.registration = registration
+        # keep the query's reference order: new Filters are appended in
+        # this order, which is what the FixedOrderPolicy preserves
+        referenced_list = query.referenced_dimensions()
+        referenced = set(referenced_list)
+        preprocessor = self.pipeline.preprocessor
+
+        # --- Algorithm 1 lines 1-10: complement bitmaps & new tables ---
+        # A dimension missing from the pipeline can only be one the new
+        # query references (tables are created on first reference), so
+        # its complement bitmap starts as the in-flight bit union: every
+        # concurrent query implicitly selects all of this dimension.
+        new_filters: list[Filter] = []
+        pipeline_dims = set(self.pipeline.filter_order())
+        missing = [
+            name for name in referenced_list if name not in self._tables
+        ]
+        if missing:
+            preprocessor.stall()
+            try:
+                in_flight_bits = self._in_flight_bits()
+            finally:
+                preprocessor.resume()
+            for name in missing:
+                table = DimensionHashTable(self.star.dimension(name))
+                table.complement_bitmap = in_flight_bits
+                self._tables[name] = table
+                new_filters.append(
+                    Filter(
+                        table,
+                        self.star,
+                        self.stats,
+                        probe_skip=self.probe_skip,
+                    )
+                )
+        for name in [*referenced_list, *sorted(pipeline_dims - referenced)]:
+            if name in missing:
+                continue  # complement already correct (bit n is 0)
+            if name in referenced:
+                self._tables[name].mark_query_referencing(query_id)
+            else:
+                self._tables[name].mark_query_not_referencing(query_id)
+
+        # --- Algorithm 1 lines 11-16: dimension filter queries --------
+        # Runs outside the stall, in parallel with tuple processing: the
+        # new query's bit is never set on fact tuples yet, so partially
+        # loaded hash tables cannot produce results for it (section
+        # 3.3.1 correctness argument).
+        rows_loaded = 0
+        for name in referenced_list:
+            rows = self._run_dimension_query(name, query)
+            rows_loaded += self._tables[name].register_selected_rows(
+                query_id, rows
+            )
+
+        # --- Algorithm 1 lines 17-22: install under a stall -----------
+        preprocessor.stall()
+        try:
+            for new_filter in new_filters:
+                self.pipeline.add_filter(new_filter)
+            self._registrations[query_id] = registration
+            self._referenced_by[query_id] = referenced
+            fact_table = self.catalog.table(query.fact_table)
+            if fact_table.row_count == 0:
+                preprocessor.finish_immediately(registration)
+            else:
+                handle.set_progress_total(fact_table.row_count)
+                preprocessor.activate(registration)
+        finally:
+            preprocessor.resume()
+        return handle, rows_loaded
+
+    def _rollback_admission(self, query_id: int) -> None:
+        """Undo the partial effects of a failed admission.
+
+        Clears the query's bits everywhere (restoring the unallocated-
+        ids-are-zero invariant) and drops dimension tables this
+        admission created that never made it into the pipeline —
+        leaving one behind would silently suppress Filter creation for
+        the next query referencing that dimension.
+        """
+        self._registrations.pop(query_id, None)
+        self._referenced_by.pop(query_id, None)
+        for name in list(self._tables):
+            table = self._tables[name]
+            table.unregister_query(query_id)
+            if table.is_empty and not self.pipeline.has_filter(name):
+                del self._tables[name]
+
+    def _in_flight_bits(self) -> int:
+        """OR of the bits of every query any in-flight tuple may carry.
+
+        Must be called with the preprocessor stalled: queries move out
+        of the preprocessor's active set only while it holds its lock.
+        """
+        bits = 0
+        for query_id in self.pipeline.distributor.open_query_ids:
+            bits = bitvec.set_bit(bits, query_id)
+        for query_id in self.pipeline.preprocessor.active_query_ids:
+            bits = bitvec.set_bit(bits, query_id)
+        return bits
+
+    def _run_dimension_query(self, name: str, query: StarQuery) -> list[tuple]:
+        """Evaluate ``sigma_cnj(D_j)`` against the store.
+
+        The paper issues this to PostgreSQL; here it is a buffered scan
+        of the dimension table (charged to the shared buffer pool),
+        short-circuited through an equality index when one covers the
+        predicate (section 5: dimension indexes are used transparently
+        by query registration).  Wait-free with respect to the pipeline.
+        """
+        dimension = self.catalog.table(name)
+        predicate = query.predicate_on(name)
+        view = self.catalog.find_dimension_view(name, predicate)
+        if view is not None:
+            return view.rows()
+        indexed = self._index_lookup(dimension, predicate)
+        if indexed is not None:
+            return indexed
+        matcher = predicate.bind(dimension.schema)
+        return [
+            row
+            for row in TableScan(dimension, self.buffer_pool)
+            if matcher(row)
+        ]
+
+    @staticmethod
+    def _index_lookup(dimension, predicate) -> list[tuple] | None:
+        """Serve an equality/IN predicate from a secondary index.
+
+        Returns None when the predicate shape or available indexes do
+        not allow it (the scan path then applies).
+        """
+        from repro.query.predicate import Comparison, InList
+
+        if isinstance(predicate, Comparison) and predicate.op == "=":
+            column, values = predicate.column, [predicate.value]
+        elif isinstance(predicate, InList):
+            column, values = predicate.column, sorted(
+                predicate.values, key=repr
+            )
+        else:
+            return None
+        if not dimension.has_index(column):
+            return None
+        return dimension.index_lookup(column, values)
+
+    # ------------------------------------------------------------------
+    # Finalization (Algorithm 2)
+    # ------------------------------------------------------------------
+    def on_query_finished(self, query_id: int) -> None:
+        """Distributor callback: defer Algorithm 2 to the manager.
+
+        Runs on the distributor's thread; the actual cleanup happens in
+        :meth:`process_finished` under the manager lock, matching the
+        paper's note that garbage collection is asynchronous.
+        """
+        self._finished_queue.append(query_id)
+
+    def process_finished(self) -> int:
+        """Run Algorithm 2 for every queued finished query.
+
+        Returns the number of queries cleaned up.
+        """
+        cleaned = 0
+        with self._lock:
+            while self._finished_queue:
+                query_id = self._finished_queue.popleft()
+                self._cleanup_locked(query_id)
+                cleaned += 1
+        return cleaned
+
+    def _cleanup_locked(self, query_id: int) -> None:
+        registration = self._registrations.pop(query_id, None)
+        if registration is None:
+            raise AdmissionError(f"unknown finished query {query_id}")
+        self._referenced_by.pop(query_id, None)
+        for table in self._tables.values():
+            table.unregister_query(query_id)
+        # A Filter is removable only when NO active query references its
+        # dimension.  The paper's emptiness test alone is unsafe: a hash
+        # table can be empty because an *active* query's predicate
+        # selected zero dimension rows — then the filter (probe miss ->
+        # b_Dj, whose bit is 0 for that query) is exactly what drops
+        # every fact tuple for it.
+        still_referenced: set[str] = set()
+        for referenced in self._referenced_by.values():
+            still_referenced |= referenced
+        removable = [
+            name for name in self._tables if name not in still_referenced
+        ]
+        if removable:
+            preprocessor = self.pipeline.preprocessor
+            preprocessor.stall()
+            try:
+                for name in removable:
+                    if self.pipeline.has_filter(name):
+                        self.pipeline.remove_filter(name)
+                    del self._tables[name]
+                    self.ordering_policy.forget(name)
+            finally:
+                preprocessor.resume()
+        self.allocator.release(query_id)
+
+    # ------------------------------------------------------------------
+    # Run-time optimization (section 3.4)
+    # ------------------------------------------------------------------
+    def reoptimize(self) -> bool:
+        """Ask the policy for a better filter order; install if changed.
+
+        Returns True when the order changed.  Safe while tuples are in
+        flight (pure permutation; see module docstring).
+        """
+        with self._lock:
+            filters = list(self.pipeline.filters)
+            if len(filters) < 2:
+                return False
+            recommended = self.ordering_policy.recommend(filters)
+            if [f.name for f in recommended] == [f.name for f in filters]:
+                self._reset_filter_windows()
+                return False
+            self.pipeline.reorder(recommended)
+            self.stats.reoptimizations += 1
+            self._reset_filter_windows()
+            return True
+
+    def _reset_filter_windows(self) -> None:
+        for pipeline_filter in self.pipeline.filters:
+            pipeline_filter.stats.reset()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def active_query_count(self) -> int:
+        """Queries admitted and not yet cleaned up."""
+        return len(self._registrations)
+
+    def dimension_table(self, name: str) -> DimensionHashTable:
+        """The shared hash table for dimension ``name`` (test hook)."""
+        return self._tables[name]

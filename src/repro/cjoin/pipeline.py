@@ -1,0 +1,91 @@
+"""Pipeline assembly: the ordered Filter chain between Preprocessor
+
+and Distributor.  Pure wiring — execution strategies live in
+:mod:`repro.cjoin.executor`, lifecycle logic in
+:mod:`repro.cjoin.manager`.
+"""
+
+from __future__ import annotations
+
+from repro.cjoin.distributor import Distributor
+from repro.cjoin.filter import Filter
+from repro.cjoin.preprocessor import Preprocessor
+from repro.cjoin.stats import PipelineStats
+from repro.cjoin.tuples import ControlTuple, FactTuple
+from repro.errors import PipelineError
+
+
+class CJoinPipeline:
+    """The always-on operator pipeline of Figure 1."""
+
+    def __init__(
+        self,
+        preprocessor: Preprocessor,
+        distributor: Distributor,
+        stats: PipelineStats,
+    ) -> None:
+        self.preprocessor = preprocessor
+        self.distributor = distributor
+        self.stats = stats
+        self.filters: list[Filter] = []
+
+    # ------------------------------------------------------------------
+    # Filter chain maintenance (manager-only, pipeline stalled)
+    # ------------------------------------------------------------------
+    def add_filter(self, new_filter: Filter) -> None:
+        """Append a Filter (Algorithm 1 line 18)."""
+        if any(f.name == new_filter.name for f in self.filters):
+            raise PipelineError(f"filter {new_filter.name!r} already present")
+        self.filters.append(new_filter)
+        self.stats.record_order(self.filter_order())
+
+    def remove_filter(self, name: str) -> Filter:
+        """Remove the Filter for dimension ``name`` (Algorithm 2 line 12)."""
+        for index, existing in enumerate(self.filters):
+            if existing.name == name:
+                removed = self.filters.pop(index)
+                self.stats.record_order(self.filter_order())
+                return removed
+        raise PipelineError(f"no filter for dimension {name!r}")
+
+    def reorder(self, new_order: list[Filter]) -> None:
+        """Install a new filter order (run-time optimization)."""
+        if sorted(f.name for f in new_order) != sorted(
+            f.name for f in self.filters
+        ):
+            raise PipelineError("reorder must permute the existing filters")
+        self.filters = list(new_order)
+        self.stats.record_order(self.filter_order())
+
+    def filter_order(self) -> tuple[str, ...]:
+        """Current dimension order of the filter chain."""
+        return tuple(f.name for f in self.filters)
+
+    def filter_for(self, name: str) -> Filter:
+        """Return the Filter for dimension ``name``."""
+        for existing in self.filters:
+            if existing.name == name:
+                return existing
+        raise PipelineError(f"no filter for dimension {name!r}")
+
+    def has_filter(self, name: str) -> bool:
+        """True iff a Filter for dimension ``name`` is installed."""
+        return any(f.name == name for f in self.filters)
+
+    # ------------------------------------------------------------------
+    # Item processing (used by executors)
+    # ------------------------------------------------------------------
+    def run_filters(self, fact_tuple: FactTuple) -> bool:
+        """Run ``fact_tuple`` through the whole chain; True iff it survives."""
+        for stage_filter in self.filters:
+            if not stage_filter.process(fact_tuple):
+                return False
+        return True
+
+    def process_item(self, item) -> None:
+        """Process one item end-to-end (synchronous execution)."""
+        if isinstance(item, ControlTuple):
+            self.distributor.process(item)
+            return
+        if self.run_filters(item):
+            self.distributor.process(item)

@@ -1,0 +1,232 @@
+"""The Preprocessor (paper sections 3.1-3.3).
+
+Feeds the pipeline from the continuous scan:
+
+* attaches the initial bit-vector ``b_tau`` to each fact tuple —
+  bit i set iff ``Q_i`` is active, the tuple satisfies ``c_i0`` (the
+  query's fact predicate) and, under snapshot isolation, the tuple's
+  version is visible in the query's snapshot (the section-3.5
+  "virtual predicate");
+* marks each new query's starting position and, when the scan wraps
+  around it, emits the end-of-query control tuple *before* re-emitting
+  the starting tuple (section 3.3.2);
+* assigns every emitted item a monotonically increasing sequence
+  number (the total order the Distributor enforces).
+
+Thread-safety: the manager stalls the Preprocessor around pipeline
+mutations by holding its lock (see :meth:`stall` / :meth:`resume`);
+item production holds the same lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro import bitvec
+from repro.catalog.schema import StarSchema
+from repro.cjoin.registry import RegisteredQuery
+from repro.cjoin.stats import PipelineStats
+from repro.cjoin.tuples import ControlTuple, FactTuple, QueryEnd, QueryStart
+from repro.errors import PipelineError
+from repro.storage.mvcc import Snapshot, VersionedTable
+from repro.storage.scan import ContinuousScan
+
+
+class _ActiveQuery:
+    """Preprocessor-side state for one active query."""
+
+    __slots__ = ("registration", "bit", "fact_matcher", "snapshot")
+
+    def __init__(
+        self,
+        registration: RegisteredQuery,
+        fact_matcher,
+        snapshot: Snapshot | None,
+    ) -> None:
+        self.registration = registration
+        self.bit = bitvec.bit_for_query(registration.query_id)
+        self.fact_matcher = fact_matcher
+        self.snapshot = snapshot
+
+
+class Preprocessor:
+    """Turns the fact table into a tagged, control-annotated stream."""
+
+    def __init__(
+        self,
+        scan: ContinuousScan,
+        star: StarSchema,
+        stats: PipelineStats,
+        versioned_fact: VersionedTable | None = None,
+    ) -> None:
+        self.scan = scan
+        self.star = star
+        self.stats = stats
+        self.versioned_fact = versioned_fact
+        self._lock = threading.RLock()
+        self._stalled = False
+        self._sequence = 0
+        self._active: dict[int, _ActiveQuery] = {}
+        #: queries with no fact predicate / snapshot: their bits OR-ed
+        self._unconditional_mask = 0
+        self._conditional: list[_ActiveQuery] = []
+        #: scan position -> registrations that started there
+        self._starts: dict[int, list[RegisteredQuery]] = {}
+        self._pending_control: deque[ControlTuple] = deque()
+
+    # ------------------------------------------------------------------
+    # Stall / resume (Algorithm 1 lines 17 and 22)
+    # ------------------------------------------------------------------
+    def stall(self) -> None:
+        """Stop item production; blocks until the current batch ends."""
+        self._lock.acquire()
+        self._stalled = True
+
+    def resume(self) -> None:
+        """Resume item production after a stall."""
+        if not self._stalled:
+            raise PipelineError("resume() without a matching stall()")
+        self._stalled = False
+        self._lock.release()
+
+    @property
+    def is_stalled(self) -> bool:
+        """True while the manager holds the pipeline stalled."""
+        return self._stalled
+
+    # ------------------------------------------------------------------
+    # Query activation (called by the manager, pipeline stalled)
+    # ------------------------------------------------------------------
+    def activate(self, registration: RegisteredQuery) -> None:
+        """Install a query into ``Q`` and emit its start control tuple.
+
+        Must be called while stalled.  Sets the registration's start
+        position to the next unprocessed scan tuple, appends the
+        QueryStart control tuple, and begins setting bit ``n`` on
+        subsequent fact tuples.
+        """
+        if not self._stalled:
+            raise PipelineError("activate() requires a stalled preprocessor")
+        query = registration.query
+        fact_matcher = None
+        if query.fact_predicate is not None:
+            fact_matcher = query.fact_predicate.bind(self.star.fact)
+        snapshot = None
+        if query.snapshot_id is not None and self.versioned_fact is not None:
+            snapshot = Snapshot(query.snapshot_id)
+        active = _ActiveQuery(registration, fact_matcher, snapshot)
+        self._active[registration.query_id] = active
+        if fact_matcher is None and snapshot is None:
+            self._unconditional_mask |= active.bit
+        else:
+            self._conditional.append(active)
+        registration.start_position = self.scan.next_position
+        self._starts.setdefault(registration.start_position, []).append(
+            registration
+        )
+        self._pending_control.append(QueryStart(self._next_sequence(), registration))
+        self.stats.control_tuples += 1
+
+    def finish_immediately(self, registration: RegisteredQuery) -> None:
+        """Emit start+end back to back (empty fact table admission)."""
+        if not self._stalled:
+            raise PipelineError("finish_immediately() requires a stall")
+        self._pending_control.append(QueryStart(self._next_sequence(), registration))
+        self._pending_control.append(
+            QueryEnd(self._next_sequence(), registration.query_id)
+        )
+        self.stats.control_tuples += 2
+
+    @property
+    def active_query_ids(self) -> list[int]:
+        """Ids of queries currently in ``Q``."""
+        return list(self._active)
+
+    @property
+    def active_count(self) -> int:
+        """Number of queries currently in ``Q``."""
+        return len(self._active)
+
+    # ------------------------------------------------------------------
+    # Item production
+    # ------------------------------------------------------------------
+    def next_items(self, max_items: int) -> list:
+        """Produce up to ``max_items`` pipeline items.
+
+        Returns an empty list when there is nothing to do (no active
+        queries and no pending control tuples).
+        """
+        with self._lock:
+            items: list = []
+            while self._pending_control and len(items) < max_items:
+                items.append(self._pending_control.popleft())
+            if not self._active:
+                return items
+            while len(items) < max_items:
+                produced = self.scan.next()
+                if produced is None:
+                    break  # empty table; nothing to stream
+                position, row = produced
+                self.stats.tuples_scanned += 1
+                ended = self._handle_wraparound(position)
+                if ended:
+                    items.extend(ended)
+                    if not self._active:
+                        break
+                bits = self._initial_bits(position, row)
+                if bits == 0:
+                    self.stats.tuples_preprocessor_dropped += 1
+                    continue
+                items.append(
+                    FactTuple(self._next_sequence(), position, row, bits)
+                )
+            return items
+
+    def _handle_wraparound(self, position: int) -> list[QueryEnd]:
+        """Emit QueryEnd for queries whose scan wrapped to ``position``."""
+        registrations = self._starts.get(position)
+        if not registrations:
+            return []
+        ends: list[QueryEnd] = []
+        remaining: list[RegisteredQuery] = []
+        for registration in registrations:
+            if registration.awaiting_first_tuple:
+                registration.awaiting_first_tuple = False
+                remaining.append(registration)
+            else:
+                self._deactivate(registration.query_id)
+                ends.append(
+                    QueryEnd(self._next_sequence(), registration.query_id)
+                )
+                self.stats.control_tuples += 1
+        if remaining:
+            self._starts[position] = remaining
+        else:
+            del self._starts[position]
+        return ends
+
+    def _deactivate(self, query_id: int) -> None:
+        active = self._active.pop(query_id, None)
+        if active is None:
+            raise PipelineError(f"query {query_id} is not active")
+        self._unconditional_mask &= ~active.bit
+        self._conditional = [
+            entry for entry in self._conditional if entry is not active
+        ]
+
+    def _initial_bits(self, position: int, row: tuple) -> int:
+        bits = self._unconditional_mask
+        for active in self._conditional:
+            if active.snapshot is not None and not active.snapshot.can_see(
+                self.versioned_fact.version_at(position)
+            ):
+                continue
+            if active.fact_matcher is not None and not active.fact_matcher(row):
+                continue
+            bits |= active.bit
+        return bits
+
+    def _next_sequence(self) -> int:
+        self._sequence += 1
+        return self._sequence

@@ -1,0 +1,173 @@
+"""Query identifiers, registrations, and user-facing handles.
+
+The paper assigns each in-flight query a unique positive integer id,
+reused after the query finishes, with ``maxId(Q)`` bounded by a system
+parameter ``maxConc`` (section 3, Notation).  :class:`QueryIdAllocator`
+implements exactly that policy: the *first unused* id in
+``[1, maxConc]`` is handed out, so ids stay dense and bit-vectors stay
+short.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING
+
+from repro.errors import AdmissionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.query.star import StarQuery
+
+#: Default bound on concurrently registered queries.
+DEFAULT_MAX_CONCURRENT = 256
+
+
+class QueryIdAllocator:
+    """Allocates the first unused query id in ``[1, maxConc]``."""
+
+    def __init__(self, max_concurrent: int = DEFAULT_MAX_CONCURRENT) -> None:
+        if max_concurrent < 1:
+            raise AdmissionError(
+                f"maxConc must be >= 1, got {max_concurrent}"
+            )
+        self.max_concurrent = max_concurrent
+        self._in_use: set[int] = set()
+
+    def allocate(self) -> int:
+        """Return the smallest free id.
+
+        Raises:
+            AdmissionError: when ``maxConc`` queries are already active.
+        """
+        for candidate in range(1, self.max_concurrent + 1):
+            if candidate not in self._in_use:
+                self._in_use.add(candidate)
+                return candidate
+        raise AdmissionError(
+            f"operator is at its concurrency limit ({self.max_concurrent})"
+        )
+
+    def release(self, query_id: int) -> None:
+        """Return ``query_id`` to the pool.
+
+        Raises:
+            AdmissionError: if the id is not currently allocated.
+        """
+        if query_id not in self._in_use:
+            raise AdmissionError(f"query id {query_id} is not allocated")
+        self._in_use.remove(query_id)
+
+    @property
+    def active_count(self) -> int:
+        """Number of ids currently allocated."""
+        return len(self._in_use)
+
+    @property
+    def max_id(self) -> int:
+        """The paper's ``maxId(Q)``: the largest allocated id (0 if none)."""
+        return max(self._in_use, default=0)
+
+
+class RegisteredQuery:
+    """Pipeline-internal registration state for one query."""
+
+    def __init__(self, query_id: int, query: "StarQuery", handle: "QueryHandle") -> None:
+        self.query_id = query_id
+        self.query = query
+        self.handle = handle
+        #: scan position of the query's first fact tuple
+        self.start_position: int | None = None
+        #: True until the query's starting tuple has been emitted once;
+        #: the next arrival at start_position is then the wrap-around.
+        self.awaiting_first_tuple = True
+        #: fact tuples emitted to this query so far (progress metric)
+        self.tuples_streamed = 0
+
+    def __repr__(self) -> str:
+        return f"RegisteredQuery(id={self.query_id}, label={self.query.label!r})"
+
+
+class QueryHandle:
+    """The caller's view of a submitted query.
+
+    Exposes completion state, canonical results, and the progress /
+    estimated-completion feedback the paper highlights as a side
+    benefit of the continuous scan (section 3.2.3).
+    """
+
+    def __init__(self, query: "StarQuery") -> None:
+        self.query = query
+        self._done = threading.Event()
+        self._results: list[tuple] | None = None
+        self.submitted_at = time.perf_counter()
+        self.completed_at: float | None = None
+        #: filled by the operator: scan cycle fraction remaining, etc.
+        self.registration: RegisteredQuery | None = None
+        self._progress_total: int | None = None
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """True once results are available."""
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until done (threaded executors); returns done-ness."""
+        return self._done.wait(timeout)
+
+    def complete(self, results: list[tuple]) -> None:
+        """Fulfill the handle (called by the Distributor)."""
+        self._results = results
+        self.completed_at = time.perf_counter()
+        self._done.set()
+
+    def results(self) -> list[tuple]:
+        """Canonical result rows.
+
+        Raises:
+            AdmissionError: if the query has not completed yet.
+        """
+        if not self.done:
+            raise AdmissionError("query has not completed yet")
+        return list(self._results)
+
+    @property
+    def response_time(self) -> float:
+        """Wall-clock seconds from submission to completion.
+
+        Raises:
+            AdmissionError: if the query has not completed yet.
+        """
+        if self.completed_at is None:
+            raise AdmissionError("query has not completed yet")
+        return self.completed_at - self.submitted_at
+
+    # ------------------------------------------------------------------
+    # Progress feedback (section 3.2.3)
+    # ------------------------------------------------------------------
+    def set_progress_total(self, total_tuples: int) -> None:
+        """Record the scan length at admission (progress denominator)."""
+        self._progress_total = max(total_tuples, 1)
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the continuous scan completed for this query."""
+        if self.done:
+            return 1.0
+        if self.registration is None or self._progress_total is None:
+            return 0.0
+        return min(self.registration.tuples_streamed / self._progress_total, 1.0)
+
+    def estimated_seconds_remaining(self, tuples_per_second: float) -> float:
+        """Estimated completion time from the pipeline's current rate."""
+        if self.done:
+            return 0.0
+        if self._progress_total is None or tuples_per_second <= 0:
+            return float("inf")
+        remaining = self._progress_total - (
+            self.registration.tuples_streamed if self.registration else 0
+        )
+        return max(remaining, 0) / tuples_per_second

@@ -1,0 +1,73 @@
+"""Run-time statistics for the CJOIN pipeline.
+
+Two consumers:
+
+* the Pipeline Manager's on-line optimizer, which orders Filters by
+  their *observed* drop rates (section 3.4);
+* tests and micro-benchmarks, which assert structural properties —
+  e.g. at most K probes per fact tuple regardless of the number of
+  concurrent queries (section 3.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FilterStats:
+    """Counters for one Filter, reset on each re-optimization window."""
+
+    tuples_in: int = 0
+    tuples_dropped: int = 0
+    probes: int = 0
+    probe_skips: int = 0
+
+    @property
+    def pass_rate(self) -> float:
+        """Fraction of input tuples that survived (1.0 when idle)."""
+        if self.tuples_in == 0:
+            return 1.0
+        return 1.0 - (self.tuples_dropped / self.tuples_in)
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of input tuples dropped."""
+        if self.tuples_in == 0:
+            return 0.0
+        return self.tuples_dropped / self.tuples_in
+
+    def reset(self) -> None:
+        """Zero all counters (start of a new observation window)."""
+        self.tuples_in = 0
+        self.tuples_dropped = 0
+        self.probes = 0
+        self.probe_skips = 0
+
+
+@dataclass
+class PipelineStats:
+    """Whole-pipeline counters since operator construction."""
+
+    tuples_scanned: int = 0
+    tuples_preprocessor_dropped: int = 0
+    tuples_distributed: int = 0
+    control_tuples: int = 0
+    probes_total: int = 0
+    probe_skips_total: int = 0
+    queries_admitted: int = 0
+    queries_completed: int = 0
+    reoptimizations: int = 0
+    filter_orders: list[tuple[str, ...]] = field(default_factory=list)
+
+    def record_order(self, order: tuple[str, ...]) -> None:
+        """Log a (re)ordering of the filter sequence."""
+        if not self.filter_orders or self.filter_orders[-1] != order:
+            self.filter_orders.append(order)
+
+    @property
+    def probes_per_tuple(self) -> float:
+        """Average dimension probes per scanned fact tuple."""
+        if self.tuples_scanned == 0:
+            return 0.0
+        return self.probes_total / self.tuples_scanned

@@ -1,0 +1,87 @@
+"""Tuples flowing through the CJOIN pipeline.
+
+Three kinds of items travel from the Preprocessor to the Distributor:
+
+* :class:`FactTuple` — a fact row tagged with its relevance bit-vector
+  ``b_tau`` and (as an optimization from section 3.2.2) pointers to the
+  dimension rows it joined with, so aggregation operators never
+  re-probe;
+* :class:`QueryStart` — the "query start" control tuple emitted right
+  after admission (section 3.3.1); it precedes every fact tuple the
+  new query may produce results from;
+* :class:`QueryEnd` — the "end of query" control tuple emitted when
+  the continuous scan wraps around the query's starting position
+  (section 3.3.2); it precedes the re-scan of the starting tuple.
+
+Every item carries a monotonically increasing ``sequence`` assigned by
+the Preprocessor.  Parallel executors may process data tuples out of
+order, but the Distributor re-serializes by sequence, which enforces
+the paper's correctness property that control tuples are never
+reordered relative to data tuples (section 3.3.3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cjoin.registry import RegisteredQuery
+
+
+class FactTuple:
+    """A fact row in flight, tagged with its relevance bit-vector."""
+
+    __slots__ = ("sequence", "position", "row", "bitvector", "dim_rows")
+
+    def __init__(
+        self, sequence: int, position: int, row: tuple, bitvector: int
+    ) -> None:
+        self.sequence = sequence
+        self.position = position
+        self.row = row
+        self.bitvector = bitvector
+        #: dimension name -> joined dimension row; allocated lazily by
+        #: the first Filter that attaches a pointer (most tuples die
+        #: before any attachment, so the common path skips the dict)
+        self.dim_rows: dict[str, tuple] | None = None
+
+    def __repr__(self) -> str:
+        return (
+            f"FactTuple(seq={self.sequence}, pos={self.position}, "
+            f"bits={bin(self.bitvector)})"
+        )
+
+
+class ControlTuple:
+    """Base class for pipeline control items (never filtered)."""
+
+    __slots__ = ("sequence",)
+
+    def __init__(self, sequence: int) -> None:
+        self.sequence = sequence
+
+
+class QueryStart(ControlTuple):
+    """Signals the Distributor to set up output operators for a query."""
+
+    __slots__ = ("registration",)
+
+    def __init__(self, sequence: int, registration: "RegisteredQuery") -> None:
+        super().__init__(sequence)
+        self.registration = registration
+
+    def __repr__(self) -> str:
+        return f"QueryStart(seq={self.sequence}, qid={self.registration.query_id})"
+
+
+class QueryEnd(ControlTuple):
+    """Signals the Distributor to finalize a query and emit its results."""
+
+    __slots__ = ("query_id",)
+
+    def __init__(self, sequence: int, query_id: int) -> None:
+        super().__init__(sequence)
+        self.query_id = query_id
+
+    def __repr__(self) -> str:
+        return f"QueryEnd(seq={self.sequence}, qid={self.query_id})"

@@ -1,0 +1,12 @@
+"""Warehouse facade: the system architecture of paper section 2.1.
+
+Concurrent star queries are diverted to the specialized CJOIN
+processor; anything else (or anything explicitly requested) runs on
+conventional query-at-a-time infrastructure.  Updates flow through
+snapshot isolation (section 3.5).
+"""
+
+from repro.engine.router import QueryRouter, RoutingDecision
+from repro.engine.warehouse import Warehouse
+
+__all__ = ["QueryRouter", "RoutingDecision", "Warehouse"]

@@ -1,0 +1,62 @@
+"""Routing star queries to CJOIN and everything else to the baseline.
+
+The paper's architecture (section 2.1): CJOIN is "yet one more choice
+for the database query optimizer".  The router implements that choice
+with a simple, explainable policy; callers can always force a path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.catalog.schema import StarSchema
+from repro.errors import QueryError
+from repro.query.star import StarQuery
+
+
+class RoutingDecision(enum.Enum):
+    """Which engine executes a query."""
+
+    CJOIN = "cjoin"
+    BASELINE = "baseline"
+
+
+@dataclass(frozen=True)
+class QueryRouter:
+    """Decides the execution engine for each submitted query.
+
+    Policy: a valid star query on the registered star goes to CJOIN
+    unless the caller forces the baseline.  Queries CJOIN cannot host
+    (wrong fact table, schema mismatch) go to the baseline when they
+    are still valid there; otherwise the error propagates.
+    """
+
+    star: StarSchema
+
+    def route(
+        self, query: StarQuery, force: RoutingDecision | None = None
+    ) -> RoutingDecision:
+        """Return the engine for ``query``.
+
+        Raises:
+            QueryError: if the query is invalid for every engine.
+        """
+        query.validate(self.star)  # both engines share the schema check
+        if force is not None:
+            return force
+        return RoutingDecision.CJOIN
+
+    def explain(self, query: StarQuery) -> str:
+        """Human-readable routing explanation (for ops tooling)."""
+        try:
+            decision = self.route(query)
+        except QueryError as exc:
+            return f"rejected: {exc}"
+        if decision is RoutingDecision.CJOIN:
+            return (
+                "cjoin: star query on fact table "
+                f"{query.fact_table!r}; joins shared work with "
+                "all in-flight star queries"
+            )
+        return "baseline: conventional hash-join plan"

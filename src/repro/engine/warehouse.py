@@ -1,0 +1,252 @@
+"""The Warehouse facade: load data, submit queries (SQL or objects),
+
+mix in updates under snapshot isolation, and run everything.
+
+Typical use::
+
+    warehouse = Warehouse.from_ssb(scale_factor=0.001)
+    handle = warehouse.submit_sql(
+        "SELECT d_year, SUM(lo_revenue) AS revenue "
+        "FROM lineorder, date "
+        "WHERE lo_orderdate = d_datekey AND d_year >= 1992 "
+        "GROUP BY d_year"
+    )
+    warehouse.run()
+    for row in handle.results():
+        print(row)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.baseline.engine import EngineProfile, QueryAtATimeEngine
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import StarSchema
+from repro.cjoin.operator import CJoinOperator
+from repro.cjoin.registry import QueryHandle
+from repro.engine.router import QueryRouter, RoutingDecision
+from repro.errors import QueryError
+from repro.query.star import StarQuery
+from repro.storage.buffer import BufferPool
+from repro.storage.iostats import IOStats
+from repro.storage.mvcc import TransactionManager, VersionedTable
+
+#: Default buffer pool size for a warehouse instance.
+DEFAULT_POOL_PAGES = 2048
+
+
+class Warehouse:
+    """One star-schema warehouse with a CJOIN path and a baseline path."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        star: StarSchema,
+        buffer_pool_pages: int = DEFAULT_POOL_PAGES,
+        max_concurrent: int = 256,
+        enable_updates: bool = False,
+    ) -> None:
+        self.catalog = catalog
+        self.star = star
+        self.io_stats = IOStats()
+        self.buffer_pool = BufferPool(buffer_pool_pages, self.io_stats)
+        self.router = QueryRouter(star)
+        self.transactions: TransactionManager | None = None
+        self.versioned_fact: VersionedTable | None = None
+        if enable_updates:
+            self.transactions = TransactionManager()
+            self.versioned_fact = VersionedTable(catalog.table(star.fact.name))
+        self.cjoin = CJoinOperator(
+            catalog,
+            star,
+            buffer_pool=self.buffer_pool,
+            max_concurrent=max_concurrent,
+            versioned_fact=self.versioned_fact,
+        )
+        self.baseline = QueryAtATimeEngine(
+            catalog,
+            star,
+            self.buffer_pool,
+            EngineProfile.system_x(),
+            versioned_fact=self.versioned_fact,
+        )
+        self._pending_baseline: list[tuple[StarQuery, QueryHandle]] = []
+        #: star queries waiting for a CJOIN slot (admission overflow)
+        self._overflow_cjoin: list[tuple[StarQuery, QueryHandle]] = []
+
+    @classmethod
+    def from_ssb(
+        cls,
+        scale_factor: float = 0.001,
+        seed: int = 42,
+        **kwargs,
+    ) -> "Warehouse":
+        """Create a warehouse loaded with an SSB instance."""
+        from repro.ssb.generator import load_ssb
+
+        catalog, star = load_ssb(scale_factor, seed)
+        return cls(catalog, star, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Query submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: StarQuery,
+        force: RoutingDecision | None = None,
+    ) -> QueryHandle:
+        """Submit a star query; returns a handle for its results.
+
+        When the CJOIN operator is at its concurrency limit
+        (``maxConc``), the query is queued and admitted as slots free
+        up during :meth:`run` — callers see one uniform handle API.
+        """
+        from repro.errors import AdmissionError
+
+        query = self._stamp_snapshot(query)
+        decision = self.router.route(query, force)
+        if decision is RoutingDecision.CJOIN:
+            try:
+                return self.cjoin.submit(query)
+            except AdmissionError:
+                handle = QueryHandle(query)
+                self._overflow_cjoin.append((query, handle))
+                return handle
+        handle = QueryHandle(query)
+        self._pending_baseline.append((query, handle))
+        return handle
+
+    def submit_sql(
+        self, sql: str, force: RoutingDecision | None = None
+    ) -> QueryHandle:
+        """Parse and submit a star query written in SQL."""
+        from repro.sql.parser import parse_star_query
+
+        return self.submit(parse_star_query(sql, self.star), force)
+
+    def execute_sql(self, sql: str) -> list[tuple]:
+        """Convenience: parse, submit, run, return rows."""
+        handle = self.submit_sql(sql)
+        self.run()
+        return handle.results()
+
+    def explain_sql(self, sql: str) -> str:
+        """EXPLAIN-style report: routing, per-dimension selectivities,
+
+        and the work-sharing the query would get right now.
+        """
+        from repro.query.predicate import estimate_selectivity
+        from repro.sql.parser import parse_star_query
+
+        query = parse_star_query(sql, self.star)
+        lines = [f"star query on {query.fact_table!r}"]
+        lines.append(f"routing: {self.router.explain(query)}")
+        for name in query.referenced_dimensions():
+            dimension = self.catalog.table(name)
+            fraction = estimate_selectivity(
+                query.predicate_on(name),
+                dimension.all_rows(),
+                dimension.schema,
+            )
+            lines.append(
+                f"dimension {name}: selects {fraction:.1%} of "
+                f"{dimension.row_count} rows"
+            )
+        if query.fact_predicate is not None:
+            lines.append("fact predicate evaluated in the Preprocessor")
+        in_flight = self.cjoin.active_query_count
+        if in_flight:
+            lines.append(
+                f"would share the continuous scan with {in_flight} "
+                f"in-flight quer{'y' if in_flight == 1 else 'ies'} "
+                f"(filter order {self.cjoin.filter_order()})"
+            )
+        else:
+            lines.append("pipeline idle: this query would start a new scan cycle")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _forward_handle(live: QueryHandle, placeholder: QueryHandle) -> None:
+        """Complete an overflow placeholder when its live query finishes.
+
+        The live handle completes synchronously inside run() (the
+        synchronous executor drains fully), so forwarding is a copy.
+        """
+        if live.done:
+            placeholder.complete(live.results())
+            return
+        # threaded operators complete in the background; chain lazily
+        original_complete = live.complete
+
+        def complete_and_forward(results):
+            original_complete(results)
+            placeholder.complete(results)
+
+        live.complete = complete_and_forward  # type: ignore[method-assign]
+
+    def _stamp_snapshot(self, query: StarQuery) -> StarQuery:
+        """Tag the query with the current snapshot when updates are on."""
+        if self.transactions is None or query.snapshot_id is not None:
+            return query
+        return dataclasses.replace(
+            query, snapshot_id=self.transactions.current_snapshot().snapshot_id
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, max_in_flight_baseline: int | None = None) -> None:
+        """Run all submitted queries to completion."""
+        while self.cjoin.active_query_count > 0 or self._overflow_cjoin:
+            if self.cjoin.active_query_count > 0:
+                self.cjoin.run_until_drained()
+            self.cjoin.manager.process_finished()  # free slots
+            while self._overflow_cjoin:
+                query, placeholder = self._overflow_cjoin[0]
+                from repro.errors import AdmissionError
+
+                try:
+                    live = self.cjoin.submit(query)
+                except AdmissionError:
+                    break  # still full; drain another round first
+                self._overflow_cjoin.pop(0)
+                self._forward_handle(live, placeholder)
+        if self._pending_baseline:
+            queries = [query for query, _ in self._pending_baseline]
+            handles = [handle for _, handle in self._pending_baseline]
+            self._pending_baseline = []
+            results = self.baseline.execute_concurrent(
+                queries, max_in_flight_baseline
+            )
+            for handle, rows in zip(handles, results):
+                handle.complete(rows)
+
+    # ------------------------------------------------------------------
+    # Updates (snapshot isolation, section 3.5)
+    # ------------------------------------------------------------------
+    def apply_update(
+        self,
+        inserts: list[tuple] | None = None,
+        deletes: list[int] | None = None,
+    ) -> int:
+        """Commit a fact-table write set; returns the new snapshot id.
+
+        Raises:
+            QueryError: when the warehouse was built without updates.
+        """
+        if self.transactions is None or self.versioned_fact is None:
+            raise QueryError(
+                "warehouse was created with enable_updates=False"
+            )
+        snapshot = self.transactions.commit(
+            self.versioned_fact, inserts=inserts, deletes=deletes
+        )
+        return snapshot.snapshot_id
+
+    @property
+    def current_snapshot_id(self) -> int:
+        """The latest committed snapshot id (0 when updates disabled)."""
+        if self.transactions is None:
+            return 0
+        return self.transactions.current_snapshot().snapshot_id

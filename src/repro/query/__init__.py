@@ -1,0 +1,39 @@
+"""Query model: predicates, aggregates, star queries, workloads."""
+
+from repro.query.aggregates import AggregateSpec, make_accumulator
+from repro.query.predicate import (
+    And,
+    Between,
+    Comparison,
+    InList,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    estimate_selectivity,
+    implied_interval,
+)
+from repro.query.star import ColumnRef, StarQuery
+from repro.query.reference import evaluate_star_query
+from repro.query.workload import QueryTemplate, RangeParameter, WorkloadGenerator
+
+__all__ = [
+    "AggregateSpec",
+    "And",
+    "Between",
+    "ColumnRef",
+    "Comparison",
+    "InList",
+    "Not",
+    "Or",
+    "Predicate",
+    "QueryTemplate",
+    "RangeParameter",
+    "StarQuery",
+    "TruePredicate",
+    "WorkloadGenerator",
+    "estimate_selectivity",
+    "evaluate_star_query",
+    "implied_interval",
+    "make_accumulator",
+]

@@ -1,0 +1,308 @@
+"""Selection predicates.
+
+The paper allows an arbitrarily complex selection predicate ``c_j`` on
+each referenced dimension table (section 2.1) — the only requirement
+is that it references a single tuple variable.  We model predicates as
+small expression trees over one table's columns, with:
+
+* :meth:`Predicate.bind` — compile against a schema into a fast
+  row -> bool closure (the hot path for dimension filter queries and
+  the Preprocessor's fact predicates);
+* :func:`estimate_selectivity` — exact match fraction over a stored
+  table (dimensions are small, so exact is affordable; used by the
+  adaptive filter-ordering optimizer);
+* :func:`implied_interval` — best-effort interval implied on a column
+  (used for partition pruning, section 5).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.catalog.schema import TableSchema
+from repro.errors import QueryError
+
+RowMatcher = Callable[[tuple], bool]
+
+#: Comparison operators supported by :class:`Comparison`.
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class Predicate:
+    """Base class for predicate expression nodes."""
+
+    def bind(self, schema: TableSchema) -> RowMatcher:
+        """Compile into a row -> bool closure for ``schema``."""
+        raise NotImplementedError
+
+    def referenced_columns(self) -> set[str]:
+        """Column names this predicate reads."""
+        raise NotImplementedError
+
+    def matches(self, row: tuple, schema: TableSchema) -> bool:
+        """Convenience one-shot evaluation (tests; hot paths use bind)."""
+        return self.bind(schema)(row)
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """The implicit TRUE predicate (paper: ``c_j ≡ TRUE``)."""
+
+    def bind(self, schema: TableSchema) -> RowMatcher:
+        return lambda row: True
+
+    def referenced_columns(self) -> set[str]:
+        return set()
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``column <op> literal`` for op in =, !=, <, <=, >, >=.
+
+    SQL three-valued logic is collapsed to two values: comparisons
+    against NULL are false.
+    """
+
+    column: str
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise QueryError(f"unknown comparison operator {self.op!r}")
+
+    def bind(self, schema: TableSchema) -> RowMatcher:
+        index = schema.column_index(self.column)
+        value = self.value
+        op = self.op
+        if op == "=":
+            return lambda row: row[index] is not None and row[index] == value
+        if op == "!=":
+            return lambda row: row[index] is not None and row[index] != value
+        if op == "<":
+            return lambda row: row[index] is not None and row[index] < value
+        if op == "<=":
+            return lambda row: row[index] is not None and row[index] <= value
+        if op == ">":
+            return lambda row: row[index] is not None and row[index] > value
+        return lambda row: row[index] is not None and row[index] >= value
+
+    def referenced_columns(self) -> set[str]:
+        return {self.column}
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """``low <= column <= high`` (both bounds inclusive)."""
+
+    column: str
+    low: object
+    high: object
+
+    def bind(self, schema: TableSchema) -> RowMatcher:
+        index = schema.column_index(self.column)
+        low, high = self.low, self.high
+        return lambda row: row[index] is not None and low <= row[index] <= high
+
+    def referenced_columns(self) -> set[str]:
+        return {self.column}
+
+
+@dataclass(frozen=True)
+class InList(Predicate):
+    """``column IN (values)``."""
+
+    column: str
+    values: frozenset
+
+    def __init__(self, column: str, values) -> None:
+        object.__setattr__(self, "column", column)
+        object.__setattr__(self, "values", frozenset(values))
+
+    def bind(self, schema: TableSchema) -> RowMatcher:
+        index = schema.column_index(self.column)
+        values = self.values
+        return lambda row: row[index] in values
+
+    def referenced_columns(self) -> set[str]:
+        return {self.column}
+
+
+class _Composite(Predicate):
+    """Shared machinery for AND/OR nodes."""
+
+    def __init__(self, *children: Predicate) -> None:
+        if not children:
+            raise QueryError(
+                f"{type(self).__name__} requires at least one child predicate"
+            )
+        self.children = tuple(children)
+
+    def referenced_columns(self) -> set[str]:
+        columns: set[str] = set()
+        for child in self.children:
+            columns |= child.referenced_columns()
+        return columns
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.children == other.children
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.children))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(child) for child in self.children)
+        return f"{type(self).__name__}({inner})"
+
+
+class And(_Composite):
+    """Conjunction of child predicates."""
+
+    def bind(self, schema: TableSchema) -> RowMatcher:
+        matchers = [child.bind(schema) for child in self.children]
+        if len(matchers) == 1:
+            return matchers[0]
+        return lambda row: all(matcher(row) for matcher in matchers)
+
+
+class Or(_Composite):
+    """Disjunction of child predicates."""
+
+    def bind(self, schema: TableSchema) -> RowMatcher:
+        matchers = [child.bind(schema) for child in self.children]
+        if len(matchers) == 1:
+            return matchers[0]
+        return lambda row: any(matcher(row) for matcher in matchers)
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a child predicate."""
+
+    child: Predicate
+
+    def bind(self, schema: TableSchema) -> RowMatcher:
+        matcher = self.child.bind(schema)
+        return lambda row: not matcher(row)
+
+    def referenced_columns(self) -> set[str]:
+        return self.child.referenced_columns()
+
+
+def estimate_selectivity(predicate: Predicate, rows: list[tuple], schema: TableSchema) -> float:
+    """Exact fraction of ``rows`` matching ``predicate`` (1.0 when empty).
+
+    Dimension tables are small relative to the fact table (section
+    2.1), so an exact pass is how the library gathers optimizer
+    statistics.
+    """
+    if not rows:
+        return 1.0
+    matcher = predicate.bind(schema)
+    matched = sum(1 for row in rows if matcher(row))
+    return matched / len(rows)
+
+
+#: (low, high, low_inclusive, high_inclusive); None bounds are unbounded.
+Interval = tuple[Optional[object], Optional[object], bool, bool]
+
+_UNBOUNDED: Interval = (None, None, True, True)
+
+
+def implied_interval(predicate: Predicate, column: str) -> Interval:
+    """Return an interval that ``predicate`` implies for ``column``.
+
+    Conservative: the returned interval always *contains* every value
+    the predicate can accept (so pruning with it is safe), but may be
+    wider than tight.  Unanalyzable shapes return unbounded.
+    """
+    if isinstance(predicate, Comparison) and predicate.column == column:
+        value = predicate.value
+        if predicate.op == "=":
+            return (value, value, True, True)
+        if predicate.op == "<":
+            return (None, value, True, False)
+        if predicate.op == "<=":
+            return (None, value, True, True)
+        if predicate.op == ">":
+            return (value, None, False, True)
+        if predicate.op == ">=":
+            return (value, None, True, True)
+        return _UNBOUNDED  # != prunes nothing
+    if isinstance(predicate, Between) and predicate.column == column:
+        return (predicate.low, predicate.high, True, True)
+    if isinstance(predicate, InList) and predicate.column == column:
+        if not predicate.values:
+            return _UNBOUNDED
+        values = sorted(predicate.values)
+        return (values[0], values[-1], True, True)
+    if isinstance(predicate, And):
+        interval = _UNBOUNDED
+        for child in predicate.children:
+            interval = _intersect(interval, implied_interval(child, column))
+        return interval
+    if isinstance(predicate, Or):
+        hull = None
+        for child in predicate.children:
+            child_interval = implied_interval(child, column)
+            hull = child_interval if hull is None else _hull(hull, child_interval)
+        return hull if hull is not None else _UNBOUNDED
+    return _UNBOUNDED
+
+
+def _intersect(a: Interval, b: Interval) -> Interval:
+    low, low_inc = _tighter_low(a[0], a[2], b[0], b[2])
+    high, high_inc = _tighter_high(a[1], a[3], b[1], b[3])
+    return (low, high, low_inc, high_inc)
+
+
+def _hull(a: Interval, b: Interval) -> Interval:
+    low, low_inc = _looser_low(a[0], a[2], b[0], b[2])
+    high, high_inc = _looser_high(a[1], a[3], b[1], b[3])
+    return (low, high, low_inc, high_inc)
+
+
+def _tighter_low(low_a, inc_a, low_b, inc_b):
+    if low_a is None:
+        return low_b, inc_b
+    if low_b is None:
+        return low_a, inc_a
+    if low_a > low_b:
+        return low_a, inc_a
+    if low_b > low_a:
+        return low_b, inc_b
+    return low_a, inc_a and inc_b
+
+
+def _tighter_high(high_a, inc_a, high_b, inc_b):
+    if high_a is None:
+        return high_b, inc_b
+    if high_b is None:
+        return high_a, inc_a
+    if high_a < high_b:
+        return high_a, inc_a
+    if high_b < high_a:
+        return high_b, inc_b
+    return high_a, inc_a and inc_b
+
+
+def _looser_low(low_a, inc_a, low_b, inc_b):
+    if low_a is None or low_b is None:
+        return None, True
+    if low_a < low_b:
+        return low_a, inc_a
+    if low_b < low_a:
+        return low_b, inc_b
+    return low_a, inc_a or inc_b
+
+
+def _looser_high(high_a, inc_a, high_b, inc_b):
+    if high_a is None or high_b is None:
+        return None, True
+    if high_a > high_b:
+        return high_a, inc_a
+    if high_b > high_a:
+        return high_b, inc_b
+    return high_a, inc_a or inc_b

@@ -1,0 +1,203 @@
+"""Star queries (the paper's section 2.1 template).
+
+::
+
+    SELECT A, Aggr_1, ..., Aggr_k
+    FROM   F, D_d1, ..., D_dn
+    WHERE  AND_j  F |><| D_dj          -- key/foreign-key equi-joins
+       AND AND_j  sigma_cj(D_dj)      -- per-dimension selections
+       AND sigma_c0(F)                -- optional fact selection
+    GROUP BY B
+
+A :class:`StarQuery` captures exactly this shape: one fact table, a
+predicate per referenced dimension (``TruePredicate`` when a
+dimension is joined but unfiltered), an optional fact predicate,
+group-by columns ``B``, selected columns ``A`` and aggregates.
+
+The degenerate cases the paper allows are supported: ``B`` may be
+empty (one global group) and ``k`` may be zero (the query lists the
+projected join rows instead of aggregating).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import StarSchema
+from repro.errors import QueryError
+from repro.query.aggregates import AggregateSpec
+from repro.query.predicate import Predicate, TruePredicate
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A table-qualified column reference."""
+
+    table: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+@dataclass(frozen=True)
+class StarQuery:
+    """One star query, normalized and schema-validated on demand.
+
+    Attributes:
+        fact_table: name of the central fact table.
+        dimension_predicates: predicate per *referenced* dimension; the
+            paper's ``c_ij``, with ``TruePredicate`` for join-only
+            references.
+        fact_predicate: the paper's ``c_i0``; None when absent.
+        group_by: the ``B`` attribute set (ordered).
+        select: the ``A`` attribute set (ordered); must be a subset of
+            semantics-preserving outputs, i.e. grouped columns when
+            aggregating.
+        aggregates: the ``Aggr_1..k`` list.
+        snapshot_id: snapshot this query reads (None = latest).
+        label: optional human-readable tag (e.g. SSB template name).
+    """
+
+    fact_table: str
+    dimension_predicates: dict[str, Predicate] = field(default_factory=dict)
+    fact_predicate: Predicate | None = None
+    group_by: tuple[ColumnRef, ...] = ()
+    select: tuple[ColumnRef, ...] = ()
+    aggregates: tuple[AggregateSpec, ...] = ()
+    snapshot_id: int | None = None
+    label: str | None = None
+
+    @classmethod
+    def build(
+        cls,
+        fact_table: str,
+        dimension_predicates: dict[str, Predicate] | None = None,
+        fact_predicate: Predicate | None = None,
+        group_by: list[ColumnRef] | None = None,
+        select: list[ColumnRef] | None = None,
+        aggregates: list[AggregateSpec] | None = None,
+        snapshot_id: int | None = None,
+        label: str | None = None,
+    ) -> "StarQuery":
+        """Construct a normalized query.
+
+        Normalization adds a ``TruePredicate`` entry for every
+        dimension that appears in the output (group-by / select /
+        aggregate inputs) but carries no explicit predicate, so
+        ``dimension_predicates`` always equals the referenced-dimension
+        set.  When ``select`` is omitted it defaults to ``group_by``
+        (the common SELECT B, aggr... GROUP BY B shape).
+        """
+        predicates = dict(dimension_predicates or {})
+        group_by = list(group_by or [])
+        select = list(select if select is not None else group_by)
+        aggregates = list(aggregates or [])
+        for ref in [*group_by, *select]:
+            if ref.table != fact_table and ref.table not in predicates:
+                predicates[ref.table] = TruePredicate()
+        for spec in aggregates:
+            if (
+                spec.table is not None
+                and spec.table != fact_table
+                and spec.table not in predicates
+            ):
+                predicates[spec.table] = TruePredicate()
+        return cls(
+            fact_table=fact_table,
+            dimension_predicates=predicates,
+            fact_predicate=fact_predicate,
+            group_by=tuple(group_by),
+            select=tuple(select),
+            aggregates=tuple(aggregates),
+            snapshot_id=snapshot_id,
+            label=label,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def referenced_dimensions(self) -> list[str]:
+        """Names of the dimensions this query references, in order."""
+        return list(self.dimension_predicates)
+
+    def references(self, dimension_name: str) -> bool:
+        """True iff this query references ``dimension_name``."""
+        return dimension_name in self.dimension_predicates
+
+    def predicate_on(self, dimension_name: str) -> Predicate:
+        """The paper's ``c_ij``: the predicate on a dimension,
+
+        ``TruePredicate`` if the dimension is not referenced at all.
+        """
+        return self.dimension_predicates.get(dimension_name, TruePredicate())
+
+    def output_labels(self) -> list[str]:
+        """Column labels of result rows: select refs then aggregates."""
+        labels = [str(ref) for ref in self.select]
+        labels.extend(spec.label for spec in self.aggregates)
+        return labels
+
+    @property
+    def is_aggregation(self) -> bool:
+        """True when the query computes aggregates (k > 0)."""
+        return bool(self.aggregates)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, star: StarSchema) -> None:
+        """Check this query against a star schema.
+
+        Raises:
+            QueryError: on any mismatch (unknown tables/columns,
+                predicates escaping their tuple variable, ungrouped
+                select columns, ...).
+        """
+        if self.fact_table != star.fact.name:
+            raise QueryError(
+                f"query targets fact {self.fact_table!r} but star is on "
+                f"{star.fact.name!r}"
+            )
+        for dimension_name, predicate in self.dimension_predicates.items():
+            dimension = star.dimension(dimension_name)  # raises if unknown
+            for column in predicate.referenced_columns():
+                if not dimension.has_column(column):
+                    raise QueryError(
+                        f"predicate on {dimension_name!r} references unknown "
+                        f"column {column!r}"
+                    )
+        if self.fact_predicate is not None:
+            for column in self.fact_predicate.referenced_columns():
+                if not star.fact.has_column(column):
+                    raise QueryError(
+                        f"fact predicate references unknown column {column!r}"
+                    )
+        for ref in [*self.group_by, *self.select]:
+            self._validate_ref(ref, star)
+        for spec in self.aggregates:
+            if spec.is_count_star:
+                continue
+            self._validate_ref(ColumnRef(spec.table, spec.column), star)
+            if spec.column2 is not None:
+                self._validate_ref(ColumnRef(spec.table, spec.column2), star)
+        if self.is_aggregation:
+            grouped = set(self.group_by)
+            for ref in self.select:
+                if ref not in grouped:
+                    raise QueryError(
+                        f"selected column {ref} must appear in GROUP BY when "
+                        f"aggregating"
+                    )
+
+    def _validate_ref(self, ref: ColumnRef, star: StarSchema) -> None:
+        if ref.table == self.fact_table:
+            table = star.fact
+        elif ref.table in self.dimension_predicates:
+            table = star.dimension(ref.table)
+        else:
+            raise QueryError(
+                f"column {ref} references a table outside the query's FROM list"
+            )
+        if not table.has_column(ref.column):
+            raise QueryError(f"unknown column {ref}")

@@ -1,0 +1,123 @@
+"""Workload generation from parameterized query templates.
+
+Section 6.1.2 of the paper: each benchmark query becomes a *template*
+by replacing its range predicates with abstract ranges; a workload
+query is created by sampling a template and substituting concrete
+ranges whose selectivity is controlled by a parameter ``s``.
+
+This module holds the generic machinery; the concrete SSB templates
+live in :mod:`repro.ssb.queries`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.query.aggregates import AggregateSpec
+from repro.query.predicate import And, Between, Predicate
+from repro.query.star import ColumnRef, StarQuery
+
+
+@dataclass(frozen=True)
+class RangeParameter:
+    """An abstract range predicate on one dimension column.
+
+    Attributes:
+        dimension: dimension table carrying the predicate.
+        column: column the range applies to.
+        domain: the column's ordered distinct values; a concrete
+            predicate selects a contiguous window of this domain.
+    """
+
+    dimension: str
+    column: str
+    domain: tuple
+
+    def __post_init__(self) -> None:
+        if not self.domain:
+            raise QueryError(
+                f"range parameter on {self.dimension}.{self.column} has an "
+                f"empty domain"
+            )
+
+    def concrete_predicate(self, selectivity: float, rng: random.Random) -> Between:
+        """Instantiate a BETWEEN window covering ~``selectivity`` of the domain.
+
+        The window position is uniform over the feasible starts, so
+        repeated instantiation spreads queries across the domain (the
+        paper's ad-hoc mix).
+        """
+        if not 0.0 < selectivity <= 1.0:
+            raise QueryError(
+                f"selectivity must be in (0, 1], got {selectivity}"
+            )
+        width = max(1, round(selectivity * len(self.domain)))
+        start = rng.randrange(len(self.domain) - width + 1)
+        return Between(
+            self.column,
+            low=self.domain[start],
+            high=self.domain[start + width - 1],
+        )
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A star-query template with abstract range parameters."""
+
+    name: str
+    fact_table: str
+    range_parameters: tuple[RangeParameter, ...] = ()
+    fixed_dimension_predicates: dict[str, Predicate] = field(default_factory=dict)
+    group_by: tuple[ColumnRef, ...] = ()
+    select: tuple[ColumnRef, ...] | None = None
+    aggregates: tuple[AggregateSpec, ...] = ()
+
+    def instantiate(self, selectivity: float, rng: random.Random) -> StarQuery:
+        """Produce a concrete :class:`StarQuery` from this template."""
+        predicates: dict[str, Predicate] = dict(self.fixed_dimension_predicates)
+        for parameter in self.range_parameters:
+            concrete = parameter.concrete_predicate(selectivity, rng)
+            existing = predicates.get(parameter.dimension)
+            predicates[parameter.dimension] = (
+                concrete if existing is None else And(existing, concrete)
+            )
+        return StarQuery.build(
+            fact_table=self.fact_table,
+            dimension_predicates=predicates,
+            group_by=list(self.group_by),
+            select=list(self.select) if self.select is not None else None,
+            aggregates=list(self.aggregates),
+            label=self.name,
+        )
+
+
+class WorkloadGenerator:
+    """Samples templates uniformly and instantiates them.
+
+    A fixed ``seed`` makes workloads reproducible across engines, which
+    is what allows apples-to-apples comparisons in the experiments.
+    """
+
+    def __init__(self, templates: list[QueryTemplate], seed: int = 0) -> None:
+        if not templates:
+            raise QueryError("workload generator needs at least one template")
+        self.templates = list(templates)
+        self._rng = random.Random(seed)
+
+    def next_query(self, selectivity: float) -> StarQuery:
+        """Generate the next workload query."""
+        template = self._rng.choice(self.templates)
+        return template.instantiate(selectivity, self._rng)
+
+    def generate(self, count: int, selectivity: float) -> list[StarQuery]:
+        """Generate ``count`` queries."""
+        return [self.next_query(selectivity) for _ in range(count)]
+
+    def generate_from(self, template_name: str, selectivity: float) -> StarQuery:
+        """Instantiate a specific template by name (e.g. SSB 'Q4.2')."""
+        for template in self.templates:
+            if template.name == template_name:
+                return template.instantiate(selectivity, self._rng)
+        raise QueryError(f"no template named {template_name!r}")

@@ -1,0 +1,32 @@
+"""Virtual-time performance models of CJOIN and the comparison systems.
+
+Python (under the GIL) cannot reproduce the paper's wall-clock
+concurrency behaviour, so the evaluation substrate is a calibrated
+analytic/event model of the same pipeline logic (see DESIGN.md,
+sections 3-4).  The models share one set of hardware and cost
+constants (:mod:`repro.sim.hardware`, :mod:`repro.sim.costs`),
+calibrated against the paper's published tables; every figure harness
+in ``benchmarks/`` runs on top of them.
+
+Absolute seconds are *modeled*, not measured; the claims these models
+support are the qualitative ones the paper makes: who wins, by what
+rough factor, where the crossovers fall, and how response time scales
+with concurrency.
+"""
+
+from repro.sim.hardware import HardwareModel
+from repro.sim.costs import CostModel, WorkloadShape
+from repro.sim.cjoin_model import CJoinPerfModel, StageLayout
+from repro.sim.baseline_model import BaselinePerfModel, SystemProfile
+from repro.sim.concurrency import ClosedLoopSimulator
+
+__all__ = [
+    "BaselinePerfModel",
+    "CJoinPerfModel",
+    "ClosedLoopSimulator",
+    "CostModel",
+    "HardwareModel",
+    "StageLayout",
+    "SystemProfile",
+    "WorkloadShape",
+]

@@ -1,0 +1,119 @@
+"""Analytic performance model of the query-at-a-time comparators.
+
+Both comparison systems execute each star query with a private plan
+(one fact scan + a hash-join pipeline), so n concurrent queries mean
+n mutually-unaware scans.  The model has three terms:
+
+* **I/O contention**: interleaved scans turn sequential access into
+  seeks; the effective per-query scan time is the solo scan time times
+  a superlinear contention factor ``1 + gamma * (n-1)^delta``.
+  gamma/delta are calibrated per system from the paper's Figure 6
+  endpoints (System X degrades 19x from n=1 to 256, PostgreSQL 66x)
+  and reproduce the throughput peak near n=32 in Figure 5.
+* **CPU**: per-tuple join work; with more queries than cores, each
+  query's CPU share shrinks proportionally.
+* **Memory pressure**: per-query hash tables and scan buffers; when
+  aggregate demand exceeds RAM the system spills and thrashes (the
+  regime where the paper had to terminate PostgreSQL's s=10% run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BenchmarkError
+from repro.sim.costs import CostModel, WorkloadShape
+from repro.sim.hardware import HardwareModel
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """Calibrated constants for one comparison system."""
+
+    name: str
+    per_tuple_cpu_us: float
+    contention_gamma: float
+    contention_delta: float
+    #: response-time multiplier per unit of RAM overcommit
+    thrash_factor: float
+
+    @classmethod
+    def system_x(cls) -> "SystemProfile":
+        """The commercial row store ("System X")."""
+        return cls(
+            name="system_x",
+            per_tuple_cpu_us=0.11,
+            contention_gamma=0.0133,
+            contention_delta=1.3,
+            thrash_factor=1.0,
+        )
+
+    @classmethod
+    def postgresql(cls) -> "SystemProfile":
+        """PostgreSQL with shared scans enabled."""
+        return cls(
+            name="postgresql",
+            per_tuple_cpu_us=0.266,
+            contention_gamma=0.048,
+            contention_delta=1.3,
+            thrash_factor=4.0,
+        )
+
+
+@dataclass
+class BaselinePerfModel:
+    """Closed-form comparator performance at an operating point."""
+
+    profile: SystemProfile
+    hardware: HardwareModel = field(default_factory=HardwareModel)
+    costs: CostModel = field(default_factory=CostModel)
+    #: dimensions joined by the average workload query
+    join_count: int = 4
+
+    def contention(self, concurrency: int) -> float:
+        """I/O interference multiplier for n interleaved scans."""
+        if concurrency < 1:
+            raise BenchmarkError("concurrency must be >= 1")
+        return 1.0 + self.profile.contention_gamma * (
+            (concurrency - 1) ** self.profile.contention_delta
+        )
+
+    def memory_overcommit(
+        self, shape: WorkloadShape, concurrency: int, selectivity: float
+    ) -> float:
+        """Aggregate hash demand / RAM (values > 1 mean spilling)."""
+        per_query = self.costs.hash_table_bytes(shape, selectivity)
+        return per_query * concurrency / self.hardware.ram_bytes
+
+    def response_seconds(
+        self, shape: WorkloadShape, concurrency: int, selectivity: float
+    ) -> float:
+        """Per-query response time with n queries in flight."""
+        fact_bytes = self.costs.fact_bytes(shape)
+        io = self.hardware.scan_seconds(fact_bytes)
+        # seek interference only exists when scans actually hit disk;
+        # a RAM-resident data set (small sf) has no I/O contention
+        if fact_bytes <= self.hardware.ram_bytes:
+            io_part = io
+        else:
+            io_part = io * self.contention(concurrency)
+        cpu_per_query = (
+            shape.fact_rows
+            * self.join_count
+            * self.profile.per_tuple_cpu_us
+            * 1e-6
+        )
+        core_share = max(1.0, concurrency / self.hardware.cores)
+        cpu_part = cpu_per_query * core_share
+        response = io_part + cpu_part
+        overcommit = self.memory_overcommit(shape, concurrency, selectivity)
+        if overcommit > 1.0:
+            response *= 1.0 + self.profile.thrash_factor * (overcommit - 1.0)
+        return response
+
+    def throughput_qph(
+        self, shape: WorkloadShape, concurrency: int, selectivity: float
+    ) -> float:
+        """Steady-state queries/hour with n queries in closed loop."""
+        response = self.response_seconds(shape, concurrency, selectivity)
+        return 3600.0 * concurrency / response

@@ -1,0 +1,182 @@
+"""Analytic performance model of the CJOIN operator.
+
+The model executes the same logic as the real pipeline at the level of
+aggregate rates:
+
+* the continuous scan streams the fact table at the disk's sequential
+  bandwidth (it is never random — the single scan is the whole point);
+* every tuple pays the Preprocessor cost plus, per Filter, one probe
+  and one bit-vector AND; Filter work is spread over the stage
+  threads according to the configured layout (section 4);
+* a query's response time is one full scan cycle from its admission
+  point plus its submission overhead; queries in a closed loop of n
+  complete at rate n / cycle, capped by the serialized admission rate.
+
+All shapes the paper reports emerge from these three statements: the
+flat response-time curve (Figure 6), linear throughput scale-up until
+the bit-vector AND width makes the CPU the bottleneck (Figure 5), the
+selectivity knee when hash tables outgrow the cache (Figure 7), and
+the rising normalized throughput as submission overhead amortizes
+(Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BenchmarkError
+from repro.sim.costs import CostModel, WorkloadShape
+from repro.sim.hardware import HardwareModel
+
+
+@dataclass(frozen=True)
+class StageLayout:
+    """How Filters are boxed into Stages and threads (section 4)."""
+
+    mode: str  # 'horizontal', 'vertical', or 'hybrid'
+    total_threads: int
+    #: filters per stage for 'hybrid'; ignored otherwise
+    boxes: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("horizontal", "vertical", "hybrid"):
+            raise BenchmarkError(f"unknown stage mode {self.mode!r}")
+        if self.total_threads < 1:
+            raise BenchmarkError("need at least one stage thread")
+
+    @classmethod
+    def horizontal(cls, threads: int) -> "StageLayout":
+        """All filters in one stage served by ``threads`` threads."""
+        return cls("horizontal", threads)
+
+    @classmethod
+    def vertical(cls, threads: int, filter_count: int) -> "StageLayout":
+        """One stage per filter; extra threads go to the first stages."""
+        if threads < filter_count:
+            raise BenchmarkError(
+                f"vertical layout needs >= {filter_count} threads"
+            )
+        return cls("vertical", threads)
+
+    @classmethod
+    def hybrid(cls, threads: int, boxes: tuple[int, ...]) -> "StageLayout":
+        """Explicit boxing of filters into stages."""
+        return cls("hybrid", threads, boxes)
+
+
+@dataclass
+class CJoinPerfModel:
+    """Closed-form CJOIN performance at a given operating point."""
+
+    hardware: HardwareModel = field(default_factory=HardwareModel)
+    costs: CostModel = field(default_factory=CostModel)
+    #: filters in the pipeline (the SSB workload references 4 dims)
+    filter_count: int = 4
+
+    # ------------------------------------------------------------------
+    # Per-tuple CPU cost
+    # ------------------------------------------------------------------
+    def per_tuple_filter_us(
+        self, shape: WorkloadShape, concurrency: int, selectivity: float
+    ) -> float:
+        """Probe + AND cost of one filter application."""
+        return self.costs.probe_us(
+            shape, selectivity, self.hardware
+        ) + self.costs.and_us(concurrency)
+
+    # ------------------------------------------------------------------
+    # Scan cycle time
+    # ------------------------------------------------------------------
+    def cycle_seconds(
+        self,
+        shape: WorkloadShape,
+        concurrency: int,
+        selectivity: float,
+        layout: StageLayout | None = None,
+    ) -> float:
+        """One full continuous-scan cycle (the pipeline's clock)."""
+        if layout is None:
+            layout = StageLayout.horizontal(self.hardware.filter_threads_max)
+        io_seconds = self.hardware.scan_seconds(self.costs.fact_bytes(shape))
+        filter_us = self.per_tuple_filter_us(shape, concurrency, selectivity)
+        cpu_seconds = self._stage_seconds(shape, filter_us, layout)
+        preprocess_seconds = shape.fact_rows * self.costs.preprocess_us * 1e-6
+        # the Preprocessor has its own core; it caps rather than adds
+        return max(io_seconds, cpu_seconds, preprocess_seconds)
+
+    def _stage_seconds(
+        self, shape: WorkloadShape, filter_us: float, layout: StageLayout
+    ) -> float:
+        rows = shape.fact_rows
+        if layout.mode == "horizontal":
+            chain_us = self.filter_count * filter_us
+            return rows * chain_us * 1e-6 / layout.total_threads
+        if layout.mode == "vertical":
+            boxes = tuple(1 for _ in range(self.filter_count))
+        else:
+            boxes = layout.boxes
+            if sum(boxes) != self.filter_count:
+                raise BenchmarkError(
+                    f"hybrid boxes {boxes} do not cover {self.filter_count} "
+                    f"filters"
+                )
+        threads = self._spread_threads(layout.total_threads, len(boxes))
+        # each stage boundary costs a transfer per surviving tuple; the
+        # bottleneck stage sets the rate
+        worst = 0.0
+        for stage_filters, stage_threads in zip(boxes, threads):
+            stage_us = (
+                stage_filters * filter_us + self.costs.transfer_us
+            ) / stage_threads
+            worst = max(worst, stage_us)
+        return rows * worst * 1e-6
+
+    @staticmethod
+    def _spread_threads(total: int, stages: int) -> list[int]:
+        base = [1] * stages
+        extra = total - stages
+        if extra < 0:
+            raise BenchmarkError(
+                f"{total} threads cannot serve {stages} stages"
+            )
+        for index in range(extra):
+            base[index % stages] += 1
+        return base
+
+    # ------------------------------------------------------------------
+    # Query-level metrics
+    # ------------------------------------------------------------------
+    def submission_seconds(
+        self, shape: WorkloadShape, selectivity: float
+    ) -> float:
+        """Admission overhead for one query (Tables 1-3)."""
+        return self.costs.submission_seconds(shape, selectivity)
+
+    def response_seconds(
+        self,
+        shape: WorkloadShape,
+        concurrency: int,
+        selectivity: float,
+        layout: StageLayout | None = None,
+    ) -> float:
+        """Response time: submission plus one wrap of the scan."""
+        return self.submission_seconds(shape, selectivity) + self.cycle_seconds(
+            shape, concurrency, selectivity, layout
+        )
+
+    def throughput_qph(
+        self,
+        shape: WorkloadShape,
+        concurrency: int,
+        selectivity: float,
+        layout: StageLayout | None = None,
+    ) -> float:
+        """Steady-state queries/hour with n queries in closed loop.
+
+        Completions arrive at rate n/cycle; admissions serialize in the
+        Pipeline Manager, capping the rate at 1/T_sub.
+        """
+        cycle = self.cycle_seconds(shape, concurrency, selectivity, layout)
+        completion_rate = concurrency / cycle
+        admission_rate = 1.0 / self.submission_seconds(shape, selectivity)
+        return 3600.0 * min(completion_rate, admission_rate)

@@ -1,0 +1,116 @@
+"""Shared cost constants and workload shape derivation.
+
+Calibration: the admission-cost constants are fitted to the paper's
+Tables 2 and 3, which give CJOIN query submission time as a function
+of predicate selectivity s and scale factor sf:
+
+    T_sub(s, sf) = fixed + dims(sf) * eval + s * dims(sf) * insert
+
+Fitting the published points (sf=100: 1.6s @ s=0.1%, 2.4s @ s=1%,
+11.6s @ s=10%; sf=1: 0.4s; sf=10: 0.7s) yields fixed ~ 0.30s,
+eval ~ 0.257 us/row, insert ~ 18.8 us/row; the model then reproduces
+every published submission time within ~20%.
+
+The probe cache penalty is calibrated so the s-sweep of Table 2's
+response times holds: hash tables of ~9MB (s=1%) cost a mild penalty
+while ~95MB (s=10%) approach the full miss penalty.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import BenchmarkError
+from repro.sim.hardware import MB, HardwareModel
+from repro.ssb.generator import table_row_counts
+
+
+@dataclass(frozen=True)
+class WorkloadShape:
+    """Data-volume facts derived from a scale factor."""
+
+    scale_factor: float
+    fact_rows: int
+    dimension_rows: int
+
+    @classmethod
+    def from_scale_factor(cls, scale_factor: float) -> "WorkloadShape":
+        """Derive volumes from the SSB scaling rules."""
+        counts = table_row_counts(scale_factor)
+        dims = sum(
+            counts[name] for name in ("customer", "supplier", "part", "date")
+        )
+        return cls(
+            scale_factor=scale_factor,
+            fact_rows=counts["lineorder"],
+            dimension_rows=dims,
+        )
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation cost constants (microseconds unless noted)."""
+
+    fact_tuple_bytes: float = 157.0
+    dim_entry_bytes: float = 200.0
+    #: Preprocessor work per fact tuple (bit-vector init, queueing)
+    preprocess_us: float = 0.5
+    #: hash probe with a cache-resident table
+    probe_base_us: float = 0.4
+    #: additional probe cost as hash tables outgrow the L2 cache
+    probe_cache_penalty_us: float = 6.0
+    #: saturation scale (bytes) of the cache penalty
+    cache_scale_mb: float = 76.0
+    #: bitwise-AND cost per 64-bit bit-vector word per filter
+    and_word_us: float = 0.1
+    #: tuple hand-off cost per stage boundary (cache miss + sync)
+    transfer_us: float = 1.5
+    #: CJOIN admission: fixed part (stall, dimension query dispatch)
+    admit_fixed_s: float = 0.30
+    #: CJOIN admission: per dimension row scanned by sigma_cnj(Dj)
+    admit_eval_us: float = 0.257
+    #: CJOIN admission: per dimension row inserted into HD_j
+    admit_insert_us: float = 18.8
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def fact_bytes(self, shape: WorkloadShape) -> float:
+        """Fact table size in bytes."""
+        return shape.fact_rows * self.fact_tuple_bytes
+
+    def hash_table_bytes(self, shape: WorkloadShape, selectivity: float) -> float:
+        """Per-query dimension hash footprint (the probe working set)."""
+        return shape.dimension_rows * selectivity * self.dim_entry_bytes
+
+    def probe_us(
+        self,
+        shape: WorkloadShape,
+        selectivity: float,
+        hardware: HardwareModel,
+    ) -> float:
+        """Probe cost including the cache-residency penalty."""
+        working_set = self.hash_table_bytes(shape, selectivity)
+        saturation = 1.0 - math.exp(-working_set / (self.cache_scale_mb * MB))
+        return self.probe_base_us + self.probe_cache_penalty_us * saturation
+
+    def and_us(self, concurrency: int) -> float:
+        """Bit-vector AND cost for ``concurrency`` in-flight queries.
+
+        The paper attributes CJOIN's sub-linear scale-up past n=128 to
+        its bitmap implementation; the word-count dependence models
+        exactly that.
+        """
+        if concurrency < 1:
+            raise BenchmarkError("concurrency must be >= 1")
+        words = (concurrency + 63) // 64
+        return self.and_word_us * words
+
+    def submission_seconds(
+        self, shape: WorkloadShape, selectivity: float
+    ) -> float:
+        """CJOIN admission time T_sub(s, sf) (Tables 1-3 model)."""
+        evaluate = shape.dimension_rows * self.admit_eval_us * 1e-6
+        insert = shape.dimension_rows * selectivity * self.admit_insert_us * 1e-6
+        return self.admit_fixed_s + evaluate + insert

@@ -1,0 +1,19 @@
+"""A SQL front-end for the star-query template of paper section 2.1.
+
+Supports exactly the query shape CJOIN hosts::
+
+    SELECT A..., AGG(expr) [AS alias], ...
+    FROM fact, dim1, dim2, ...
+    WHERE fact.fk = dim.pk AND ... AND <per-table predicates>
+    [GROUP BY B...]
+    [ORDER BY ...]          -- accepted; results are canonically sorted
+
+Per-table predicates may use comparisons, BETWEEN, IN lists, and
+arbitrary AND/OR/NOT nesting, as long as each sub-expression touches a
+single table (the paper's single-tuple-variable requirement).
+"""
+
+from repro.sql.parser import parse_star_query
+from repro.sql.lexer import tokenize
+
+__all__ = ["parse_star_query", "tokenize"]

@@ -1,0 +1,119 @@
+"""Parse-tree nodes for the star-query SQL dialect.
+
+The parser first builds this neutral tree, then a binding pass
+(:mod:`repro.sql.parser`) resolves names against a star schema and
+emits a :class:`~repro.query.star.StarQuery`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ColumnName:
+    """A possibly-qualified column mention: ``table.column`` or ``column``."""
+
+    column: str
+    table: str | None = None
+
+    def __str__(self) -> str:
+        if self.table is None:
+            return self.column
+        return f"{self.table}.{self.column}"
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """``KIND(expr)`` in the select list; ``column2``/``op`` for binary
+
+    input expressions like ``SUM(lo_extendedprice * lo_discount)``.
+    COUNT(*) has ``column is None``.
+    """
+
+    kind: str  # count / sum / min / max / avg (lowercase)
+    column: ColumnName | None
+    column2: ColumnName | None = None
+    op: str = "*"
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class SelectColumn:
+    """A plain column in the select list."""
+
+    name: ColumnName
+    alias: str | None = None
+
+
+# ----------------------------------------------------------------------
+# WHERE-clause expressions
+# ----------------------------------------------------------------------
+class WhereNode:
+    """Base class for WHERE-clause tree nodes."""
+
+
+@dataclass(frozen=True)
+class ComparisonNode(WhereNode):
+    """``column <op> literal``."""
+
+    column: ColumnName
+    op: str
+    value: object
+
+
+@dataclass(frozen=True)
+class BetweenNode(WhereNode):
+    """``column BETWEEN low AND high``."""
+
+    column: ColumnName
+    low: object
+    high: object
+
+
+@dataclass(frozen=True)
+class InListNode(WhereNode):
+    """``column IN (v1, v2, ...)``."""
+
+    column: ColumnName
+    values: tuple
+
+
+@dataclass(frozen=True)
+class JoinNode(WhereNode):
+    """``columnA = columnB`` between two tables."""
+
+    left: ColumnName
+    right: ColumnName
+
+
+@dataclass(frozen=True)
+class AndNode(WhereNode):
+    """Conjunction."""
+
+    children: tuple[WhereNode, ...]
+
+
+@dataclass(frozen=True)
+class OrNode(WhereNode):
+    """Disjunction."""
+
+    children: tuple[WhereNode, ...]
+
+
+@dataclass(frozen=True)
+class NotNode(WhereNode):
+    """Negation."""
+
+    child: WhereNode
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A parsed (unbound) star-dialect SELECT."""
+
+    select_items: tuple = ()
+    tables: tuple[str, ...] = ()
+    where: WhereNode | None = None
+    group_by: tuple[ColumnName, ...] = ()
+    order_by: tuple[ColumnName, ...] = field(default=())

@@ -1,0 +1,142 @@
+"""Tokenizer for the star-query SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = frozenset(
+    [
+        "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "AS",
+        "AND", "OR", "NOT", "BETWEEN", "IN",
+        "COUNT", "SUM", "MIN", "MAX", "AVG",
+        "ASC", "DESC",
+    ]
+)
+
+#: Multi-character operators, longest first so <= wins over <.
+OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "*", "-", "+")
+
+PUNCTUATION = ("(", ")", ",", ".")
+
+#: explicit ASCII digits: str.isdigit() accepts Unicode digit-like
+#: characters (e.g. superscripts) that int()/float() reject
+_ASCII_DIGITS = frozenset("0123456789")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    Attributes:
+        kind: 'keyword', 'ident', 'number', 'string', 'op', 'punct',
+            or 'eof'.
+        value: normalized token text (keywords uppercased); numbers
+            carry their parsed value in :attr:`literal`.
+        position: character offset in the source.
+    """
+
+    kind: str
+    value: str
+    position: int
+    literal: object = None
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``; the list always ends with an 'eof' token.
+
+    Raises:
+        ParseError: on unrecognizable input.
+    """
+    tokens: list[Token] = []
+    index = 0
+    length = len(sql)
+    while index < length:
+        char = sql[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "'":
+            tokens.append(_read_string(sql, index))
+            index = tokens[-1].position + len(_escaped(tokens[-1].literal)) + 2
+            continue
+        if char in _ASCII_DIGITS or (
+            char == "."
+            and index + 1 < length
+            and sql[index + 1] in _ASCII_DIGITS
+        ):
+            token = _read_number(sql, index)
+            tokens.append(token)
+            index += len(token.value)
+            continue
+        if char.isalpha() or char == "_":
+            token = _read_word(sql, index)
+            tokens.append(token)
+            index += len(token.value)
+            continue
+        matched_op = next(
+            (op for op in OPERATORS if sql.startswith(op, index)), None
+        )
+        if matched_op is not None:
+            tokens.append(Token("op", matched_op, index))
+            index += len(matched_op)
+            continue
+        if char in PUNCTUATION:
+            tokens.append(Token("punct", char, index))
+            index += 1
+            continue
+        raise ParseError(f"unexpected character {char!r}", index)
+    tokens.append(Token("eof", "", length))
+    return tokens
+
+
+def _read_string(sql: str, start: int) -> Token:
+    """Read a single-quoted string; '' is an escaped quote."""
+    index = start + 1
+    parts: list[str] = []
+    while index < len(sql):
+        char = sql[index]
+        if char == "'":
+            if sql.startswith("''", index):
+                parts.append("'")
+                index += 2
+                continue
+            return Token("string", "".join(parts), start, literal="".join(parts))
+        parts.append(char)
+        index += 1
+    raise ParseError("unterminated string literal", start)
+
+
+def _escaped(value: str) -> str:
+    return value.replace("'", "''")
+
+
+def _read_number(sql: str, start: int) -> Token:
+    index = start
+    seen_dot = False
+    while index < len(sql) and (sql[index] in _ASCII_DIGITS or sql[index] == "."):
+        if sql[index] == ".":
+            if seen_dot:
+                break
+            # a trailing dot followed by a letter is qualification, not
+            # a decimal point (e.g. "1.foo" never occurs; be strict)
+            seen_dot = True
+        index += 1
+    text = sql[start:index]
+    if text.endswith("."):
+        text = text[:-1]
+        index -= 1
+    literal: object = float(text) if "." in text else int(text)
+    return Token("number", text, start, literal=literal)
+
+
+def _read_word(sql: str, start: int) -> Token:
+    index = start
+    while index < len(sql) and (sql[index].isalnum() or sql[index] == "_"):
+        index += 1
+    word = sql[start:index]
+    upper = word.upper()
+    if upper in KEYWORDS:
+        return Token("keyword", upper, start)
+    return Token("ident", word, start)

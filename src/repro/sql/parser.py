@@ -1,0 +1,467 @@
+"""Recursive-descent parser and binder for the star-query dialect.
+
+Parsing builds a neutral :class:`~repro.sql.ast.SelectStatement`;
+binding resolves names against a :class:`~repro.catalog.schema.StarSchema`,
+checks that the WHERE clause decomposes into the paper's template
+(fact-to-dimension equi-joins + single-table predicates), and emits a
+:class:`~repro.query.star.StarQuery`.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import StarSchema
+from repro.errors import ParseError
+from repro.query.aggregates import AggregateSpec
+from repro.query.predicate import (
+    And,
+    Between,
+    Comparison,
+    InList,
+    Not,
+    Or,
+    Predicate,
+)
+from repro.query.star import ColumnRef, StarQuery
+from repro.sql import ast
+from repro.sql.lexer import Token, tokenize
+
+_AGGREGATE_KEYWORDS = ("COUNT", "SUM", "MIN", "MAX", "AVG")
+
+
+class _Parser:
+    """Token-stream cursor with the usual expect/accept helpers."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    # Cursor helpers
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        """The token under the cursor (never past EOF)."""
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        """Consume and return the current token."""
+        token = self.current
+        self.index += 1
+        return token
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        """Consume the current token iff it matches; else return None."""
+        token = self.current
+        if token.kind != kind:
+            return None
+        if value is not None and token.value != value:
+            return None
+        return self.advance()
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        """Consume a token that must match, or raise ParseError."""
+        token = self.accept(kind, value)
+        if token is None:
+            wanted = value if value is not None else kind
+            raise ParseError(
+                f"expected {wanted!r}, found {self.current.value!r}",
+                self.current.position,
+            )
+        return token
+
+    # ------------------------------------------------------------------
+    # Grammar
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> ast.SelectStatement:
+        """Parse one complete SELECT statement to EOF."""
+        self.expect("keyword", "SELECT")
+        select_items = self._select_list()
+        self.expect("keyword", "FROM")
+        tables = self._table_list()
+        where = None
+        if self.accept("keyword", "WHERE"):
+            where = self._or_expr()
+        group_by: tuple = ()
+        if self.accept("keyword", "GROUP"):
+            self.expect("keyword", "BY")
+            group_by = self._column_list()
+        order_by: tuple = ()
+        if self.accept("keyword", "ORDER"):
+            self.expect("keyword", "BY")
+            order_by = self._order_list()
+        self.expect("eof")
+        return ast.SelectStatement(
+            select_items=tuple(select_items),
+            tables=tuple(tables),
+            where=where,
+            group_by=tuple(group_by),
+            order_by=tuple(order_by),
+        )
+
+    def _select_list(self) -> list:
+        items = [self._select_item()]
+        while self.accept("punct", ","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self):
+        token = self.current
+        if token.kind == "keyword" and token.value in _AGGREGATE_KEYWORDS:
+            return self._aggregate_call()
+        name = self._column_name()
+        alias = self._optional_alias()
+        return ast.SelectColumn(name, alias)
+
+    def _aggregate_call(self) -> ast.AggregateCall:
+        kind = self.advance().value.lower()
+        self.expect("punct", "(")
+        if kind == "count" and self.accept("op", "*"):
+            self.expect("punct", ")")
+            return ast.AggregateCall(kind, None, alias=self._optional_alias())
+        column = self._column_name()
+        column2 = None
+        op = "*"
+        operator = self.current
+        if operator.kind == "op" and operator.value in ("*", "-", "+"):
+            self.advance()
+            op = operator.value
+            column2 = self._column_name()
+        self.expect("punct", ")")
+        return ast.AggregateCall(
+            kind, column, column2, op, alias=self._optional_alias()
+        )
+
+    def _optional_alias(self) -> str | None:
+        if self.accept("keyword", "AS"):
+            return self.expect("ident").value
+        return None
+
+    def _table_list(self) -> list[str]:
+        tables = [self.expect("ident").value]
+        while self.accept("punct", ","):
+            tables.append(self.expect("ident").value)
+        return tables
+
+    def _column_list(self) -> list[ast.ColumnName]:
+        columns = [self._column_name()]
+        while self.accept("punct", ","):
+            columns.append(self._column_name())
+        return columns
+
+    def _order_list(self) -> list[ast.ColumnName]:
+        columns = [self._column_name()]
+        self._optional_direction()
+        while self.accept("punct", ","):
+            columns.append(self._column_name())
+            self._optional_direction()
+        return columns
+
+    def _optional_direction(self) -> None:
+        if not self.accept("keyword", "ASC"):
+            self.accept("keyword", "DESC")
+
+    def _column_name(self) -> ast.ColumnName:
+        first = self.expect("ident").value
+        if self.accept("punct", "."):
+            column = self.expect("ident").value
+            return ast.ColumnName(column=column, table=first)
+        return ast.ColumnName(column=first)
+
+    # ------------------------------------------------------------------
+    # WHERE expressions
+    # ------------------------------------------------------------------
+    def _or_expr(self) -> ast.WhereNode:
+        children = [self._and_expr()]
+        while self.accept("keyword", "OR"):
+            children.append(self._and_expr())
+        if len(children) == 1:
+            return children[0]
+        return ast.OrNode(tuple(children))
+
+    def _and_expr(self) -> ast.WhereNode:
+        children = [self._not_expr()]
+        while self.accept("keyword", "AND"):
+            children.append(self._not_expr())
+        if len(children) == 1:
+            return children[0]
+        return ast.AndNode(tuple(children))
+
+    def _not_expr(self) -> ast.WhereNode:
+        if self.accept("keyword", "NOT"):
+            return ast.NotNode(self._not_expr())
+        return self._primary()
+
+    def _primary(self) -> ast.WhereNode:
+        if self.accept("punct", "("):
+            inner = self._or_expr()
+            self.expect("punct", ")")
+            return inner
+        return self._predicate()
+
+    def _predicate(self) -> ast.WhereNode:
+        column = self._column_name()
+        if self.accept("keyword", "BETWEEN"):
+            low = self._literal()
+            self.expect("keyword", "AND")
+            high = self._literal()
+            return ast.BetweenNode(column, low, high)
+        if self.accept("keyword", "IN"):
+            self.expect("punct", "(")
+            values = [self._literal()]
+            while self.accept("punct", ","):
+                values.append(self._literal())
+            self.expect("punct", ")")
+            return ast.InListNode(column, tuple(values))
+        operator = self.current
+        if operator.kind != "op" or operator.value not in (
+            "=", "!=", "<>", "<", "<=", ">", ">=",
+        ):
+            raise ParseError(
+                f"expected a comparison operator, found {operator.value!r}",
+                operator.position,
+            )
+        self.advance()
+        op = "!=" if operator.value == "<>" else operator.value
+        token = self.current
+        if token.kind == "ident":
+            right = self._column_name()
+            if op != "=":
+                raise ParseError(
+                    "column-to-column predicates must be equi-joins",
+                    operator.position,
+                )
+            return ast.JoinNode(column, right)
+        return ast.ComparisonNode(column, op, self._literal())
+
+    def _literal(self):
+        token = self.current
+        if token.kind == "op" and token.value == "-":
+            self.advance()
+            number = self.expect("number")
+            return -number.literal
+        if token.kind in ("number", "string"):
+            self.advance()
+            return token.literal
+        raise ParseError(
+            f"expected a literal, found {token.value!r}", token.position
+        )
+
+
+# ----------------------------------------------------------------------
+# Binding: SelectStatement -> StarQuery
+# ----------------------------------------------------------------------
+class _Binder:
+    """Resolves names and decomposes WHERE into the star template."""
+
+    def __init__(self, statement: ast.SelectStatement, star: StarSchema) -> None:
+        self.statement = statement
+        self.star = star
+        self._from_tables = set(statement.tables)
+
+    def bind(self) -> StarQuery:
+        """Resolve names and emit a validated StarQuery."""
+        self._check_tables()
+        dimension_predicates, fact_predicate = self._bind_where()
+        group_by = [self._bind_column(name) for name in self.statement.group_by]
+        select: list[ColumnRef] = []
+        aggregates: list[AggregateSpec] = []
+        for item in self.statement.select_items:
+            if isinstance(item, ast.SelectColumn):
+                select.append(self._bind_column(item.name))
+            else:
+                aggregates.append(self._bind_aggregate(item))
+        query = StarQuery.build(
+            fact_table=self.star.fact.name,
+            dimension_predicates=dimension_predicates,
+            fact_predicate=fact_predicate,
+            group_by=group_by,
+            select=select,
+            aggregates=aggregates,
+        )
+        query.validate(self.star)
+        return query
+
+    def _check_tables(self) -> None:
+        known = {self.star.fact.name, *self.star.dimension_names()}
+        for table in self.statement.tables:
+            if table not in known:
+                raise ParseError(f"unknown table {table!r} in FROM")
+        if self.star.fact.name not in self._from_tables:
+            raise ParseError(
+                f"star queries must include the fact table "
+                f"{self.star.fact.name!r} in FROM"
+            )
+
+    def _owner(self, name: ast.ColumnName) -> str:
+        """Resolve the owning table of a column mention.
+
+        Raises:
+            ParseError: unknown/ambiguous column, or table not in FROM.
+        """
+        from repro.errors import SchemaError
+
+        if name.table is not None:
+            if name.table not in self._from_tables:
+                raise ParseError(
+                    f"table {name.table!r} is not in the FROM list"
+                )
+            try:
+                self.star.table(name.table).column_index(name.column)
+            except SchemaError as exc:
+                raise ParseError(str(exc)) from exc
+            return name.table
+        try:
+            owner = self.star.owner_of_column(name.column)
+        except SchemaError as exc:
+            raise ParseError(str(exc)) from exc
+        if owner.name not in self._from_tables:
+            raise ParseError(
+                f"column {name.column!r} belongs to {owner.name!r}, which "
+                f"is not in the FROM list"
+            )
+        return owner.name
+
+    def _bind_column(self, name: ast.ColumnName) -> ColumnRef:
+        return ColumnRef(self._owner(name), name.column)
+
+    def _bind_aggregate(self, call: ast.AggregateCall) -> AggregateSpec:
+        if call.column is None:
+            return AggregateSpec("count", alias=call.alias)
+        ref = self._bind_column(call.column)
+        column2 = None
+        if call.column2 is not None:
+            ref2 = self._bind_column(call.column2)
+            if ref2.table != ref.table:
+                raise ParseError(
+                    "aggregate input expressions must reference one table"
+                )
+            column2 = ref2.column
+        return AggregateSpec(
+            call.kind,
+            ref.table,
+            ref.column,
+            column2=column2,
+            combine=call.op,
+            alias=call.alias,
+        )
+
+    # ------------------------------------------------------------------
+    # WHERE decomposition
+    # ------------------------------------------------------------------
+    def _bind_where(self) -> tuple[dict[str, Predicate], Predicate | None]:
+        dimension_predicates: dict[str, Predicate] = {}
+        fact_conjuncts: list[Predicate] = []
+        joined: set[str] = set()
+        for conjunct in self._top_level_conjuncts(self.statement.where):
+            if isinstance(conjunct, ast.JoinNode):
+                joined.add(self._bind_join(conjunct))
+                continue
+            table, predicate = self._bind_single_table(conjunct)
+            if table == self.star.fact.name:
+                fact_conjuncts.append(predicate)
+            elif table in dimension_predicates:
+                dimension_predicates[table] = And(
+                    dimension_predicates[table], predicate
+                )
+            else:
+                dimension_predicates[table] = predicate
+        # every filtered/joined dimension must be reachable via a join;
+        # dimensions in FROM without a join predicate are an error
+        for table in self._from_tables - {self.star.fact.name}:
+            if table not in joined:
+                raise ParseError(
+                    f"dimension {table!r} appears in FROM without a join "
+                    f"predicate to the fact table"
+                )
+        fact_predicate: Predicate | None = None
+        if fact_conjuncts:
+            fact_predicate = (
+                fact_conjuncts[0]
+                if len(fact_conjuncts) == 1
+                else And(*fact_conjuncts)
+            )
+        return dimension_predicates, fact_predicate
+
+    def _top_level_conjuncts(self, node: ast.WhereNode | None):
+        if node is None:
+            return
+        if isinstance(node, ast.AndNode):
+            for child in node.children:
+                yield from self._top_level_conjuncts(child)
+        else:
+            yield node
+
+    def _bind_join(self, node: ast.JoinNode) -> str:
+        """Check a join conjunct is fact FK = dimension PK; return the dim."""
+        left_table = self._owner(node.left)
+        right_table = self._owner(node.right)
+        fact_name = self.star.fact.name
+        if left_table == fact_name and right_table != fact_name:
+            fact_column, dim_table, dim_column = (
+                node.left.column, right_table, node.right.column,
+            )
+        elif right_table == fact_name and left_table != fact_name:
+            fact_column, dim_table, dim_column = (
+                node.right.column, left_table, node.left.column,
+            )
+        else:
+            raise ParseError(
+                "join predicates must link the fact table to a dimension"
+            )
+        fk = self.star.fact.foreign_key_to(dim_table)
+        if fk.column != fact_column or fk.referenced_column != dim_column:
+            raise ParseError(
+                f"join {node.left} = {node.right} does not follow the "
+                f"declared foreign key {fact_name}.{fk.column} -> "
+                f"{dim_table}.{fk.referenced_column}"
+            )
+        return dim_table
+
+    def _bind_single_table(
+        self, node: ast.WhereNode
+    ) -> tuple[str, Predicate]:
+        """Convert a WHERE subtree into (owning table, predicate).
+
+        Raises:
+            ParseError: if the subtree references multiple tables or
+                contains a nested join predicate.
+        """
+        tables: set[str] = set()
+        predicate = self._convert(node, tables)
+        if len(tables) != 1:
+            raise ParseError(
+                "each non-join predicate must reference exactly one table"
+            )
+        return tables.pop(), predicate
+
+    def _convert(self, node: ast.WhereNode, tables: set[str]) -> Predicate:
+        if isinstance(node, ast.ComparisonNode):
+            tables.add(self._owner(node.column))
+            return Comparison(node.column.column, node.op, node.value)
+        if isinstance(node, ast.BetweenNode):
+            tables.add(self._owner(node.column))
+            return Between(node.column.column, node.low, node.high)
+        if isinstance(node, ast.InListNode):
+            tables.add(self._owner(node.column))
+            return InList(node.column.column, node.values)
+        if isinstance(node, ast.AndNode):
+            return And(*[self._convert(child, tables) for child in node.children])
+        if isinstance(node, ast.OrNode):
+            return Or(*[self._convert(child, tables) for child in node.children])
+        if isinstance(node, ast.NotNode):
+            return Not(self._convert(node.child, tables))
+        if isinstance(node, ast.JoinNode):
+            raise ParseError(
+                "join predicates may only appear as top-level conjuncts"
+            )
+        raise ParseError(f"unsupported WHERE construct {node!r}")
+
+
+def parse_star_query(sql: str, star: StarSchema) -> StarQuery:
+    """Parse ``sql`` and bind it against ``star``.
+
+    Raises:
+        ParseError: on lexical, grammatical, or binding errors.
+    """
+    statement = _Parser(tokenize(sql)).parse_statement()
+    return _Binder(statement, star).bind()

@@ -1,0 +1,116 @@
+"""Render a :class:`~repro.query.star.StarQuery` back to SQL text.
+
+The inverse of :func:`repro.sql.parser.parse_star_query`, used for
+logging/EXPLAIN-style output and for round-trip fuzzing in the test
+suite (render -> parse -> evaluate must be an identity on results).
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import StarSchema
+from repro.errors import QueryError
+from repro.query.aggregates import AggregateSpec
+from repro.query.predicate import (
+    And,
+    Between,
+    Comparison,
+    InList,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.query.star import StarQuery
+
+
+def render_star_query(query: StarQuery, star: StarSchema) -> str:
+    """Return SQL text that parses back into an equivalent query."""
+    query.validate(star)
+    select_items = [f"{ref.table}.{ref.column}" for ref in query.select]
+    select_items.extend(
+        _render_aggregate(spec) for spec in query.aggregates
+    )
+    if not select_items:
+        raise QueryError("cannot render a query with an empty select list")
+    tables = [query.fact_table, *query.referenced_dimensions()]
+    conjuncts = []
+    for name in query.referenced_dimensions():
+        fk = star.fact.foreign_key_to(name)
+        conjuncts.append(
+            f"{query.fact_table}.{fk.column} = {name}.{fk.referenced_column}"
+        )
+        predicate = query.predicate_on(name)
+        if not isinstance(predicate, TruePredicate):
+            conjuncts.append(_render_predicate(predicate, name))
+    if query.fact_predicate is not None:
+        conjuncts.append(
+            _render_predicate(query.fact_predicate, query.fact_table)
+        )
+    sql = f"SELECT {', '.join(select_items)} FROM {', '.join(tables)}"
+    if conjuncts:
+        sql += f" WHERE {' AND '.join(conjuncts)}"
+    if query.group_by:
+        grouped = ", ".join(
+            f"{ref.table}.{ref.column}" for ref in query.group_by
+        )
+        sql += f" GROUP BY {grouped}"
+    return sql
+
+
+def _render_aggregate(spec: AggregateSpec) -> str:
+    if spec.is_count_star:
+        inner = "*"
+    elif spec.column2 is not None:
+        inner = f"{spec.table}.{spec.column} {spec.combine} {spec.table}.{spec.column2}"
+    else:
+        inner = f"{spec.table}.{spec.column}"
+    text = f"{spec.kind.upper()}({inner})"
+    if spec.alias is not None:
+        text += f" AS {spec.alias}"
+    return text
+
+
+def _render_predicate(predicate: Predicate, table: str) -> str:
+    """Render one single-table predicate, parenthesized when compound."""
+    if isinstance(predicate, Comparison):
+        return (
+            f"{table}.{predicate.column} {predicate.op} "
+            f"{_render_literal(predicate.value)}"
+        )
+    if isinstance(predicate, Between):
+        return (
+            f"{table}.{predicate.column} BETWEEN "
+            f"{_render_literal(predicate.low)} AND "
+            f"{_render_literal(predicate.high)}"
+        )
+    if isinstance(predicate, InList):
+        values = ", ".join(
+            _render_literal(value) for value in sorted(predicate.values, key=repr)
+        )
+        return f"{table}.{predicate.column} IN ({values})"
+    if isinstance(predicate, And):
+        inner = " AND ".join(
+            _render_predicate(child, table) for child in predicate.children
+        )
+        return f"({inner})"
+    if isinstance(predicate, Or):
+        inner = " OR ".join(
+            _render_predicate(child, table) for child in predicate.children
+        )
+        return f"({inner})"
+    if isinstance(predicate, Not):
+        return f"NOT {_render_predicate(predicate.child, table)}"
+    if isinstance(predicate, TruePredicate):
+        raise QueryError("TRUE predicates are rendered by omission")
+    raise QueryError(f"cannot render predicate {predicate!r}")
+
+
+def _render_literal(value) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, bool):
+        raise QueryError("boolean literals are not part of the dialect")
+    if isinstance(value, (int, float)):
+        return repr(value)
+    raise QueryError(f"cannot render literal {value!r}")

@@ -1,0 +1,28 @@
+"""Star Schema Benchmark (O'Neil et al. [17]): schema, data, queries.
+
+The paper's entire evaluation runs on SSB (section 6.1.2).  This
+package provides the star schema, a deterministic scale-factor-driven
+data generator, the 13 benchmark queries, and the selectivity-
+controlled workload templates derived from them exactly as section
+6.1.2 describes.
+"""
+
+from repro.ssb.schema import ssb_star_schema
+from repro.ssb.generator import SSBGenerator, load_ssb, table_row_counts
+from repro.ssb.queries import (
+    WORKLOAD_TEMPLATE_NAMES,
+    ssb_query,
+    ssb_workload_generator,
+    workload_templates,
+)
+
+__all__ = [
+    "SSBGenerator",
+    "WORKLOAD_TEMPLATE_NAMES",
+    "load_ssb",
+    "ssb_query",
+    "ssb_star_schema",
+    "ssb_workload_generator",
+    "table_row_counts",
+    "workload_templates",
+]

@@ -1,0 +1,268 @@
+"""Deterministic SSB data generator.
+
+Row counts follow the official SSB scaling rules (used by the paper's
+Figure 8 / Table 3 sweeps):
+
+* LINEORDER: 6,000,000 x sf
+* CUSTOMER:     30,000 x sf
+* SUPPLIER:      2,000 x sf
+* PART:        200,000 x (1 + log2(sf))   for sf >= 1
+* DATE:          2,556 (7 calendar years, fixed)
+
+For sub-unit scale factors ("milli-scale", used by tests and
+examples), linear scaling is applied throughout and the calendar is
+clipped, so even a few-thousand-row instance keeps the same shape.
+Generation is fully deterministic given (sf, seed).
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+import random
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import StarSchema
+from repro.errors import BenchmarkError
+from repro.ssb import vocab
+from repro.ssb.schema import ssb_star_schema
+from repro.storage.page import DEFAULT_ROWS_PER_PAGE
+from repro.storage.table import Table
+
+#: First calendar day covered by the DATE dimension.
+CALENDAR_START = datetime.date(1992, 1, 1)
+#: Number of days in the full SSB calendar (7 years).
+CALENDAR_DAYS = 2556
+
+
+def table_row_counts(scale_factor: float) -> dict[str, int]:
+    """Row counts per SSB table at ``scale_factor``.
+
+    This function is also the bridge to the analytic cost models: the
+    figure harnesses sweep sf through it rather than materializing
+    hundred-gigabyte instances.
+    """
+    if scale_factor <= 0:
+        raise BenchmarkError(f"scale factor must be positive, got {scale_factor}")
+    if scale_factor >= 1:
+        part = round(200_000 * (1 + math.log2(scale_factor)))
+        dates = CALENDAR_DAYS
+    else:
+        part = max(1, round(200_000 * scale_factor))
+        dates = max(1, min(CALENDAR_DAYS, round(CALENDAR_DAYS * scale_factor * 50)))
+    return {
+        "lineorder": max(1, round(6_000_000 * scale_factor)),
+        "customer": max(1, round(30_000 * scale_factor)),
+        "supplier": max(1, round(2_000 * scale_factor)),
+        "part": part,
+        "date": dates,
+    }
+
+
+class SSBGenerator:
+    """Generates SSB rows deterministically.
+
+    Args:
+        scale_factor: SSB sf; fractional values give milli-scale data.
+        seed: RNG seed; same (sf, seed) always yields identical rows.
+    """
+
+    def __init__(self, scale_factor: float = 0.001, seed: int = 42) -> None:
+        self.scale_factor = scale_factor
+        self.seed = seed
+        self.row_counts = table_row_counts(scale_factor)
+
+    # ------------------------------------------------------------------
+    # Dimension tables
+    # ------------------------------------------------------------------
+    def date_rows(self) -> list[tuple]:
+        """Generate the DATE dimension (a real calendar, no randomness)."""
+        rows = []
+        for day_offset in range(self.row_counts["date"]):
+            day = CALENDAR_START + datetime.timedelta(days=day_offset)
+            datekey = day.year * 10000 + day.month * 100 + day.day
+            week = day.isocalendar()[1]
+            rows.append(
+                (
+                    datekey,
+                    day.strftime("%B %d, %Y"),
+                    vocab.DAYS_OF_WEEK[day.weekday()],
+                    vocab.MONTHS[day.month - 1],
+                    day.year,
+                    day.year * 100 + day.month,
+                    f"{vocab.MONTHS[day.month - 1][:3]}{day.year}",
+                    day.weekday() + 1,
+                    day.day,
+                    day.timetuple().tm_yday,
+                    day.month,
+                    week,
+                    vocab.selling_season(day.month),
+                    1 if day.weekday() == 5 else 0,
+                    1 if (day.month, day.day) in vocab.HOLIDAYS else 0,
+                    1 if day.weekday() < 5 else 0,
+                )
+            )
+        return rows
+
+    def customer_rows(self) -> list[tuple]:
+        """Generate the CUSTOMER dimension."""
+        rng = random.Random(f"{self.seed}-customer")
+        rows = []
+        for key in range(1, self.row_counts["customer"] + 1):
+            nation = rng.choice(vocab.NATIONS)
+            city = vocab.city_of(nation, rng.randrange(10))
+            rows.append(
+                (
+                    key,
+                    f"Customer#{key:09d}",
+                    f"address-{rng.randrange(10 ** 6):06d}",
+                    city,
+                    nation,
+                    vocab.REGION_OF[nation],
+                    vocab.phone_number(rng),
+                    rng.choice(vocab.MARKET_SEGMENTS),
+                )
+            )
+        return rows
+
+    def supplier_rows(self) -> list[tuple]:
+        """Generate the SUPPLIER dimension."""
+        rng = random.Random(f"{self.seed}-supplier")
+        rows = []
+        for key in range(1, self.row_counts["supplier"] + 1):
+            nation = rng.choice(vocab.NATIONS)
+            city = vocab.city_of(nation, rng.randrange(10))
+            rows.append(
+                (
+                    key,
+                    f"Supplier#{key:09d}",
+                    f"address-{rng.randrange(10 ** 6):06d}",
+                    city,
+                    nation,
+                    vocab.REGION_OF[nation],
+                    vocab.phone_number(rng),
+                )
+            )
+        return rows
+
+    def part_rows(self) -> list[tuple]:
+        """Generate the PART dimension."""
+        rng = random.Random(f"{self.seed}-part")
+        rows = []
+        for key in range(1, self.row_counts["part"] + 1):
+            mfgr_num = rng.randrange(1, 6)
+            category_num = rng.randrange(1, 6)
+            brand_num = rng.randrange(1, 41)
+            category = f"MFGR#{mfgr_num}{category_num}"
+            rows.append(
+                (
+                    key,
+                    rng.choice(vocab.PART_NAME_WORDS)
+                    + " "
+                    + rng.choice(vocab.COLORS),
+                    f"MFGR#{mfgr_num}",
+                    category,
+                    f"{category}{brand_num:02d}",
+                    rng.choice(vocab.COLORS),
+                    rng.choice(vocab.PART_TYPES),
+                    rng.randrange(1, 51),
+                    rng.choice(vocab.CONTAINERS),
+                )
+            )
+        return rows
+
+    # ------------------------------------------------------------------
+    # Fact table
+    # ------------------------------------------------------------------
+    def lineorder_rows(self, date_keys: list[int] | None = None) -> list[tuple]:
+        """Generate the LINEORDER fact table.
+
+        Args:
+            date_keys: the d_datekey domain to draw order dates from;
+                derived from :meth:`date_rows` when omitted.
+        """
+        if date_keys is None:
+            date_keys = [row[0] for row in self.date_rows()]
+        rng = random.Random(f"{self.seed}-lineorder")
+        customers = self.row_counts["customer"]
+        suppliers = self.row_counts["supplier"]
+        parts = self.row_counts["part"]
+        rows = []
+        orderkey = 0
+        remaining = self.row_counts["lineorder"]
+        while remaining > 0:
+            orderkey += 1
+            lines = min(remaining, rng.randrange(1, 8))
+            custkey = rng.randrange(1, customers + 1)
+            orderdate = rng.choice(date_keys)
+            orderpriority = rng.choice(vocab.ORDER_PRIORITIES)
+            ordtotalprice = 0
+            order_rows = []
+            for linenumber in range(1, lines + 1):
+                quantity = rng.randrange(1, 51)
+                extendedprice = quantity * rng.randrange(900, 110_000)
+                discount = rng.randrange(0, 11)
+                revenue = extendedprice * (100 - discount) // 100
+                supplycost = extendedprice * 6 // 10 // max(quantity, 1)
+                ordtotalprice += extendedprice
+                order_rows.append(
+                    [
+                        orderkey,
+                        linenumber,
+                        custkey,
+                        rng.randrange(1, parts + 1),
+                        rng.randrange(1, suppliers + 1),
+                        orderdate,
+                        orderpriority,
+                        0,
+                        quantity,
+                        extendedprice,
+                        0,  # patched to ordtotalprice below
+                        discount,
+                        revenue,
+                        supplycost,
+                        rng.randrange(0, 9),
+                        rng.choice(date_keys),
+                        rng.choice(vocab.SHIP_MODES),
+                    ]
+                )
+            for order_row in order_rows:
+                order_row[10] = ordtotalprice
+                rows.append(tuple(order_row))
+            remaining -= lines
+        return rows
+
+    def generate_all(self) -> dict[str, list[tuple]]:
+        """Generate every table; keys match SSB table names."""
+        dates = self.date_rows()
+        return {
+            "date": dates,
+            "customer": self.customer_rows(),
+            "supplier": self.supplier_rows(),
+            "part": self.part_rows(),
+            "lineorder": self.lineorder_rows([row[0] for row in dates]),
+        }
+
+
+def load_ssb(
+    scale_factor: float = 0.001,
+    seed: int = 42,
+    rows_per_page: int = DEFAULT_ROWS_PER_PAGE,
+) -> tuple[Catalog, StarSchema]:
+    """Generate an SSB instance and load it into a fresh catalog.
+
+    Returns the populated catalog and the registered star schema.
+    """
+    star = ssb_star_schema()
+    generator = SSBGenerator(scale_factor, seed)
+    data = generator.generate_all()
+    catalog = Catalog()
+    for name in ["date", "customer", "supplier", "part"]:
+        catalog.register_table(
+            Table.from_rows(star.dimension(name), data[name], rows_per_page)
+        )
+    catalog.register_table(
+        Table.from_rows(star.fact, data["lineorder"], rows_per_page)
+    )
+    catalog.register_star(star)
+    return catalog, star

@@ -1,0 +1,408 @@
+"""The 13 SSB queries and the paper's workload templates.
+
+Two layers:
+
+* :func:`ssb_query` builds any of the 13 benchmark queries verbatim
+  (used for correctness tests and examples);
+* :func:`workload_templates` builds the section-6.1.2 workload: each
+  benchmark query becomes a template whose range predicates are
+  abstract, instantiated with concrete windows of controlled
+  selectivity ``s``.
+
+Following the paper, queries Q1.1-Q1.3 are *excluded* from workload
+generation (they filter on fact-table attributes and have no group-by;
+the paper's prototype did not support them).  They are still fully
+implemented here — this library's Preprocessor does evaluate fact
+predicates — so they appear in tests and examples.
+
+Template abstraction choice: the paper replaces each range predicate
+with an abstract range but does not say how it parameterized equality
+predicates (e.g. ``s_region = 'AMERICA'``).  To give the selectivity
+knob full range (the experiments sweep s from 0.1% to 10%), every
+dimension predicate of a template is abstracted onto a fine-grained
+ordered domain of that dimension: d_datekey for DATE (2,556 values),
+cities for CUSTOMER/SUPPLIER (250 values), p_brand1 for PART (1,000
+values).  The selected fraction of each referenced dimension is then
+~s, which is exactly the quantity the paper's sweeps control.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.errors import QueryError
+from repro.query.aggregates import AggregateSpec
+from repro.query.predicate import And, Between, Comparison, InList
+from repro.query.star import ColumnRef, StarQuery
+from repro.query.workload import QueryTemplate, RangeParameter, WorkloadGenerator
+from repro.ssb import vocab
+from repro.ssb.generator import CALENDAR_DAYS, CALENDAR_START
+
+FACT = "lineorder"
+
+#: Names of the templates used for workload generation (Q1.x excluded,
+#: as in the paper).
+WORKLOAD_TEMPLATE_NAMES = (
+    "Q2.1", "Q2.2", "Q2.3",
+    "Q3.1", "Q3.2", "Q3.3", "Q3.4",
+    "Q4.1", "Q4.2", "Q4.3",
+)
+
+ALL_QUERY_NAMES = ("Q1.1", "Q1.2", "Q1.3") + WORKLOAD_TEMPLATE_NAMES
+
+
+def _ref(table: str, column: str) -> ColumnRef:
+    return ColumnRef(table, column)
+
+
+def _sum_revenue() -> AggregateSpec:
+    return AggregateSpec("sum", FACT, "lo_revenue", alias="revenue")
+
+
+def _sum_profit() -> AggregateSpec:
+    return AggregateSpec(
+        "sum", FACT, "lo_revenue", column2="lo_supplycost", combine="-",
+        alias="profit",
+    )
+
+
+def _sum_discounted() -> AggregateSpec:
+    return AggregateSpec(
+        "sum", FACT, "lo_extendedprice", column2="lo_discount", combine="*",
+        alias="revenue",
+    )
+
+
+def ssb_query(name: str) -> StarQuery:
+    """Return benchmark query ``name`` (e.g. 'Q4.2') verbatim."""
+    builders = {
+        "Q1.1": _q1_1, "Q1.2": _q1_2, "Q1.3": _q1_3,
+        "Q2.1": _q2_1, "Q2.2": _q2_2, "Q2.3": _q2_3,
+        "Q3.1": _q3_1, "Q3.2": _q3_2, "Q3.3": _q3_3, "Q3.4": _q3_4,
+        "Q4.1": _q4_1, "Q4.2": _q4_2, "Q4.3": _q4_3,
+    }
+    try:
+        return builders[name]()
+    except KeyError:
+        raise QueryError(f"unknown SSB query {name!r}") from None
+
+
+# ----------------------------------------------------------------------
+# Flight 1: restrictions on fact columns, single global aggregate
+# ----------------------------------------------------------------------
+def _q1_1() -> StarQuery:
+    return StarQuery.build(
+        FACT,
+        dimension_predicates={"date": Comparison("d_year", "=", 1993)},
+        fact_predicate=And(
+            Between("lo_discount", 1, 3),
+            Comparison("lo_quantity", "<", 25),
+        ),
+        aggregates=[_sum_discounted()],
+        label="Q1.1",
+    )
+
+
+def _q1_2() -> StarQuery:
+    return StarQuery.build(
+        FACT,
+        dimension_predicates={"date": Comparison("d_yearmonthnum", "=", 199401)},
+        fact_predicate=And(
+            Between("lo_discount", 4, 6),
+            Between("lo_quantity", 26, 35),
+        ),
+        aggregates=[_sum_discounted()],
+        label="Q1.2",
+    )
+
+
+def _q1_3() -> StarQuery:
+    return StarQuery.build(
+        FACT,
+        dimension_predicates={
+            "date": And(
+                Comparison("d_weeknuminyear", "=", 6),
+                Comparison("d_year", "=", 1994),
+            )
+        },
+        fact_predicate=And(
+            Between("lo_discount", 5, 7),
+            Between("lo_quantity", 26, 35),
+        ),
+        aggregates=[_sum_discounted()],
+        label="Q1.3",
+    )
+
+
+# ----------------------------------------------------------------------
+# Flight 2: part/supplier drill-down, group by year and brand
+# ----------------------------------------------------------------------
+def _q2_1() -> StarQuery:
+    return StarQuery.build(
+        FACT,
+        dimension_predicates={
+            "part": Comparison("p_category", "=", "MFGR#12"),
+            "supplier": Comparison("s_region", "=", "AMERICA"),
+        },
+        group_by=[_ref("date", "d_year"), _ref("part", "p_brand1")],
+        aggregates=[_sum_revenue()],
+        label="Q2.1",
+    )
+
+
+def _q2_2() -> StarQuery:
+    return StarQuery.build(
+        FACT,
+        dimension_predicates={
+            "part": Between("p_brand1", "MFGR#2221", "MFGR#2228"),
+            "supplier": Comparison("s_region", "=", "ASIA"),
+        },
+        group_by=[_ref("date", "d_year"), _ref("part", "p_brand1")],
+        aggregates=[_sum_revenue()],
+        label="Q2.2",
+    )
+
+
+def _q2_3() -> StarQuery:
+    return StarQuery.build(
+        FACT,
+        dimension_predicates={
+            "part": Comparison("p_brand1", "=", "MFGR#2239"),
+            "supplier": Comparison("s_region", "=", "EUROPE"),
+        },
+        group_by=[_ref("date", "d_year"), _ref("part", "p_brand1")],
+        aggregates=[_sum_revenue()],
+        label="Q2.3",
+    )
+
+
+# ----------------------------------------------------------------------
+# Flight 3: customer/supplier geography, revenue by year
+# ----------------------------------------------------------------------
+def _q3_1() -> StarQuery:
+    return StarQuery.build(
+        FACT,
+        dimension_predicates={
+            "customer": Comparison("c_region", "=", "ASIA"),
+            "supplier": Comparison("s_region", "=", "ASIA"),
+            "date": Between("d_year", 1992, 1997),
+        },
+        group_by=[
+            _ref("customer", "c_nation"),
+            _ref("supplier", "s_nation"),
+            _ref("date", "d_year"),
+        ],
+        aggregates=[_sum_revenue()],
+        label="Q3.1",
+    )
+
+
+def _q3_2() -> StarQuery:
+    return StarQuery.build(
+        FACT,
+        dimension_predicates={
+            "customer": Comparison("c_nation", "=", "UNITED STATES"),
+            "supplier": Comparison("s_nation", "=", "UNITED STATES"),
+            "date": Between("d_year", 1992, 1997),
+        },
+        group_by=[
+            _ref("customer", "c_city"),
+            _ref("supplier", "s_city"),
+            _ref("date", "d_year"),
+        ],
+        aggregates=[_sum_revenue()],
+        label="Q3.2",
+    )
+
+
+def _q3_3() -> StarQuery:
+    cities = frozenset([vocab.city_of("UNITED KINGDOM", 1), vocab.city_of("UNITED KINGDOM", 5)])
+    return StarQuery.build(
+        FACT,
+        dimension_predicates={
+            "customer": InList("c_city", cities),
+            "supplier": InList("s_city", cities),
+            "date": Between("d_year", 1992, 1997),
+        },
+        group_by=[
+            _ref("customer", "c_city"),
+            _ref("supplier", "s_city"),
+            _ref("date", "d_year"),
+        ],
+        aggregates=[_sum_revenue()],
+        label="Q3.3",
+    )
+
+
+def _q3_4() -> StarQuery:
+    cities = frozenset([vocab.city_of("UNITED KINGDOM", 1), vocab.city_of("UNITED KINGDOM", 5)])
+    return StarQuery.build(
+        FACT,
+        dimension_predicates={
+            "customer": InList("c_city", cities),
+            "supplier": InList("s_city", cities),
+            "date": Comparison("d_yearmonth", "=", "Dec1997"),
+        },
+        group_by=[
+            _ref("customer", "c_city"),
+            _ref("supplier", "s_city"),
+            _ref("date", "d_year"),
+        ],
+        aggregates=[_sum_revenue()],
+        label="Q3.4",
+    )
+
+
+# ----------------------------------------------------------------------
+# Flight 4: profit drill-down across all four dimensions
+# ----------------------------------------------------------------------
+def _q4_1() -> StarQuery:
+    return StarQuery.build(
+        FACT,
+        dimension_predicates={
+            "customer": Comparison("c_region", "=", "AMERICA"),
+            "supplier": Comparison("s_region", "=", "AMERICA"),
+            "part": InList("p_mfgr", frozenset(["MFGR#1", "MFGR#2"])),
+        },
+        group_by=[_ref("date", "d_year"), _ref("customer", "c_nation")],
+        aggregates=[_sum_profit()],
+        label="Q4.1",
+    )
+
+
+def _q4_2() -> StarQuery:
+    return StarQuery.build(
+        FACT,
+        dimension_predicates={
+            "customer": Comparison("c_region", "=", "AMERICA"),
+            "supplier": Comparison("s_region", "=", "AMERICA"),
+            "part": InList("p_mfgr", frozenset(["MFGR#1", "MFGR#2"])),
+            "date": Between("d_year", 1997, 1998),
+        },
+        group_by=[
+            _ref("date", "d_year"),
+            _ref("supplier", "s_nation"),
+            _ref("part", "p_category"),
+        ],
+        aggregates=[_sum_profit()],
+        label="Q4.2",
+    )
+
+
+def _q4_3() -> StarQuery:
+    return StarQuery.build(
+        FACT,
+        dimension_predicates={
+            "customer": Comparison("c_region", "=", "AMERICA"),
+            "supplier": Comparison("s_nation", "=", "UNITED STATES"),
+            "part": Comparison("p_category", "=", "MFGR#14"),
+            "date": Between("d_year", 1997, 1998),
+        },
+        group_by=[
+            _ref("date", "d_year"),
+            _ref("supplier", "s_city"),
+            _ref("part", "p_brand1"),
+        ],
+        aggregates=[_sum_profit()],
+        label="Q4.3",
+    )
+
+
+# ----------------------------------------------------------------------
+# Workload templates (section 6.1.2)
+# ----------------------------------------------------------------------
+def _datekey_domain() -> tuple:
+    keys = []
+    for offset in range(CALENDAR_DAYS):
+        day = CALENDAR_START + datetime.timedelta(days=offset)
+        keys.append(day.year * 10000 + day.month * 100 + day.day)
+    return tuple(keys)
+
+
+def _brand_domain() -> tuple:
+    return tuple(
+        sorted(
+            f"MFGR#{mfgr}{category}{brand:02d}"
+            for mfgr in range(1, 6)
+            for category in range(1, 6)
+            for brand in range(1, 41)
+        )
+    )
+
+
+_DATE_PARAM = RangeParameter("date", "d_datekey", _datekey_domain())
+_CUSTOMER_PARAM = RangeParameter("customer", "c_city", tuple(sorted(vocab.CITIES)))
+_SUPPLIER_PARAM = RangeParameter("supplier", "s_city", tuple(sorted(vocab.CITIES)))
+_PART_PARAM = RangeParameter("part", "p_brand1", _brand_domain())
+
+
+def _data_derived_parameter(
+    parameter: RangeParameter, catalog
+) -> RangeParameter:
+    """Rebind a range parameter's domain to the values actually loaded.
+
+    Milli-scale instances cover only a prefix of the full calendar and
+    a subset of cities/brands; deriving domains from the catalog keeps
+    the selectivity knob exact on any instance size.
+    """
+    table = catalog.table(parameter.dimension)
+    index = table.schema.column_index(parameter.column)
+    values = sorted({row[index] for row in table.heap.iter_rows()})
+    return RangeParameter(parameter.dimension, parameter.column, tuple(values))
+
+
+def workload_templates(catalog=None) -> list[QueryTemplate]:
+    """The ten workload templates derived from Q2.1-Q4.3.
+
+    Each template keeps its source query's group-by and aggregates and
+    carries one abstract range parameter per dimension the source
+    query filtered.
+
+    Args:
+        catalog: when given, parameter domains are recomputed from the
+            loaded data (recommended for milli-scale instances).
+    """
+    by_flight = {
+        # flight 2 filters part + supplier
+        "Q2.1": (_PART_PARAM, _SUPPLIER_PARAM),
+        "Q2.2": (_PART_PARAM, _SUPPLIER_PARAM),
+        "Q2.3": (_PART_PARAM, _SUPPLIER_PARAM),
+        # flight 3 filters customer + supplier + date
+        "Q3.1": (_CUSTOMER_PARAM, _SUPPLIER_PARAM, _DATE_PARAM),
+        "Q3.2": (_CUSTOMER_PARAM, _SUPPLIER_PARAM, _DATE_PARAM),
+        "Q3.3": (_CUSTOMER_PARAM, _SUPPLIER_PARAM, _DATE_PARAM),
+        "Q3.4": (_CUSTOMER_PARAM, _SUPPLIER_PARAM, _DATE_PARAM),
+        # flight 4 filters customer + supplier + part (+ date in 4.2/4.3)
+        "Q4.1": (_CUSTOMER_PARAM, _SUPPLIER_PARAM, _PART_PARAM),
+        "Q4.2": (_CUSTOMER_PARAM, _SUPPLIER_PARAM, _PART_PARAM, _DATE_PARAM),
+        "Q4.3": (_CUSTOMER_PARAM, _SUPPLIER_PARAM, _PART_PARAM, _DATE_PARAM),
+    }
+    templates = []
+    for name in WORKLOAD_TEMPLATE_NAMES:
+        source = ssb_query(name)
+        parameters = by_flight[name]
+        if catalog is not None:
+            parameters = tuple(
+                _data_derived_parameter(parameter, catalog)
+                for parameter in parameters
+            )
+        templates.append(
+            QueryTemplate(
+                name=name,
+                fact_table=FACT,
+                range_parameters=parameters,
+                group_by=source.group_by,
+                select=source.select,
+                aggregates=source.aggregates,
+            )
+        )
+    return templates
+
+
+def ssb_workload_generator(seed: int = 0, catalog=None) -> WorkloadGenerator:
+    """A workload generator over the ten section-6.1.2 templates.
+
+    Pass the loaded ``catalog`` to bind parameter domains to the data
+    actually present (see :func:`workload_templates`).
+    """
+    return WorkloadGenerator(workload_templates(catalog), seed=seed)

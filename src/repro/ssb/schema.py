@@ -1,0 +1,146 @@
+"""The Star Schema Benchmark schema.
+
+One fact table LINEORDER linked to four dimensions (DATE, CUSTOMER,
+SUPPLIER, PART) — the denormalized star derived from TPC-H that the
+paper's evaluation uses.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import (
+    Column,
+    DataType,
+    ForeignKey,
+    StarSchema,
+    TableSchema,
+)
+
+INT = DataType.INT
+FLOAT = DataType.FLOAT
+STRING = DataType.STRING
+DATE = DataType.DATE
+
+
+def date_schema() -> TableSchema:
+    """The DATE dimension (fixed 7-year calendar)."""
+    return TableSchema(
+        "date",
+        [
+            Column("d_datekey", INT),
+            Column("d_date", STRING),
+            Column("d_dayofweek", STRING),
+            Column("d_month", STRING),
+            Column("d_year", INT),
+            Column("d_yearmonthnum", INT),
+            Column("d_yearmonth", STRING),
+            Column("d_daynuminweek", INT),
+            Column("d_daynuminmonth", INT),
+            Column("d_daynuminyear", INT),
+            Column("d_monthnuminyear", INT),
+            Column("d_weeknuminyear", INT),
+            Column("d_sellingseason", STRING),
+            Column("d_lastdayinweekfl", INT),
+            Column("d_holidayfl", INT),
+            Column("d_weekdayfl", INT),
+        ],
+        primary_key="d_datekey",
+    )
+
+
+def customer_schema() -> TableSchema:
+    """The CUSTOMER dimension."""
+    return TableSchema(
+        "customer",
+        [
+            Column("c_custkey", INT),
+            Column("c_name", STRING),
+            Column("c_address", STRING),
+            Column("c_city", STRING),
+            Column("c_nation", STRING),
+            Column("c_region", STRING),
+            Column("c_phone", STRING),
+            Column("c_mktsegment", STRING),
+        ],
+        primary_key="c_custkey",
+    )
+
+
+def supplier_schema() -> TableSchema:
+    """The SUPPLIER dimension."""
+    return TableSchema(
+        "supplier",
+        [
+            Column("s_suppkey", INT),
+            Column("s_name", STRING),
+            Column("s_address", STRING),
+            Column("s_city", STRING),
+            Column("s_nation", STRING),
+            Column("s_region", STRING),
+            Column("s_phone", STRING),
+        ],
+        primary_key="s_suppkey",
+    )
+
+
+def part_schema() -> TableSchema:
+    """The PART dimension."""
+    return TableSchema(
+        "part",
+        [
+            Column("p_partkey", INT),
+            Column("p_name", STRING),
+            Column("p_mfgr", STRING),
+            Column("p_category", STRING),
+            Column("p_brand1", STRING),
+            Column("p_color", STRING),
+            Column("p_type", STRING),
+            Column("p_size", INT),
+            Column("p_container", STRING),
+        ],
+        primary_key="p_partkey",
+    )
+
+
+def lineorder_schema() -> TableSchema:
+    """The LINEORDER fact table."""
+    return TableSchema(
+        "lineorder",
+        [
+            Column("lo_orderkey", INT),
+            Column("lo_linenumber", INT),
+            Column("lo_custkey", INT),
+            Column("lo_partkey", INT),
+            Column("lo_suppkey", INT),
+            Column("lo_orderdate", INT),
+            Column("lo_orderpriority", STRING),
+            Column("lo_shippriority", INT),
+            Column("lo_quantity", INT),
+            Column("lo_extendedprice", INT),
+            Column("lo_ordtotalprice", INT),
+            Column("lo_discount", INT),
+            Column("lo_revenue", INT),
+            Column("lo_supplycost", INT),
+            Column("lo_tax", INT),
+            Column("lo_commitdate", INT),
+            Column("lo_shipmode", STRING),
+        ],
+        foreign_keys=[
+            ForeignKey("lo_custkey", "customer", "c_custkey"),
+            ForeignKey("lo_partkey", "part", "p_partkey"),
+            ForeignKey("lo_suppkey", "supplier", "s_suppkey"),
+            ForeignKey("lo_orderdate", "date", "d_datekey"),
+        ],
+    )
+
+
+def ssb_star_schema() -> StarSchema:
+    """The full SSB star: LINEORDER with its four dimensions."""
+    return StarSchema(
+        fact=lineorder_schema(),
+        dimensions={
+            "date": date_schema(),
+            "customer": customer_schema(),
+            "supplier": supplier_schema(),
+            "part": part_schema(),
+        },
+    )

@@ -1,0 +1,112 @@
+"""Static vocabularies for the SSB data generator.
+
+These mirror the value domains of the official dbgen tool closely
+enough that the benchmark queries' predicates select realistic
+fractions of each dimension.
+"""
+
+from __future__ import annotations
+
+import random
+
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+#: 25 nations, 5 per region (TPC-H nation list).
+NATIONS_BY_REGION = {
+    "AFRICA": ("ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE"),
+    "AMERICA": ("ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES"),
+    "ASIA": ("CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM"),
+    "EUROPE": ("FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM"),
+    "MIDDLE EAST": ("EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA"),
+}
+
+NATIONS = tuple(
+    nation for region in REGIONS for nation in NATIONS_BY_REGION[region]
+)
+
+REGION_OF = {
+    nation: region
+    for region, nations in NATIONS_BY_REGION.items()
+    for nation in nations
+}
+
+
+def city_of(nation: str, index: int) -> str:
+    """SSB city naming: first 9 chars of the nation plus a digit."""
+    return f"{nation[:9]:<9}{index}"
+
+
+#: All 250 SSB cities, ordered by nation then digit.
+CITIES = tuple(city_of(nation, i) for nation in NATIONS for i in range(10))
+
+MARKET_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
+
+ORDER_PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+
+SHIP_MODES = ("AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK")
+
+COLORS = (
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn",
+    "lemon", "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+    "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+    "orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+    "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring",
+    "steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat",
+    "white", "yellow",
+)
+
+PART_TYPES = tuple(
+    f"{kind} {finish} {metal}"
+    for kind in ("ECONOMY", "LARGE", "MEDIUM", "PROMO", "SMALL", "STANDARD")
+    for finish in ("ANODIZED", "BRUSHED", "BURNISHED", "PLATED", "POLISHED")
+    for metal in ("BRASS", "COPPER", "NICKEL", "STEEL", "TIN")
+)
+
+CONTAINERS = tuple(
+    f"{size} {kind}"
+    for size in ("JUMBO", "LG", "MED", "SM", "WRAP")
+    for kind in ("BAG", "BOX", "CAN", "CASE", "DRUM", "JAR", "PACK", "PKG")
+)
+
+PART_NAME_WORDS = (
+    "aluminum", "brushed", "burnished", "ceramic", "chrome", "composite",
+    "forged", "galvanized", "laminated", "polished", "smooth", "tempered",
+)
+
+DAYS_OF_WEEK = (
+    "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday",
+)
+
+MONTHS = (
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+)
+
+#: (month, day) pairs flagged as holidays in the DATE dimension.
+HOLIDAYS = frozenset(
+    [(1, 1), (2, 14), (7, 4), (11, 25), (12, 24), (12, 25), (12, 31)]
+)
+
+
+def selling_season(month: int) -> str:
+    """SSB selling season of a calendar month."""
+    if month in (12, 1):
+        return "Christmas"
+    if month in (2, 3, 4):
+        return "Spring"
+    if month in (5, 6, 7):
+        return "Summer"
+    if month in (8, 9, 10):
+        return "Fall"
+    return "Winter"
+
+
+def phone_number(rng: random.Random) -> str:
+    """A synthetic 10-digit phone string."""
+    return f"{rng.randrange(10, 35)}-{rng.randrange(100, 1000)}-{rng.randrange(100, 1000)}-{rng.randrange(1000, 10000)}"

@@ -1,0 +1,48 @@
+"""Row-store substrate: pages, heap files, buffer pool, scans, MVCC.
+
+The paper's CJOIN prototype sits on PostgreSQL; this package is the
+substitute substrate (see DESIGN.md section 3).  It provides exactly
+the services CJOIN needs:
+
+* tables of tuples stored in fixed-capacity pages (`page`, `heap`,
+  `table`),
+* a buffer pool with LRU replacement and sequential/random I/O
+  accounting (`buffer`, `iostats`),
+* one-shot and *continuous* (circular, order-stable) scans (`scan`),
+* snapshot-isolation visibility for mixed query/update workloads
+  (`mvcc`),
+* the section-5 extensions: column storage (`column`), dictionary
+  compression (`compression`), and range partitioning (`partition`).
+"""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.column import ColumnStoreTable
+from repro.storage.compression import DictionaryCodec, compress_table
+from repro.storage.heap import HeapFile
+from repro.storage.iostats import IOStats
+from repro.storage.matview import DimensionView
+from repro.storage.mvcc import Snapshot, TransactionManager, TupleVersion, VersionedTable
+from repro.storage.page import Page
+from repro.storage.partition import PartitionedTable, RangePartitioning
+from repro.storage.scan import ContinuousScan, TableScan
+from repro.storage.table import Table
+
+__all__ = [
+    "BufferPool",
+    "ColumnStoreTable",
+    "ContinuousScan",
+    "DictionaryCodec",
+    "DimensionView",
+    "HeapFile",
+    "IOStats",
+    "Page",
+    "PartitionedTable",
+    "RangePartitioning",
+    "Snapshot",
+    "Table",
+    "TableScan",
+    "TransactionManager",
+    "TupleVersion",
+    "VersionedTable",
+    "compress_table",
+]

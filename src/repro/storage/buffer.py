@@ -1,0 +1,74 @@
+"""Buffer pool with LRU replacement.
+
+Every page fetch on the query path goes through a :class:`BufferPool`,
+which records hits and classifies misses as sequential or random via
+:class:`~repro.storage.iostats.IOStats`.  Concurrent scans sharing one
+pool is precisely the contention mechanism the paper's evaluation
+exercises: interleaved scans evict each other's pages and turn
+sequential access into random access.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import StorageError
+from repro.storage.heap import HeapFile
+from repro.storage.iostats import IOStats
+from repro.storage.page import Page
+
+
+class BufferPool:
+    """An LRU cache of (heap_id, page_id) -> Page.
+
+    Args:
+        capacity_pages: maximum number of resident pages; must be >= 1.
+        stats: counters to charge; a fresh :class:`IOStats` when omitted.
+    """
+
+    def __init__(self, capacity_pages: int, stats: IOStats | None = None) -> None:
+        if capacity_pages < 1:
+            raise StorageError(
+                f"buffer pool capacity must be >= 1 page, got {capacity_pages}"
+            )
+        self.capacity_pages = capacity_pages
+        self.stats = stats if stats is not None else IOStats()
+        self._pages: OrderedDict[tuple[int, int], Page] = OrderedDict()
+
+    def fetch(self, heap: HeapFile, page_id: int) -> Page:
+        """Return a page, reading it 'from disk' on a miss.
+
+        A hit refreshes LRU recency; a miss may evict the least
+        recently used resident page.
+        """
+        key = (heap.heap_id, page_id)
+        page = self._pages.get(key)
+        if page is not None:
+            self._pages.move_to_end(key)
+            self.stats.record_hit()
+            return page
+        page = heap.page(page_id)
+        self.stats.record_read(heap.heap_id, page_id)
+        self._pages[key] = page
+        if len(self._pages) > self.capacity_pages:
+            self._pages.popitem(last=False)
+        return page
+
+    def contains(self, heap: HeapFile, page_id: int) -> bool:
+        """Return True iff the page is resident (no recency update)."""
+        return (heap.heap_id, page_id) in self._pages
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of pages currently cached."""
+        return len(self._pages)
+
+    def invalidate(self, heap: HeapFile) -> None:
+        """Drop all resident pages of ``heap`` (e.g. after a bulk load)."""
+        keys = [key for key in self._pages if key[0] == heap.heap_id]
+        for key in keys:
+            del self._pages[key]
+
+    def clear(self) -> None:
+        """Drop every resident page (cold-cache experiment setup)."""
+        self._pages.clear()

@@ -1,0 +1,66 @@
+"""I/O accounting.
+
+The evaluation hinges on *how* data is read, not just how much:
+concurrent query-at-a-time scans degrade into random I/O while CJOIN's
+single continuous scan stays sequential (paper section 1).  Every page
+fetch in the library is classified here so both engines' access
+patterns are observable and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Counters for page-level I/O, split by access pattern.
+
+    A *sequential* read is a buffer-pool miss whose page immediately
+    follows the previous miss on the same heap; every other miss is
+    *random*.  Buffer-pool hits never touch the (simulated) disk and
+    are counted separately.
+    """
+
+    sequential_reads: int = 0
+    random_reads: int = 0
+    buffer_hits: int = 0
+    pages_written: int = 0
+    _last_page: dict[int, int] = field(default_factory=dict, repr=False)
+
+    def record_read(self, heap_id: int, page_id: int) -> None:
+        """Record a buffer-pool miss for ``page_id`` of heap ``heap_id``."""
+        last = self._last_page.get(heap_id)
+        if last is not None and page_id == last + 1:
+            self.sequential_reads += 1
+        else:
+            self.random_reads += 1
+        self._last_page[heap_id] = page_id
+
+    def record_hit(self) -> None:
+        """Record a buffer-pool hit (no disk access)."""
+        self.buffer_hits += 1
+
+    def record_write(self, count: int = 1) -> None:
+        """Record ``count`` page writes."""
+        self.pages_written += count
+
+    @property
+    def disk_reads(self) -> int:
+        """Total page reads that reached the disk."""
+        return self.sequential_reads + self.random_reads
+
+    @property
+    def sequential_fraction(self) -> float:
+        """Fraction of disk reads that were sequential (1.0 if none)."""
+        if self.disk_reads == 0:
+            return 1.0
+        return self.sequential_reads / self.disk_reads
+
+    def reset(self) -> None:
+        """Zero all counters and forget per-heap positions."""
+        self.sequential_reads = 0
+        self.random_reads = 0
+        self.buffer_hits = 0
+        self.pages_written = 0
+        self._last_page.clear()

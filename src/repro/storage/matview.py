@@ -1,0 +1,75 @@
+"""Materialized views over dimension tables (paper section 5).
+
+The paper: fact-table views are impractical for ad-hoc workloads, but
+"it is more common (and affordable) for data warehouses to maintain
+indexes and views on dimension tables. CJOIN takes advantage of these
+structures transparently, since they can optimize the dimension filter
+queries that are part of new query registration."
+
+A :class:`DimensionView` materializes one predicate's selection over a
+dimension.  Admission consults registered views before scanning: when
+a query's dimension predicate *equals* the view's defining predicate
+(predicates are value objects, so structural equality works), the
+materialized rows are served directly with no dimension I/O.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import TableSchema
+from repro.errors import SchemaError
+from repro.query.predicate import Predicate
+
+
+class DimensionView:
+    """A materialized ``sigma_predicate(dimension)``."""
+
+    def __init__(
+        self,
+        name: str,
+        dimension_schema: TableSchema,
+        predicate: Predicate,
+        rows: list[tuple],
+    ) -> None:
+        if not name or not name.isidentifier():
+            raise SchemaError(f"invalid view name: {name!r}")
+        self.name = name
+        self.dimension_name = dimension_schema.name
+        self.predicate = predicate
+        for row in rows:
+            dimension_schema.validate_row(row)
+        self._rows = [tuple(row) for row in rows]
+
+    @classmethod
+    def materialize(
+        cls, name: str, dimension_table, predicate: Predicate
+    ) -> "DimensionView":
+        """Build a view by evaluating ``predicate`` over a stored table."""
+        matcher = predicate.bind(dimension_table.schema)
+        rows = [row for row in dimension_table.all_rows() if matcher(row)]
+        return cls(name, dimension_table.schema, predicate, rows)
+
+    def matches(self, dimension_name: str, predicate: Predicate) -> bool:
+        """True iff this view answers ``predicate`` on ``dimension_name``.
+
+        Exact structural predicate equality — the sound, simple
+        subsumption test (predicate nodes are value objects).
+        """
+        return (
+            dimension_name == self.dimension_name
+            and predicate == self.predicate
+        )
+
+    def rows(self) -> list[tuple]:
+        """The materialized selection (a copy)."""
+        return list(self._rows)
+
+    @property
+    def row_count(self) -> int:
+        """Number of materialized rows."""
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"DimensionView({self.name!r} over {self.dimension_name!r}, "
+            f"{self.row_count} rows)"
+        )

@@ -1,0 +1,139 @@
+"""Multi-version visibility for snapshot isolation.
+
+The paper assumes snapshot isolation (section 2.1) and sketches two
+CJOIN adaptations for mixed query/update workloads (section 3.5).  We
+implement the first: the continuous scan exposes per-tuple version
+metadata, and the Preprocessor treats "visible in query's snapshot" as
+a virtual fact-table predicate.
+
+Versioning model (simplified PostgreSQL-style):
+
+* every committed transaction gets an increasing id;
+* a tuple's ``xmin`` is the id of the transaction that inserted it and
+  ``xmax`` the id of the one that deleted it (None while live);
+* snapshot ``s`` sees a tuple iff ``xmin <= s`` and ``xmax is None or
+  xmax > s``.
+
+Rows are never physically removed, which preserves the continuous
+scan's stable-order guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.errors import SnapshotError
+from repro.storage.table import Table
+
+
+class TupleVersion(NamedTuple):
+    """Insertion/deletion transaction ids for one stored tuple."""
+
+    xmin: int
+    xmax: int | None
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A point-in-time view of the database."""
+
+    snapshot_id: int
+
+    def can_see(self, version: TupleVersion) -> bool:
+        """Return True iff a tuple with ``version`` is visible here."""
+        if version.xmin > self.snapshot_id:
+            return False
+        return version.xmax is None or version.xmax > self.snapshot_id
+
+
+class VersionedTable:
+    """A table with parallel per-row version metadata.
+
+    The underlying :class:`Table` holds the row payloads (and thus
+    drives paging and scans); ``versions[position]`` holds that row's
+    visibility interval.
+    """
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self.versions: list[TupleVersion] = [
+            TupleVersion(xmin=0, xmax=None) for _ in range(table.row_count)
+        ]
+
+    @property
+    def schema(self):
+        """The underlying table's schema."""
+        return self.table.schema
+
+    @property
+    def row_count(self) -> int:
+        """Number of stored row versions (live and dead)."""
+        return self.table.row_count
+
+    def insert(self, row: tuple, xmin: int) -> int:
+        """Append ``row`` visible from transaction ``xmin``; return position."""
+        self.table.insert(row)
+        self.versions.append(TupleVersion(xmin=xmin, xmax=None))
+        return len(self.versions) - 1
+
+    def delete(self, position: int, xmax: int) -> None:
+        """Mark the row at ``position`` as deleted by transaction ``xmax``.
+
+        Raises:
+            SnapshotError: on unknown position or double delete.
+        """
+        if not 0 <= position < len(self.versions):
+            raise SnapshotError(f"no row at position {position}")
+        version = self.versions[position]
+        if version.xmax is not None:
+            raise SnapshotError(f"row {position} already deleted by {version.xmax}")
+        self.versions[position] = version._replace(xmax=xmax)
+
+    def version_at(self, position: int) -> TupleVersion:
+        """Return the version metadata of the row at ``position``."""
+        if not 0 <= position < len(self.versions):
+            raise SnapshotError(f"no row at position {position}")
+        return self.versions[position]
+
+    def visible_rows(self, snapshot: Snapshot) -> list[tuple]:
+        """Materialize the rows visible in ``snapshot`` (test helper)."""
+        return [
+            row
+            for position, row in enumerate(self.table.heap.iter_rows())
+            if snapshot.can_see(self.versions[position])
+        ]
+
+
+class TransactionManager:
+    """Issues snapshot ids and applies committed write sets.
+
+    The id counter starts at 0: bulk-loaded data carries ``xmin=0`` and
+    is visible to every snapshot.
+    """
+
+    def __init__(self) -> None:
+        self._committed = 0
+
+    def current_snapshot(self) -> Snapshot:
+        """Return a snapshot of everything committed so far."""
+        return Snapshot(self._committed)
+
+    def commit(
+        self,
+        table: VersionedTable,
+        inserts: list[tuple] | None = None,
+        deletes: list[int] | None = None,
+    ) -> Snapshot:
+        """Atomically apply a write set; return the post-commit snapshot.
+
+        Updates are expressed as delete + insert, as in the paper's
+        append-mostly warehouse model.
+        """
+        txn_id = self._committed + 1
+        for position in deletes or []:
+            table.delete(position, xmax=txn_id)
+        for row in inserts or []:
+            table.insert(row, xmin=txn_id)
+        self._committed = txn_id
+        return Snapshot(txn_id)

@@ -1,0 +1,64 @@
+"""Fixed-capacity tuple pages.
+
+Rows are grouped into pages so that I/O is charged in page units, the
+granularity at which the paper's disk-bound effects (sequential scan
+bandwidth vs random seeks) occur.  A page stores plain Python tuples;
+capacity is a row count fixed per heap at creation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+
+#: Default number of rows per page.  Chosen so that a milli-scale SSB
+#: fact table spans hundreds of pages (enough for I/O patterns to be
+#: meaningful) without per-row page overhead dominating.
+DEFAULT_ROWS_PER_PAGE = 128
+
+
+class Page:
+    """A fixed-capacity, append-only slotted page of rows."""
+
+    __slots__ = ("page_id", "capacity", "rows")
+
+    def __init__(self, page_id: int, capacity: int = DEFAULT_ROWS_PER_PAGE) -> None:
+        if capacity < 1:
+            raise StorageError(f"page capacity must be >= 1, got {capacity}")
+        self.page_id = page_id
+        self.capacity = capacity
+        self.rows: list[tuple] = []
+
+    @property
+    def is_full(self) -> bool:
+        """True iff no more rows fit on this page."""
+        return len(self.rows) >= self.capacity
+
+    def append(self, row: tuple) -> int:
+        """Append ``row``; return its slot index.
+
+        Raises:
+            StorageError: if the page is full.
+        """
+        if self.is_full:
+            raise StorageError(f"page {self.page_id} is full")
+        self.rows.append(row)
+        return len(self.rows) - 1
+
+    def slot(self, slot_id: int) -> tuple:
+        """Return the row stored in ``slot_id``.
+
+        Raises:
+            StorageError: if the slot does not exist.
+        """
+        if not 0 <= slot_id < len(self.rows):
+            raise StorageError(
+                f"page {self.page_id} has no slot {slot_id} "
+                f"({len(self.rows)} rows)"
+            )
+        return self.rows[slot_id]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Page(id={self.page_id}, rows={len(self.rows)}/{self.capacity})"

@@ -1,0 +1,147 @@
+"""Tables: a schema bound to a heap file of rows."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.catalog.schema import TableSchema
+from repro.errors import StorageError
+from repro.storage.heap import HeapFile
+from repro.storage.page import DEFAULT_ROWS_PER_PAGE
+
+
+class Table:
+    """A row-store table.
+
+    Rows are plain tuples in schema column order, stored append-only in
+    a :class:`~repro.storage.heap.HeapFile`.  Reads on the query path
+    go through scans (:mod:`repro.storage.scan`) so that I/O is charged
+    to a buffer pool; direct accessors exist for tests and bulk
+    internal work.
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        rows_per_page: int = DEFAULT_ROWS_PER_PAGE,
+    ) -> None:
+        self.schema = schema
+        self.heap = HeapFile(rows_per_page)
+        self._pk_index: dict[object, tuple[int, int]] | None = (
+            {} if schema.primary_key is not None else None
+        )
+        #: column name -> value -> row addresses (secondary indexes)
+        self._secondary: dict[str, dict[object, list[tuple[int, int]]]] = {}
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: TableSchema,
+        rows: Iterable[tuple],
+        rows_per_page: int = DEFAULT_ROWS_PER_PAGE,
+    ) -> "Table":
+        """Build a table and bulk-insert ``rows`` (validated)."""
+        table = cls(schema, rows_per_page)
+        for row in rows:
+            table.insert(row)
+        return table
+
+    def insert(self, row: tuple) -> tuple[int, int]:
+        """Validate and append ``row``; return its (page, slot) address.
+
+        Raises:
+            SchemaError: if the row does not match the schema.
+            StorageError: on duplicate primary key.
+        """
+        row = tuple(row)
+        self.schema.validate_row(row)
+        if self._pk_index is not None:
+            key = row[self.schema.column_index(self.schema.primary_key)]
+            if key in self._pk_index:
+                raise StorageError(
+                    f"duplicate primary key {key!r} in table {self.schema.name!r}"
+                )
+            address = self.heap.append_row(row)
+            self._pk_index[key] = address
+        else:
+            address = self.heap.append_row(row)
+        for column_name, index in self._secondary.items():
+            value = row[self.schema.column_index(column_name)]
+            index.setdefault(value, []).append(address)
+        return address
+
+    def lookup_pk(self, key: object) -> tuple | None:
+        """Return the row with primary key ``key``, or None.
+
+        This is an in-memory index lookup (no I/O charge): the paper
+        allows indexes on dimension tables, and CJOIN's admission path
+        uses them transparently (section 5).
+        """
+        if self._pk_index is None:
+            raise StorageError(
+                f"table {self.schema.name!r} has no primary key index"
+            )
+        address = self._pk_index.get(key)
+        if address is None:
+            return None
+        return self.heap.read_row(*address)
+
+    # ------------------------------------------------------------------
+    # Secondary indexes (paper section 5: dimension indexes are common
+    # and CJOIN's admission path uses them transparently)
+    # ------------------------------------------------------------------
+    def create_index(self, column_name: str) -> None:
+        """Build an equality index on ``column_name`` (idempotent)."""
+        self.schema.column_index(column_name)  # raises on unknown column
+        if column_name in self._secondary:
+            return
+        index: dict[object, list[tuple[int, int]]] = {}
+        rows_per_page = self.heap.rows_per_page
+        position = 0
+        value_index = self.schema.column_index(column_name)
+        for row in self.heap.iter_rows():
+            address = divmod(position, rows_per_page)
+            index.setdefault(row[value_index], []).append(address)
+            position += 1
+        self._secondary[column_name] = index
+
+    def has_index(self, column_name: str) -> bool:
+        """True iff an equality index exists on ``column_name``."""
+        return column_name in self._secondary
+
+    def index_lookup(self, column_name: str, values) -> list[tuple]:
+        """Rows whose indexed column equals any of ``values``.
+
+        An in-memory index access: no buffer-pool I/O is charged,
+        matching the treatment of the primary-key index.
+
+        Raises:
+            StorageError: if the column has no index.
+        """
+        index = self._secondary.get(column_name)
+        if index is None:
+            raise StorageError(
+                f"table {self.schema.name!r} has no index on {column_name!r}"
+            )
+        rows = []
+        for value in values:
+            for address in index.get(value, ()):
+                rows.append(self.heap.read_row(*address))
+        return rows
+
+    @property
+    def row_count(self) -> int:
+        """Number of rows in the table."""
+        return self.heap.row_count
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages in the table's heap."""
+        return self.heap.page_count
+
+    def all_rows(self) -> list[tuple]:
+        """Return every row in heap order (test/bulk helper, no I/O charge)."""
+        return list(self.heap.iter_rows())
+
+    def __repr__(self) -> str:
+        return f"Table({self.schema.name!r}, rows={self.row_count})"

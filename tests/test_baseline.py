@@ -1,0 +1,144 @@
+"""Tests for the query-at-a-time baseline engine."""
+
+import pytest
+
+from repro.baseline import (
+    EngineProfile,
+    HashJoinPipeline,
+    QueryAtATimeEngine,
+    order_dimensions_by_selectivity,
+)
+from repro.query.aggregates import AggregateSpec
+from repro.query.predicate import Comparison
+from repro.query.reference import evaluate_star_query
+from repro.query.star import ColumnRef, StarQuery
+from repro.storage.buffer import BufferPool
+from repro.storage.iostats import IOStats
+
+
+def city_query(city):
+    return StarQuery.build(
+        "sales",
+        dimension_predicates={"store": Comparison("s_city", "=", city)},
+        group_by=[ColumnRef("product", "p_category")],
+        aggregates=[AggregateSpec("sum", "sales", "f_total")],
+    )
+
+
+class TestHashJoinPipeline:
+    def test_single_query_matches_reference(self, tiny_star):
+        catalog, star = tiny_star
+        query = city_query("paris")
+        plan = HashJoinPipeline(query, catalog, star, BufferPool(64))
+        assert plan.execute() == evaluate_star_query(query, catalog)
+
+    def test_wrapped_scan_start_is_result_invariant(self, tiny_star):
+        catalog, star = tiny_star
+        query = city_query("lyon")
+        plan = HashJoinPipeline(query, catalog, star, BufferPool(64))
+        for _ in plan.probe_pages(start_page=2):
+            pass
+        assert plan.results() == evaluate_star_query(query, catalog)
+
+    def test_build_rows_counts_selected_dimension_tuples(self, tiny_star):
+        catalog, star = tiny_star
+        plan = HashJoinPipeline(
+            city_query("lyon"), catalog, star, BufferPool(64)
+        )
+        plan.build()
+        # 1 selected store + 4 products (implicit TRUE via group-by)
+        assert plan.build_rows == 5
+
+
+class TestJoinOrderOptimizer:
+    def test_most_selective_dimension_first(self, tiny_star):
+        catalog, _ = tiny_star
+        query = StarQuery.build(
+            "sales",
+            dimension_predicates={
+                "store": Comparison("s_city", "=", "lyon"),      # 1/3
+                "product": Comparison("p_price", ">", 0),         # 4/4
+            },
+            aggregates=[AggregateSpec("count")],
+        )
+        assert order_dimensions_by_selectivity(query, catalog) == [
+            "store",
+            "product",
+        ]
+
+
+class TestConcurrentExecution:
+    def test_results_in_submission_order(self, tiny_star):
+        catalog, star = tiny_star
+        engine = QueryAtATimeEngine(catalog, star, BufferPool(64))
+        queries = [city_query(c) for c in ("lyon", "paris", "nice")]
+        results = engine.execute_concurrent(queries, max_in_flight=2)
+        for query, rows in zip(queries, results):
+            assert rows == evaluate_star_query(query, catalog)
+
+    def test_empty_workload(self, tiny_star):
+        catalog, star = tiny_star
+        engine = QueryAtATimeEngine(catalog, star, BufferPool(64))
+        assert engine.execute_concurrent([]) == []
+
+    def test_fact_pages_grow_linearly_with_queries(self, ssb_small, ssb_workload):
+        """Each baseline query performs its own full fact scan."""
+        catalog, star = ssb_small
+        engine = QueryAtATimeEngine(catalog, star, BufferPool(64))
+        engine.execute_concurrent(ssb_workload[:4], max_in_flight=4)
+        fact_pages = catalog.table("lineorder").page_count
+        assert engine.fact_pages_fetched == 4 * fact_pages
+
+    def test_concurrent_scans_cause_random_io(self, ssb_small, ssb_workload):
+        """The paper's core contention claim, observable in IOStats."""
+        catalog, star = ssb_small
+        solo_stats = IOStats()
+        engine = QueryAtATimeEngine(
+            catalog, star, BufferPool(4, solo_stats)
+        )
+        engine.execute_concurrent(ssb_workload[:1])
+        concurrent_stats = IOStats()
+        engine = QueryAtATimeEngine(
+            catalog, star, BufferPool(4, concurrent_stats)
+        )
+        engine.execute_concurrent(ssb_workload[:6], max_in_flight=6)
+        assert (
+            concurrent_stats.sequential_fraction
+            < solo_stats.sequential_fraction
+        )
+
+    def test_profiles(self):
+        assert EngineProfile.system_x().shared_scans is False
+        assert EngineProfile.postgresql().shared_scans is True
+
+    def test_bad_max_in_flight(self, tiny_star):
+        catalog, star = tiny_star
+        engine = QueryAtATimeEngine(catalog, star, BufferPool(64))
+        with pytest.raises(Exception):
+            engine.execute_concurrent([city_query("lyon")], max_in_flight=0)
+
+    def test_cjoin_reads_fewer_fact_pages_than_baseline(
+        self, ssb_small, ssb_workload
+    ):
+        """The headline sharing effect on real storage counters."""
+        from repro.cjoin import CJoinOperator
+
+        catalog, star = ssb_small
+        queries = ssb_workload[:6]
+
+        baseline_stats = IOStats()
+        engine = QueryAtATimeEngine(
+            catalog, star, BufferPool(4, baseline_stats)
+        )
+        baseline_results = engine.execute_concurrent(queries, max_in_flight=6)
+
+        cjoin_stats = IOStats()
+        operator = CJoinOperator(
+            catalog, star, buffer_pool=BufferPool(4, cjoin_stats)
+        )
+        handles = [operator.submit(query) for query in queries]
+        operator.run_until_drained()
+
+        for rows, handle in zip(baseline_results, handles):
+            assert rows == handle.results()
+        assert cjoin_stats.disk_reads < baseline_stats.disk_reads / 2

@@ -1,0 +1,67 @@
+"""Tests for the ASCII chart renderer and its CLI flags."""
+
+from repro.bench.__main__ import main as bench_main
+from repro.bench.charts import render_chart
+from repro.bench.experiments import ExperimentResult, run_experiment
+
+
+class TestRenderChart:
+    def test_all_series_appear(self):
+        result = run_experiment("fig5")
+        chart = render_chart(result)
+        assert "o=cjoin" in chart
+        assert "x=system_x" in chart
+        assert "+=postgresql" in chart
+        assert "concurrent queries" in chart
+
+    def test_log_scale_compresses_range(self):
+        result = run_experiment("fig6")
+        linear = render_chart(result, log_y=False)
+        logged = render_chart(result, log_y=True)
+        assert "(log y)" in logged
+        assert "(log y)" not in linear
+
+    def test_none_values_are_skipped(self):
+        result = run_experiment("fig4")  # vertical has None below 4 threads
+        chart = render_chart(result)
+        assert "vertical" in chart
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        result = ExperimentResult(
+            "flat",
+            "flat series",
+            "x",
+            measured={"only": [(1, 5.0), (2, 5.0)]},
+            paper={},
+        )
+        chart = render_chart(result)
+        assert "only" in chart
+
+    def test_empty_series_handled(self):
+        result = ExperimentResult(
+            "empty",
+            "empty experiment",
+            "x",
+            measured={"none": [(1, None)]},
+            paper={},
+        )
+        assert "no plottable series" in render_chart(result)
+
+    def test_cjoin_line_is_visibly_flat_in_fig6(self):
+        """The chart itself should show a flat bottom row for CJOIN."""
+        chart = render_chart(run_experiment("fig6"), log_y=True)
+        rows = [line for line in chart.splitlines() if line.startswith("|")]
+        cjoin_rows = [row for row in rows if "o" in row]
+        assert len(cjoin_rows) == 1  # all six points on one raster row
+        assert cjoin_rows[0].count("o") == 6
+
+
+class TestCLIFlags:
+    def test_chart_flag(self, capsys):
+        assert bench_main(["--chart", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+
+    def test_log_flag(self, capsys):
+        assert bench_main(["--chart", "--log", "fig6"]) == 0
+        assert "(log y)" in capsys.readouterr().out

@@ -1,0 +1,189 @@
+"""Unit tests for schema objects and star/galaxy topology checks."""
+
+import pytest
+
+from repro.catalog.schema import (
+    Column,
+    DataType,
+    ForeignKey,
+    GalaxySchema,
+    StarSchema,
+    TableSchema,
+)
+from repro.errors import SchemaError
+
+
+def _dim(name="d", key="id"):
+    return TableSchema(
+        name,
+        [Column(key, DataType.INT), Column("label", DataType.STRING)],
+        primary_key=key,
+    )
+
+
+def _fact(name="f", fk_table="d", fk_col="d_id"):
+    return TableSchema(
+        name,
+        [Column(fk_col, DataType.INT), Column("value", DataType.FLOAT)],
+        foreign_keys=[ForeignKey(fk_col, fk_table, "id")],
+    )
+
+
+class TestColumn:
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("bad name", DataType.INT)
+
+    @pytest.mark.parametrize(
+        "dtype,expected",
+        [
+            (DataType.INT, int),
+            (DataType.FLOAT, float),
+            (DataType.STRING, str),
+            (DataType.DATE, int),
+        ],
+    )
+    def test_python_types(self, dtype, expected):
+        assert dtype.python_type() is expected
+
+
+class TestTableSchema:
+    def test_column_index_follows_declaration_order(self):
+        table = _dim()
+        assert table.column_index("id") == 0
+        assert table.column_index("label") == 1
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            _dim().column_index("missing")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                [Column("a", DataType.INT), Column("a", DataType.INT)],
+            )
+
+    def test_primary_key_must_be_a_column(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", DataType.INT)], primary_key="b")
+
+    def test_foreign_key_column_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                [Column("a", DataType.INT)],
+                foreign_keys=[ForeignKey("zz", "d", "id")],
+            )
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_validate_row_checks_arity(self):
+        with pytest.raises(SchemaError):
+            _dim().validate_row((1,))
+
+    def test_validate_row_checks_types(self):
+        with pytest.raises(SchemaError):
+            _dim().validate_row(("not an int", "label"))
+
+    def test_validate_row_allows_null(self):
+        _dim().validate_row((None, None))
+
+    def test_validate_row_accepts_int_for_float(self):
+        _fact().validate_row((1, 7))
+
+    def test_foreign_key_to_unknown_dimension(self):
+        with pytest.raises(SchemaError):
+            _fact().foreign_key_to("elsewhere")
+
+    def test_foreign_key_to_ambiguous(self):
+        table = TableSchema(
+            "f",
+            [Column("a", DataType.INT), Column("b", DataType.INT)],
+            foreign_keys=[
+                ForeignKey("a", "d", "id"),
+                ForeignKey("b", "d", "id"),
+            ],
+        )
+        with pytest.raises(SchemaError):
+            table.foreign_key_to("d")
+
+
+class TestStarSchema:
+    def test_valid_star(self):
+        star = StarSchema(fact=_fact(), dimensions={"d": _dim()})
+        assert star.dimension_names() == ["d"]
+        assert star.fact_fk_index("d") == 0
+
+    def test_dimension_requires_primary_key(self):
+        keyless = TableSchema("d", [Column("id", DataType.INT)])
+        with pytest.raises(SchemaError):
+            StarSchema(fact=_fact(), dimensions={"d": keyless})
+
+    def test_foreign_key_must_hit_primary_key(self):
+        fact = TableSchema(
+            "f",
+            [Column("d_id", DataType.INT)],
+            foreign_keys=[ForeignKey("d_id", "d", "label")],
+        )
+        with pytest.raises(SchemaError):
+            StarSchema(fact=fact, dimensions={"d": _dim()})
+
+    def test_dimension_name_mismatch(self):
+        with pytest.raises(SchemaError):
+            StarSchema(fact=_fact(), dimensions={"wrong": _dim()})
+
+    def test_unknown_dimension_lookup(self):
+        star = StarSchema(fact=_fact(), dimensions={"d": _dim()})
+        with pytest.raises(SchemaError):
+            star.dimension("nope")
+
+    def test_owner_of_column_resolves(self):
+        star = StarSchema(fact=_fact(), dimensions={"d": _dim()})
+        assert star.owner_of_column("label").name == "d"
+        assert star.owner_of_column("value").name == "f"
+
+    def test_owner_of_column_ambiguous(self):
+        dim_b = TableSchema(
+            "b",
+            [Column("bid", DataType.INT), Column("label", DataType.STRING)],
+            primary_key="bid",
+        )
+        fact = TableSchema(
+            "f",
+            [
+                Column("d_id", DataType.INT),
+                Column("b_id", DataType.INT),
+            ],
+            foreign_keys=[
+                ForeignKey("d_id", "d", "id"),
+                ForeignKey("b_id", "b", "bid"),
+            ],
+        )
+        star = StarSchema(fact=fact, dimensions={"d": _dim(), "b": dim_b})
+        with pytest.raises(SchemaError):
+            star.owner_of_column("label")
+
+    def test_table_lookup_covers_fact_and_dims(self):
+        star = StarSchema(fact=_fact(), dimensions={"d": _dim()})
+        assert star.table("f") is star.fact
+        assert star.table("d") is star.dimension("d")
+
+
+class TestGalaxySchema:
+    def test_fact_links_must_reference_registered_stars(self):
+        star = StarSchema(fact=_fact(), dimensions={"d": _dim()})
+        with pytest.raises(SchemaError):
+            GalaxySchema(
+                stars={"f": star},
+                fact_links=[ForeignKey("value", "unknown_fact", "x")],
+            )
+
+    def test_star_lookup(self):
+        star = StarSchema(fact=_fact(), dimensions={"d": _dim()})
+        galaxy = GalaxySchema(stars={"f": star})
+        assert galaxy.star("f") is star
+        with pytest.raises(SchemaError):
+            galaxy.star("g")

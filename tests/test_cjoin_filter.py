@@ -1,0 +1,137 @@
+"""Unit tests for the Filter component (probe, AND, drop, skip)."""
+
+from repro import bitvec
+from repro.catalog.schema import (
+    Column,
+    DataType,
+    ForeignKey,
+    StarSchema,
+    TableSchema,
+)
+from repro.cjoin.dimtable import DimensionHashTable
+from repro.cjoin.filter import Filter
+from repro.cjoin.stats import PipelineStats
+from repro.cjoin.tuples import FactTuple
+
+
+def make_star():
+    dim = TableSchema(
+        "d",
+        [Column("id", DataType.INT), Column("label", DataType.STRING)],
+        primary_key="id",
+    )
+    fact = TableSchema(
+        "f",
+        [Column("d_id", DataType.INT), Column("v", DataType.INT)],
+        foreign_keys=[ForeignKey("d_id", "d", "id")],
+    )
+    return StarSchema(fact=fact, dimensions={"d": dim})
+
+
+def make_filter(stats=None):
+    star = make_star()
+    table = DimensionHashTable(star.dimension("d"))
+    return Filter(table, star, stats), table
+
+
+def tuple_with_bits(bits, d_id=5):
+    return FactTuple(sequence=1, position=0, row=(d_id, 10), bitvector=bits)
+
+
+class TestFiltering:
+    def test_joining_tuple_keeps_selected_bits(self):
+        filter_, table = make_filter()
+        table.mark_query_referencing(1)
+        table.register_selected_rows(1, [(5, "five")])
+        table.mark_query_referencing(2)  # Q2 selects nothing
+        fact_tuple = tuple_with_bits(0b11, d_id=5)
+        assert filter_.process(fact_tuple)
+        assert fact_tuple.bitvector == bitvec.bit_for_query(1)
+
+    def test_tuple_dropped_when_no_query_remains(self):
+        filter_, table = make_filter()
+        table.mark_query_referencing(1)
+        table.register_selected_rows(1, [(5, "five")])
+        fact_tuple = tuple_with_bits(0b1, d_id=6)  # FK misses selection
+        assert not filter_.process(fact_tuple)
+        assert fact_tuple.bitvector == 0
+        assert filter_.stats.tuples_dropped == 1
+
+    def test_dim_row_pointer_attached(self):
+        filter_, table = make_filter()
+        table.mark_query_referencing(1)
+        table.register_selected_rows(1, [(5, "five")])
+        fact_tuple = tuple_with_bits(0b1, d_id=5)
+        filter_.process(fact_tuple)
+        assert fact_tuple.dim_rows["d"] == (5, "five")
+
+    def test_probe_skip_when_no_relevant_query_references(self):
+        stats = PipelineStats()
+        filter_, table = make_filter(stats)
+        table.mark_query_not_referencing(1)  # Q1 doesn't reference d
+        fact_tuple = tuple_with_bits(0b1, d_id=12345)
+        assert filter_.process(fact_tuple)
+        assert fact_tuple.bitvector == 0b1  # untouched
+        assert filter_.stats.probe_skips == 1
+        assert filter_.stats.probes == 0
+        assert stats.probes_total == 0
+
+    def test_probe_happens_when_some_relevant_query_references(self):
+        stats = PipelineStats()
+        filter_, table = make_filter(stats)
+        table.mark_query_not_referencing(1)
+        table.mark_query_referencing(2)
+        table.register_selected_rows(2, [(5, "five")])
+        fact_tuple = tuple_with_bits(0b11, d_id=5)
+        assert filter_.process(fact_tuple)
+        assert filter_.stats.probes == 1
+        assert stats.probes_total == 1
+        assert fact_tuple.bitvector == 0b11
+
+    def test_single_probe_covers_all_queries(self):
+        """One probe resolves every concurrent query (the key sharing)."""
+        filter_, table = make_filter()
+        for query_id in range(1, 33):
+            table.mark_query_referencing(query_id)
+            if query_id % 2 == 0:
+                table.register_selected_rows(query_id, [(5, "five")])
+        fact_tuple = tuple_with_bits(bitvec.all_ones(32), d_id=5)
+        filter_.process(fact_tuple)
+        assert filter_.stats.probes == 1
+        surviving = list(bitvec.iter_query_ids(fact_tuple.bitvector))
+        assert surviving == [q for q in range(1, 33) if q % 2 == 0]
+
+
+class TestWouldDrop:
+    def test_would_drop_matches_process_without_side_effects(self):
+        filter_, table = make_filter()
+        table.mark_query_referencing(1)
+        table.register_selected_rows(1, [(5, "five")])
+        surviving = tuple_with_bits(0b1, d_id=5)
+        dying = tuple_with_bits(0b1, d_id=6)
+        assert not filter_.would_drop(surviving)
+        assert filter_.would_drop(dying)
+        # no mutation, no stats
+        assert surviving.bitvector == 0b1
+        assert dying.bitvector == 0b1
+        assert filter_.stats.tuples_in == 0
+
+
+class TestFilterStats:
+    def test_pass_and_drop_rates(self):
+        filter_, table = make_filter()
+        table.mark_query_referencing(1)
+        table.register_selected_rows(1, [(5, "five")])
+        for d_id in (5, 6, 7, 5):
+            filter_.process(tuple_with_bits(0b1, d_id))
+        assert filter_.stats.tuples_in == 4
+        assert filter_.stats.drop_rate == 0.5
+        assert filter_.stats.pass_rate == 0.5
+
+    def test_reset(self):
+        filter_, table = make_filter()
+        table.mark_query_referencing(1)
+        filter_.process(tuple_with_bits(0b1))
+        filter_.stats.reset()
+        assert filter_.stats.tuples_in == 0
+        assert filter_.stats.drop_rate == 0.0

@@ -1,0 +1,267 @@
+"""Tests for the galaxy fact-to-fact join and snapshot handling (3.5, 5)."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import (
+    Column,
+    DataType,
+    ForeignKey,
+    StarSchema,
+    TableSchema,
+)
+from repro.cjoin import CJoinOperator
+from repro.cjoin.galaxy import GalaxyJoinQuery, evaluate_galaxy_join
+from repro.cjoin.snapshots import SnapshotPartitionedCJoin
+from repro.errors import QueryError, SnapshotError
+from repro.query.aggregates import AggregateSpec
+from repro.query.predicate import Comparison
+from repro.query.star import ColumnRef, StarQuery
+from repro.storage.mvcc import Snapshot, TransactionManager, VersionedTable
+from repro.storage.table import Table
+
+INT = DataType.INT
+STRING = DataType.STRING
+
+
+def galaxy_setup():
+    """Two stars sharing a 'customer' key space: orders and shipments."""
+    region = TableSchema(
+        "region",
+        [Column("r_id", INT), Column("r_name", STRING)],
+        primary_key="r_id",
+    )
+    orders = TableSchema(
+        "orders",
+        [
+            Column("o_id", INT),
+            Column("o_region", INT),
+            Column("o_amount", INT),
+        ],
+        foreign_keys=[ForeignKey("o_region", "region", "r_id")],
+    )
+    carrier = TableSchema(
+        "carrier",
+        [Column("c_id", INT), Column("c_name", STRING)],
+        primary_key="c_id",
+    )
+    shipments = TableSchema(
+        "shipments",
+        [
+            Column("sh_order", INT),
+            Column("sh_carrier", INT),
+            Column("sh_cost", INT),
+        ],
+        foreign_keys=[ForeignKey("sh_carrier", "carrier", "c_id")],
+    )
+    orders_star = StarSchema(fact=orders, dimensions={"region": region})
+    shipments_star = StarSchema(fact=shipments, dimensions={"carrier": carrier})
+
+    catalog_a = Catalog()
+    catalog_a.register_table(
+        Table.from_rows(region, [(1, "east"), (2, "west")])
+    )
+    catalog_a.register_table(
+        Table.from_rows(
+            orders,
+            [(100, 1, 50), (101, 2, 70), (102, 1, 20), (103, 2, 90)],
+        )
+    )
+    catalog_a.register_star(orders_star)
+
+    catalog_b = Catalog()
+    catalog_b.register_table(
+        Table.from_rows(carrier, [(1, "fast"), (2, "slow")])
+    )
+    catalog_b.register_table(
+        Table.from_rows(
+            shipments,
+            [(100, 1, 5), (100, 2, 7), (101, 1, 6), (103, 2, 9), (999, 1, 1)],
+        )
+    )
+    catalog_b.register_star(shipments_star)
+    return catalog_a, orders_star, catalog_b, shipments_star
+
+
+class TestGalaxyJoin:
+    def test_fact_to_fact_join_with_aggregation(self):
+        catalog_a, star_a, catalog_b, star_b = galaxy_setup()
+        left = StarQuery.build(
+            "orders",
+            dimension_predicates={"region": Comparison("r_name", "=", "east")},
+            select=[ColumnRef("orders", "o_id"), ColumnRef("orders", "o_amount")],
+        )
+        right = StarQuery.build(
+            "shipments",
+            select=[
+                ColumnRef("shipments", "sh_order"),
+                ColumnRef("shipments", "sh_cost"),
+            ],
+        )
+        galaxy_query = GalaxyJoinQuery(
+            left=left,
+            right=right,
+            left_join_column=0,   # o_id
+            right_join_column=0,  # sh_order
+            group_by_columns=(0,),  # group by order id
+            aggregates=(("sum", 3),),  # sum of sh_cost
+        )
+        rows = evaluate_galaxy_join(
+            galaxy_query,
+            CJoinOperator(catalog_a, star_a),
+            CJoinOperator(catalog_b, star_b),
+        )
+        # east orders: 100 (two shipments: 5+7) and 102 (no shipments)
+        assert rows == [(100, 12)]
+
+    def test_plain_join_listing(self):
+        catalog_a, star_a, catalog_b, star_b = galaxy_setup()
+        left = StarQuery.build(
+            "orders", select=[ColumnRef("orders", "o_id")]
+        )
+        right = StarQuery.build(
+            "shipments",
+            dimension_predicates={"carrier": Comparison("c_name", "=", "fast")},
+            select=[ColumnRef("shipments", "sh_order")],
+        )
+        galaxy_query = GalaxyJoinQuery(
+            left=left, right=right, left_join_column=0, right_join_column=0
+        )
+        rows = evaluate_galaxy_join(
+            galaxy_query,
+            CJoinOperator(catalog_a, star_a),
+            CJoinOperator(catalog_b, star_b),
+        )
+        assert rows == [(100, 100), (101, 101)]
+
+    def test_aggregating_subqueries_rejected(self):
+        catalog_a, star_a, catalog_b, star_b = galaxy_setup()
+        aggregating = StarQuery.build(
+            "orders", aggregates=[AggregateSpec("count")]
+        )
+        listing = StarQuery.build(
+            "shipments", select=[ColumnRef("shipments", "sh_order")]
+        )
+        with pytest.raises(QueryError):
+            GalaxyJoinQuery(
+                left=aggregating,
+                right=listing,
+                left_join_column=0,
+                right_join_column=0,
+            )
+
+    def test_join_column_bounds_checked(self):
+        catalog_a, star_a, catalog_b, star_b = galaxy_setup()
+        left = StarQuery.build("orders", select=[ColumnRef("orders", "o_id")])
+        right = StarQuery.build(
+            "shipments", select=[ColumnRef("shipments", "sh_order")]
+        )
+        with pytest.raises(QueryError):
+            GalaxyJoinQuery(
+                left=left, right=right, left_join_column=5, right_join_column=0
+            )
+
+
+def versioned_setup():
+    """A tiny fact with updates: snapshot 0 vs snapshot 1."""
+    from tests.conftest import make_tiny_star
+
+    catalog, star = make_tiny_star()
+    fact = catalog.table("sales")
+    versioned = VersionedTable(fact)
+    transactions = TransactionManager()
+    # snapshot 1: delete first row, add two rows
+    transactions.commit(
+        versioned,
+        inserts=[(1, 10, 7, 35), (3, 20, 1, 30)],
+        deletes=[0],
+    )
+    return catalog, star, versioned, transactions
+
+
+class TestSnapshotVirtualPredicate:
+    def test_queries_on_different_snapshots_share_one_operator(self):
+        catalog, star, versioned, transactions = versioned_setup()
+        operator = CJoinOperator(catalog, star, versioned_fact=versioned)
+        import dataclasses
+
+        base = StarQuery.build(
+            "sales",
+            aggregates=[
+                AggregateSpec("count"),
+                AggregateSpec("sum", "sales", "f_qty"),
+            ],
+        )
+        old = dataclasses.replace(base, snapshot_id=0)
+        new = dataclasses.replace(base, snapshot_id=1)
+        old_handle = operator.submit(old)
+        new_handle = operator.submit(new)
+        operator.run_until_drained()
+        # snapshot 0: the original 12 rows, qty total 27
+        assert old_handle.results() == [(12, 27)]
+        # snapshot 1: 12 - 1 + 2 = 13 rows, qty 27 - 2 + 7 + 1 = 33
+        assert new_handle.results() == [(13, 33)]
+
+    def test_matches_reference_with_versions(self):
+        catalog, star, versioned, transactions = versioned_setup()
+        import dataclasses
+
+        from repro.query.reference import evaluate_star_query
+
+        operator = CJoinOperator(catalog, star, versioned_fact=versioned)
+        query = dataclasses.replace(
+            StarQuery.build(
+                "sales",
+                dimension_predicates={
+                    "product": Comparison("p_category", "=", "food")
+                },
+                group_by=[ColumnRef("store", "s_city")],
+                aggregates=[AggregateSpec("sum", "sales", "f_total")],
+            ),
+            snapshot_id=1,
+        )
+        handle = operator.submit(query)
+        operator.run_until_drained()
+        assert handle.results() == evaluate_star_query(
+            query, catalog, versioned_fact=versioned
+        )
+
+
+class TestSnapshotPartitionedCJoin:
+    def _catalog_for_snapshot(self):
+        catalog, star, versioned, _ = versioned_setup()
+
+        def build(snapshot_id: int) -> Catalog:
+            snapshot_catalog = Catalog()
+            for name in ("store", "product"):
+                snapshot_catalog.register_table(catalog.table(name))
+            fact = Table(star.fact)
+            for row in versioned.visible_rows(Snapshot(snapshot_id)):
+                fact.insert(row)
+            snapshot_catalog.register_table(fact)
+            snapshot_catalog.register_star(star)
+            return snapshot_catalog
+
+        return build, star
+
+    def test_routes_by_snapshot_and_reuses_operators(self):
+        build, star = self._catalog_for_snapshot()
+        router = SnapshotPartitionedCJoin(build, star)
+        import dataclasses
+
+        base = StarQuery.build("sales", aggregates=[AggregateSpec("count")])
+        handles = [
+            router.submit(dataclasses.replace(base, snapshot_id=sid))
+            for sid in (0, 1, 0)
+        ]
+        assert router.operator_count == 2  # snapshot 0 operator reused
+        router.run_until_drained()
+        assert handles[0].results() == [(12,)]
+        assert handles[1].results() == [(13,)]
+        assert handles[2].results() == [(12,)]
+
+    def test_untagged_query_rejected(self):
+        build, star = self._catalog_for_snapshot()
+        router = SnapshotPartitionedCJoin(build, star)
+        with pytest.raises(SnapshotError):
+            router.submit(StarQuery.build("sales"))

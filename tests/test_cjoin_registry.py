@@ -1,0 +1,86 @@
+"""Unit tests for query id allocation and handles."""
+
+import pytest
+
+from repro.cjoin.registry import QueryHandle, QueryIdAllocator
+from repro.errors import AdmissionError
+from repro.query.star import StarQuery
+
+
+class TestQueryIdAllocator:
+    def test_allocates_first_unused_id(self):
+        allocator = QueryIdAllocator(max_concurrent=4)
+        assert allocator.allocate() == 1
+        assert allocator.allocate() == 2
+        allocator.release(1)
+        assert allocator.allocate() == 1  # reuse the lowest free id
+
+    def test_max_concurrency_enforced(self):
+        allocator = QueryIdAllocator(max_concurrent=2)
+        allocator.allocate()
+        allocator.allocate()
+        with pytest.raises(AdmissionError):
+            allocator.allocate()
+
+    def test_release_unknown_id(self):
+        allocator = QueryIdAllocator()
+        with pytest.raises(AdmissionError):
+            allocator.release(7)
+
+    def test_max_id_tracks_densely(self):
+        allocator = QueryIdAllocator(max_concurrent=8)
+        for _ in range(3):
+            allocator.allocate()
+        assert allocator.max_id == 3
+        allocator.release(2)
+        assert allocator.max_id == 3
+        allocator.release(3)
+        assert allocator.max_id == 1
+
+    def test_invalid_max_concurrent(self):
+        with pytest.raises(AdmissionError):
+            QueryIdAllocator(0)
+
+
+class TestQueryHandle:
+    def _handle(self):
+        return QueryHandle(StarQuery.build("sales"))
+
+    def test_results_before_completion_raise(self):
+        handle = self._handle()
+        assert not handle.done
+        with pytest.raises(AdmissionError):
+            handle.results()
+        with pytest.raises(AdmissionError):
+            _ = handle.response_time
+
+    def test_complete_fulfills(self):
+        handle = self._handle()
+        handle.complete([(1, 2)])
+        assert handle.done
+        assert handle.results() == [(1, 2)]
+        assert handle.response_time >= 0
+
+    def test_results_are_copied(self):
+        handle = self._handle()
+        handle.complete([(1,)])
+        handle.results().append((2,))
+        assert handle.results() == [(1,)]
+
+    def test_progress_is_one_when_done(self):
+        handle = self._handle()
+        handle.complete([])
+        assert handle.progress == 1.0
+
+    def test_progress_defaults_to_zero(self):
+        assert self._handle().progress == 0.0
+
+    def test_eta_zero_when_done(self):
+        handle = self._handle()
+        handle.complete([])
+        assert handle.estimated_seconds_remaining(100.0) == 0.0
+
+    def test_eta_infinite_without_rate(self):
+        handle = self._handle()
+        handle.set_progress_total(100)
+        assert handle.estimated_seconds_remaining(0.0) == float("inf")

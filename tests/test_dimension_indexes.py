@@ -1,0 +1,108 @@
+"""Secondary dimension indexes and their transparent use by admission
+
+(paper section 5, "Indexes and Materialized Views").
+"""
+
+import pytest
+
+from repro.cjoin import CJoinOperator
+from repro.errors import StorageError
+from repro.query.aggregates import AggregateSpec
+from repro.query.predicate import Between, Comparison, InList
+from repro.query.reference import evaluate_star_query
+from repro.query.star import StarQuery
+from repro.storage.buffer import BufferPool
+from repro.storage.iostats import IOStats
+
+
+class TestSecondaryIndex:
+    def test_lookup_returns_matching_rows(self, tiny_star):
+        catalog, _ = tiny_star
+        store = catalog.table("store")
+        store.create_index("s_city")
+        assert store.index_lookup("s_city", ["lyon"]) == [(1, "lyon", 100)]
+        assert store.index_lookup("s_city", ["lyon", "nice"]) == [
+            (1, "lyon", 100),
+            (3, "nice", 50),
+        ]
+
+    def test_lookup_without_index_raises(self, tiny_star):
+        catalog, _ = tiny_star
+        with pytest.raises(StorageError):
+            catalog.table("store").index_lookup("s_city", ["lyon"])
+
+    def test_create_index_is_idempotent(self, tiny_star):
+        catalog, _ = tiny_star
+        store = catalog.table("store")
+        store.create_index("s_city")
+        store.create_index("s_city")
+        assert store.has_index("s_city")
+
+    def test_index_maintained_on_insert(self, tiny_star):
+        catalog, _ = tiny_star
+        store = catalog.table("store")
+        store.create_index("s_city")
+        store.insert((4, "lyon", 75))
+        assert store.index_lookup("s_city", ["lyon"]) == [
+            (1, "lyon", 100),
+            (4, "lyon", 75),
+        ]
+
+    def test_unknown_column_rejected(self, tiny_star):
+        catalog, _ = tiny_star
+        with pytest.raises(Exception):
+            catalog.table("store").create_index("missing")
+
+
+class TestAdmissionUsesIndexes:
+    def _query(self, predicate):
+        return StarQuery.build(
+            "sales",
+            dimension_predicates={"store": predicate},
+            aggregates=[AggregateSpec("count")],
+        )
+
+    def test_equality_predicate_avoids_dimension_scan(self, tiny_star):
+        catalog, star = tiny_star
+        catalog.table("store").create_index("s_city")
+        stats = IOStats()
+        operator = CJoinOperator(
+            catalog, star, buffer_pool=BufferPool(64, stats)
+        )
+        operator.submit(self._query(Comparison("s_city", "=", "lyon")))
+        # admission read no store pages: the index served the predicate
+        store_heap_id = catalog.table("store").heap.heap_id
+        assert stats._last_page.get(store_heap_id) is None
+
+    def test_in_list_uses_index(self, tiny_star):
+        catalog, star = tiny_star
+        catalog.table("store").create_index("s_city")
+        operator = CJoinOperator(catalog, star)
+        query = self._query(InList("s_city", frozenset(["lyon", "nice"])))
+        assert operator.execute(query) == evaluate_star_query(query, catalog)
+
+    def test_range_predicate_falls_back_to_scan(self, tiny_star):
+        catalog, star = tiny_star
+        catalog.table("store").create_index("s_city")
+        stats = IOStats()
+        operator = CJoinOperator(
+            catalog, star, buffer_pool=BufferPool(64, stats)
+        )
+        query = self._query(Between("s_size", 50, 150))
+        handle = operator.submit(query)
+        operator.run_until_drained()
+        assert handle.results() == evaluate_star_query(query, catalog)
+
+    def test_indexed_and_unindexed_admissions_agree(self, ssb_small):
+        catalog, star = ssb_small
+        query = StarQuery.build(
+            "lineorder",
+            dimension_predicates={
+                "customer": Comparison("c_region", "=", "ASIA")
+            },
+            aggregates=[AggregateSpec("count")],
+        )
+        plain = CJoinOperator(catalog, star).execute(query)
+        catalog.table("customer").create_index("c_region")
+        indexed = CJoinOperator(catalog, star).execute(query)
+        assert plain == indexed == evaluate_star_query(query, catalog)

@@ -1,0 +1,145 @@
+"""Materialized dimension views and their transparent use by admission."""
+
+import pytest
+
+from repro.cjoin import CJoinOperator
+from repro.errors import SchemaError
+from repro.query.aggregates import AggregateSpec
+from repro.query.predicate import And, Comparison
+from repro.query.reference import evaluate_star_query
+from repro.query.star import StarQuery
+from repro.storage.buffer import BufferPool
+from repro.storage.iostats import IOStats
+from repro.storage.matview import DimensionView
+
+
+def big_stores_predicate():
+    return Comparison("s_size", ">", 75)
+
+
+def big_stores_query():
+    return StarQuery.build(
+        "sales",
+        dimension_predicates={"store": big_stores_predicate()},
+        aggregates=[AggregateSpec("count")],
+    )
+
+
+class TestDimensionView:
+    def test_materialize_evaluates_the_predicate(self, tiny_star):
+        catalog, _ = tiny_star
+        view = DimensionView.materialize(
+            "big_stores", catalog.table("store"), big_stores_predicate()
+        )
+        assert view.row_count == 2  # lyon (100) and paris (250)
+        assert view.rows() == [(1, "lyon", 100), (2, "paris", 250)]
+
+    def test_matches_requires_structural_equality(self, tiny_star):
+        catalog, _ = tiny_star
+        view = DimensionView.materialize(
+            "big_stores", catalog.table("store"), big_stores_predicate()
+        )
+        assert view.matches("store", Comparison("s_size", ">", 75))
+        assert not view.matches("store", Comparison("s_size", ">", 80))
+        assert not view.matches("product", big_stores_predicate())
+        # compound predicates compare structurally too
+        compound = And(big_stores_predicate(), Comparison("s_id", ">", 0))
+        assert not view.matches("store", compound)
+
+    def test_rows_are_validated(self, tiny_star):
+        catalog, star = tiny_star
+        with pytest.raises(Exception):
+            DimensionView(
+                "bad", star.dimension("store"), big_stores_predicate(),
+                [("wrong", "arity")],
+            )
+
+    def test_invalid_name(self, tiny_star):
+        catalog, star = tiny_star
+        with pytest.raises(SchemaError):
+            DimensionView(
+                "bad name", star.dimension("store"),
+                big_stores_predicate(), [],
+            )
+
+
+class TestCatalogRegistry:
+    def test_register_and_find(self, tiny_star):
+        catalog, _ = tiny_star
+        view = DimensionView.materialize(
+            "big_stores", catalog.table("store"), big_stores_predicate()
+        )
+        catalog.register_dimension_view(view)
+        assert catalog.dimension_view_names() == ["big_stores"]
+        assert catalog.find_dimension_view(
+            "store", big_stores_predicate()
+        ) is view
+        assert catalog.find_dimension_view(
+            "store", Comparison("s_size", ">", 10)
+        ) is None
+
+    def test_duplicate_name_rejected(self, tiny_star):
+        catalog, _ = tiny_star
+        view = DimensionView.materialize(
+            "v", catalog.table("store"), big_stores_predicate()
+        )
+        catalog.register_dimension_view(view)
+        with pytest.raises(SchemaError):
+            catalog.register_dimension_view(view)
+
+    def test_unknown_dimension_rejected(self, tiny_star):
+        catalog, star = tiny_star
+        view = DimensionView(
+            "v", star.dimension("store"), big_stores_predicate(), []
+        )
+        from repro.catalog.catalog import Catalog
+
+        with pytest.raises(SchemaError):
+            Catalog().register_dimension_view(view)
+
+
+class TestAdmissionUsesViews:
+    def test_matching_view_avoids_dimension_io(self, tiny_star):
+        catalog, star = tiny_star
+        catalog.register_dimension_view(
+            DimensionView.materialize(
+                "big_stores", catalog.table("store"), big_stores_predicate()
+            )
+        )
+        stats = IOStats()
+        operator = CJoinOperator(
+            catalog, star, buffer_pool=BufferPool(64, stats)
+        )
+        handle = operator.submit(big_stores_query())
+        store_heap_id = catalog.table("store").heap.heap_id
+        assert stats._last_page.get(store_heap_id) is None  # no store pages
+        operator.run_until_drained()
+        assert handle.results() == evaluate_star_query(
+            big_stores_query(), catalog
+        )
+
+    def test_non_matching_predicate_falls_back(self, tiny_star):
+        catalog, star = tiny_star
+        catalog.register_dimension_view(
+            DimensionView.materialize(
+                "big_stores", catalog.table("store"), big_stores_predicate()
+            )
+        )
+        operator = CJoinOperator(catalog, star)
+        other = StarQuery.build(
+            "sales",
+            dimension_predicates={"store": Comparison("s_size", ">", 10)},
+            aggregates=[AggregateSpec("count")],
+        )
+        assert operator.execute(other) == evaluate_star_query(other, catalog)
+
+    def test_view_and_scan_admissions_agree(self, tiny_star):
+        catalog, star = tiny_star
+        plain = CJoinOperator(catalog, star).execute(big_stores_query())
+        catalog.register_dimension_view(
+            DimensionView.materialize(
+                "big_stores", catalog.table("store"), big_stores_predicate()
+            )
+        )
+        viewed = CJoinOperator(catalog, star).execute(big_stores_query())
+        assert plain == viewed

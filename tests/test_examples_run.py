@@ -1,0 +1,31 @@
+"""The shipped examples must keep running end to end.
+
+Each example is executed in-process (fresh __main__ namespace); any
+exception or assertion inside an example fails the build.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_the_documented_five():
+    assert EXAMPLES == [
+        "concurrent_analytics.py",
+        "galaxy_and_partitions.py",
+        "live_dashboard.py",
+        "quickstart.py",
+        "updates_and_snapshots.py",
+    ]
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs_cleanly(example, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / example), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{example} produced no output"

@@ -1,0 +1,213 @@
+"""Failure-injection and misuse tests.
+
+The operator must stay consistent when admissions fail partway, when
+callers misuse the API, and when components raise mid-flight.
+"""
+
+import pytest
+
+from repro.cjoin import CJoinOperator
+from repro.cjoin.executor import ExecutorConfig
+from repro.errors import AdmissionError, QueryError
+from repro.query.aggregates import AggregateSpec
+from repro.query.predicate import Comparison, Predicate
+from repro.query.reference import evaluate_star_query
+from repro.query.star import ColumnRef, StarQuery
+
+
+def city_query(city):
+    return StarQuery.build(
+        "sales",
+        dimension_predicates={"store": Comparison("s_city", "=", city)},
+        aggregates=[AggregateSpec("count")],
+    )
+
+
+class _ExplodingPredicate(Predicate):
+    """A predicate whose binding succeeds but evaluation raises."""
+
+    def bind(self, schema):
+        def matcher(row):
+            raise RuntimeError("injected predicate failure")
+
+        return matcher
+
+    def referenced_columns(self):
+        return set()
+
+    def __eq__(self, other):
+        return isinstance(other, _ExplodingPredicate)
+
+    def __hash__(self):
+        return hash("exploding")
+
+
+class TestFailedAdmission:
+    def test_dimension_query_failure_releases_everything(self, tiny_star):
+        catalog, star = tiny_star
+        operator = CJoinOperator(catalog, star, max_concurrent=1)
+        bad = StarQuery.build(
+            "sales",
+            dimension_predicates={"store": _ExplodingPredicate()},
+            aggregates=[AggregateSpec("count")],
+        )
+        with pytest.raises(RuntimeError):
+            operator.submit(bad)
+        # the slot, the preprocessor, and the pipeline are all clean
+        assert operator.manager.allocator.active_count == 0
+        assert operator.preprocessor.active_count == 0
+        assert not operator.preprocessor.is_stalled
+        # the operator still works
+        good = city_query("lyon")
+        assert operator.execute(good) == evaluate_star_query(good, catalog)
+
+    def test_validation_failure_before_any_state_change(self, tiny_star):
+        catalog, star = tiny_star
+        operator = CJoinOperator(catalog, star)
+        invalid = StarQuery.build(
+            "sales",
+            dimension_predicates={"store": Comparison("nope", "=", 1)},
+        )
+        with pytest.raises(QueryError):
+            operator.submit(invalid)
+        assert operator.filter_order() == ()
+        assert operator.stats.queries_admitted == 0
+
+    def test_failed_admission_leaves_other_queries_running(self, tiny_star):
+        catalog, star = tiny_star
+        operator = CJoinOperator(
+            catalog, star, executor_config=ExecutorConfig(batch_size=4)
+        )
+        healthy = operator.submit(city_query("paris"))
+        operator.executor.step()
+        bad = StarQuery.build(
+            "sales",
+            dimension_predicates={"product": _ExplodingPredicate()},
+            aggregates=[AggregateSpec("count")],
+        )
+        with pytest.raises(RuntimeError):
+            operator.submit(bad)
+        operator.run_until_drained()
+        assert healthy.results() == evaluate_star_query(
+            city_query("paris"), catalog
+        )
+
+
+class TestMisuse:
+    def test_results_before_run(self, tiny_star):
+        catalog, star = tiny_star
+        operator = CJoinOperator(catalog, star)
+        handle = operator.submit(city_query("lyon"))
+        with pytest.raises(AdmissionError):
+            handle.results()
+
+    def test_submitting_same_query_object_twice_is_fine(self, tiny_star):
+        """Queries are values: resubmission makes an independent run."""
+        catalog, star = tiny_star
+        operator = CJoinOperator(catalog, star)
+        query = city_query("lyon")
+        first = operator.submit(query)
+        second = operator.submit(query)
+        operator.run_until_drained()
+        assert first.results() == second.results()
+        assert first is not second
+
+    def test_galaxy_rejects_mismatched_join_columns(self):
+        from repro.cjoin.galaxy import GalaxyJoinQuery
+
+        listing = StarQuery.build(
+            "sales", select=[ColumnRef("sales", "f_qty")]
+        )
+        with pytest.raises(QueryError):
+            GalaxyJoinQuery(
+                left=listing,
+                right=listing,
+                left_join_column=0,
+                right_join_column=3,
+            )
+
+    def test_warehouse_rejects_unknown_sql_table(self, tiny_star):
+        from repro.engine import Warehouse
+        from repro.errors import ParseError
+
+        catalog, star = tiny_star
+        warehouse = Warehouse(catalog, star)
+        with pytest.raises(ParseError):
+            warehouse.submit_sql("SELECT COUNT(*) FROM nonexistent")
+
+
+class TestPredicateEdgeCases:
+    def test_query_selecting_zero_dimension_rows(self, tiny_star):
+        """The 'empty hash table with an active query' regression:
+
+        the filter must keep dropping tuples for this query for its
+        whole lifetime, even while other queries come and go.
+        """
+        catalog, star = tiny_star
+        operator = CJoinOperator(
+            catalog, star, executor_config=ExecutorConfig(batch_size=4)
+        )
+        empty = operator.submit(city_query("nowhere"))
+        operator.executor.step()
+        other = operator.submit(city_query("lyon"))
+        operator.run_until_drained()
+        operator.manager.process_finished()
+        # admit and finish yet another query while `empty`... is done;
+        # now rerun the scenario with interleaved finish order
+        assert empty.results() == []
+        assert other.results() == evaluate_star_query(
+            city_query("lyon"), catalog
+        )
+
+    def test_all_queries_select_everything(self, tiny_star):
+        catalog, star = tiny_star
+        operator = CJoinOperator(catalog, star)
+        query = StarQuery.build(
+            "sales",
+            dimension_predicates={"store": Comparison("s_size", ">", -1)},
+            group_by=[ColumnRef("store", "s_city")],
+            aggregates=[AggregateSpec("count")],
+        )
+        handles = [operator.submit(query) for _ in range(5)]
+        operator.run_until_drained()
+        expected = evaluate_star_query(query, catalog)
+        for handle in handles:
+            assert handle.results() == expected
+
+    def test_null_foreign_keys_never_join(self):
+        """SQL semantics: a NULL FK matches no dimension row."""
+        from repro.catalog.catalog import Catalog
+        from repro.catalog.schema import (
+            Column,
+            DataType,
+            ForeignKey,
+            StarSchema,
+            TableSchema,
+        )
+        from repro.storage.table import Table
+
+        dim = TableSchema(
+            "d",
+            [Column("id", DataType.INT)],
+            primary_key="id",
+        )
+        fact = TableSchema(
+            "f",
+            [Column("d_id", DataType.INT), Column("v", DataType.INT)],
+            foreign_keys=[ForeignKey("d_id", "d", "id")],
+        )
+        star = StarSchema(fact=fact, dimensions={"d": dim})
+        catalog = Catalog()
+        catalog.register_table(Table.from_rows(dim, [(1,)]))
+        catalog.register_table(
+            Table.from_rows(fact, [(1, 10), (None, 20), (1, 30)])
+        )
+        catalog.register_star(star)
+        query = StarQuery.build(
+            "f",
+            dimension_predicates={"d": Comparison("id", "=", 1)},
+            aggregates=[AggregateSpec("sum", "f", "v")],
+        )
+        operator = CJoinOperator(catalog, star)
+        assert operator.execute(query) == [(40,)]
+        assert operator.execute(query) == evaluate_star_query(query, catalog)

@@ -1,0 +1,95 @@
+"""Galaxy schema registration in the catalog, end to end.
+
+Ties :class:`~repro.catalog.schema.GalaxySchema` to the galaxy join
+path: register two stars plus the fact-to-fact link, then evaluate a
+cross-star query using the registered topology.
+"""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import ForeignKey, GalaxySchema
+from repro.cjoin import CJoinOperator, GalaxyJoinQuery, evaluate_galaxy_join
+from repro.errors import SchemaError
+from repro.query.star import ColumnRef, StarQuery
+from tests.test_cjoin_galaxy_snapshots import galaxy_setup
+
+
+def _merged_catalog():
+    """Both stars in one catalog, with a registered galaxy."""
+    catalog_a, orders_star, catalog_b, shipments_star = galaxy_setup()
+    catalog = Catalog()
+    for name in catalog_a.table_names():
+        catalog.register_table(catalog_a.table(name))
+    for name in catalog_b.table_names():
+        catalog.register_table(catalog_b.table(name))
+    catalog.register_star(orders_star)
+    catalog.register_star(shipments_star)
+    galaxy = GalaxySchema(
+        stars={"orders": orders_star, "shipments": shipments_star},
+        fact_links=[ForeignKey("sh_order", "orders", "o_id")],
+    )
+    catalog.register_galaxy(galaxy)
+    return catalog, galaxy
+
+
+class TestGalaxyRegistration:
+    def test_round_trip(self):
+        catalog, galaxy = _merged_catalog()
+        assert catalog.galaxy is galaxy
+        assert catalog.star_names() == ["orders", "shipments"]
+        assert galaxy.star("orders").fact.name == "orders"
+
+    def test_link_to_unknown_fact_rejected_at_construction(self):
+        catalog, _ = _merged_catalog()
+        with pytest.raises(SchemaError):
+            GalaxySchema(
+                stars={"orders": catalog.star("orders")},
+                fact_links=[ForeignKey("x", "nonexistent", "y")],
+            )
+
+    def test_galaxy_over_unregistered_star_rejected(self):
+        catalog, _ = _merged_catalog()
+        fresh = Catalog()  # knows no stars
+        with pytest.raises(SchemaError):
+            fresh.register_galaxy(
+                GalaxySchema(stars={"orders": catalog.star("orders")})
+            )
+
+    def test_galaxy_before_registration_raises(self):
+        catalog = Catalog()
+        with pytest.raises(SchemaError):
+            _ = catalog.galaxy
+
+
+class TestGalaxyQueryViaRegisteredTopology:
+    def test_fact_link_drives_the_join_columns(self):
+        catalog, galaxy = _merged_catalog()
+        link = galaxy.fact_links[0]
+        left_star = galaxy.star(link.referenced_table)    # orders
+        right_star = galaxy.star("shipments")
+        left = StarQuery.build(
+            left_star.fact.name,
+            select=[ColumnRef("orders", link.referenced_column),
+                    ColumnRef("orders", "o_amount")],
+        )
+        right = StarQuery.build(
+            right_star.fact.name,
+            select=[ColumnRef("shipments", link.column),
+                    ColumnRef("shipments", "sh_cost")],
+        )
+        galaxy_query = GalaxyJoinQuery(
+            left=left,
+            right=right,
+            left_join_column=0,
+            right_join_column=0,
+            group_by_columns=(0,),
+            aggregates=(("count", 3), ("sum", 3)),
+        )
+        rows = evaluate_galaxy_join(
+            galaxy_query,
+            CJoinOperator(catalog, left_star),
+            CJoinOperator(catalog, right_star),
+        )
+        # orders with shipments: 100 (2: 5+7), 101 (1: 6), 103 (1: 9)
+        assert rows == [(100, 2, 12), (101, 1, 6), (103, 1, 9)]

@@ -1,0 +1,58 @@
+"""Galaxy sub-queries share the operator with ordinary star queries.
+
+Paper section 5: "each CJOIN operator will be evaluating concurrently
+several star queries that participate in concurrent fact-to-fact join
+queries" — the star sub-plans are just more queries on the shared
+pipeline.
+"""
+
+from repro.cjoin import CJoinOperator
+from repro.query.aggregates import AggregateSpec
+from repro.query.predicate import Comparison
+from repro.query.reference import evaluate_star_query
+from repro.query.star import ColumnRef, StarQuery
+from tests.test_cjoin_galaxy_snapshots import galaxy_setup
+
+
+def test_galaxy_subquery_shares_scan_with_star_queries():
+    catalog_a, star_a, catalog_b, star_b = galaxy_setup()
+    operator = CJoinOperator(catalog_a, star_a)
+
+    # an ordinary aggregation query on the orders star...
+    star_query = StarQuery.build(
+        "orders",
+        group_by=[ColumnRef("region", "r_name")],
+        aggregates=[AggregateSpec("sum", "orders", "o_amount")],
+    )
+    # ...and a galaxy sub-plan (listing) registered on the same operator
+    sub_plan = StarQuery.build(
+        "orders",
+        dimension_predicates={"region": Comparison("r_name", "=", "east")},
+        select=[ColumnRef("orders", "o_id"), ColumnRef("orders", "o_amount")],
+    )
+    star_handle = operator.submit(star_query)
+    sub_handle = operator.submit(sub_plan)
+    operator.run_until_drained()
+
+    assert star_handle.results() == evaluate_star_query(star_query, catalog_a)
+    assert sub_handle.results() == evaluate_star_query(sub_plan, catalog_a)
+    # both were served by one wrap of the shared scan
+    fact_rows = catalog_a.table("orders").row_count
+    assert operator.stats.tuples_scanned <= fact_rows + 1
+
+    # the sub-plan's listing feeds the fact-to-fact join downstream
+    shipments = evaluate_star_query(
+        StarQuery.build(
+            "shipments",
+            select=[
+                ColumnRef("shipments", "sh_order"),
+                ColumnRef("shipments", "sh_cost"),
+            ],
+        ),
+        catalog_b,
+    )
+    order_ids = {row[0] for row in sub_handle.results()}
+    joined_costs = sum(
+        cost for order_id, cost in shipments if order_id in order_ids
+    )
+    assert joined_costs == 12  # east order 100: shipments 5 + 7

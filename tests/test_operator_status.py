@@ -1,0 +1,36 @@
+"""Tests for the operator status report."""
+
+from repro.cjoin import CJoinOperator
+from repro.cjoin.executor import ExecutorConfig
+from repro.query.aggregates import AggregateSpec
+from repro.query.predicate import Comparison
+from repro.query.star import StarQuery
+
+
+def test_status_report_reflects_pipeline_state(tiny_star):
+    catalog, star = tiny_star
+    operator = CJoinOperator(
+        catalog, star, executor_config=ExecutorConfig(batch_size=4)
+    )
+    report = operator.status_report()
+    assert "0 queries in flight" in report
+    assert "(none installed)" in report
+
+    query = StarQuery.build(
+        "sales",
+        dimension_predicates={"store": Comparison("s_city", "=", "lyon")},
+        aggregates=[AggregateSpec("count")],
+        label="lyon-count",
+    )
+    handle = operator.submit(query)
+    operator.executor.step()
+    report = operator.status_report()
+    assert "1 query in flight" in report
+    assert "lyon-count" in report
+    assert "store(drop" in report
+    assert "probes/tuple" in report
+
+    operator.run_until_drained()
+    report = operator.status_report()
+    assert "0 queries in flight" in report
+    assert handle.done

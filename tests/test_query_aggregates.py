@@ -1,0 +1,94 @@
+"""Unit tests for aggregate specs and accumulators."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.aggregates import AggregateSpec, make_accumulator
+
+
+def run(spec, values):
+    accumulator = make_accumulator(spec)
+    for value in values:
+        accumulator.add(value)
+    return accumulator.result()
+
+
+class TestSpecValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(QueryError):
+            AggregateSpec("median", "t", "c")
+
+    def test_non_count_requires_column(self):
+        with pytest.raises(QueryError):
+            AggregateSpec("sum")
+
+    def test_count_star(self):
+        spec = AggregateSpec("count")
+        assert spec.is_count_star
+        assert spec.label == "count_star"
+
+    def test_labels(self):
+        assert AggregateSpec("sum", "t", "c").label == "sum_c"
+        assert AggregateSpec("sum", "t", "c", alias="z").label == "z"
+        assert (
+            AggregateSpec("sum", "t", "a", column2="b", combine="-").label
+            == "sum_a-b"
+        )
+
+    def test_bad_combine_op(self):
+        with pytest.raises(QueryError):
+            AggregateSpec("sum", "t", "a", column2="b", combine="/")
+
+
+class TestCombineValues:
+    def test_operators(self):
+        assert AggregateSpec("sum", "t", "a", column2="b").combine_values(6, 7) == 42
+        assert (
+            AggregateSpec("sum", "t", "a", column2="b", combine="-")
+            .combine_values(6, 7)
+            == -1
+        )
+        assert (
+            AggregateSpec("sum", "t", "a", column2="b", combine="+")
+            .combine_values(6, 7)
+            == 13
+        )
+
+    def test_null_propagates(self):
+        spec = AggregateSpec("sum", "t", "a", column2="b")
+        assert spec.combine_values(None, 7) is None
+        assert spec.combine_values(6, None) is None
+
+
+class TestAccumulators:
+    def test_count_star_counts_everything(self):
+        assert run(AggregateSpec("count"), [1, None, 3]) == 3
+
+    def test_count_column_skips_nulls(self):
+        assert run(AggregateSpec("count", "t", "c"), [1, None, 3]) == 2
+
+    def test_sum(self):
+        assert run(AggregateSpec("sum", "t", "c"), [1, 2, 3]) == 6
+
+    def test_sum_skips_nulls(self):
+        assert run(AggregateSpec("sum", "t", "c"), [1, None, 3]) == 4
+
+    def test_sum_empty_is_null(self):
+        assert run(AggregateSpec("sum", "t", "c"), []) is None
+        assert run(AggregateSpec("sum", "t", "c"), [None]) is None
+
+    def test_min_max(self):
+        assert run(AggregateSpec("min", "t", "c"), [5, 2, 8]) == 2
+        assert run(AggregateSpec("max", "t", "c"), [5, 2, 8]) == 8
+
+    def test_min_empty_is_null(self):
+        assert run(AggregateSpec("min", "t", "c"), []) is None
+
+    def test_avg(self):
+        assert run(AggregateSpec("avg", "t", "c"), [2, 4]) == 3.0
+
+    def test_avg_skips_nulls(self):
+        assert run(AggregateSpec("avg", "t", "c"), [2, None, 4]) == 3.0
+
+    def test_avg_empty_is_null(self):
+        assert run(AggregateSpec("avg", "t", "c"), []) is None

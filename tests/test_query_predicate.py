@@ -1,0 +1,174 @@
+"""Unit tests for predicate trees, selectivity, and implied intervals."""
+
+import pytest
+
+from repro.catalog.schema import Column, DataType, TableSchema
+from repro.errors import QueryError
+from repro.query.predicate import (
+    And,
+    Between,
+    Comparison,
+    InList,
+    Not,
+    Or,
+    TruePredicate,
+    estimate_selectivity,
+    implied_interval,
+)
+
+SCHEMA = TableSchema(
+    "t",
+    [Column("a", DataType.INT), Column("b", DataType.STRING)],
+)
+
+ROWS = [(i, f"s{i}") for i in range(10)]
+
+
+def matches(predicate, row):
+    return predicate.bind(SCHEMA)(row)
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,value,row,expected",
+        [
+            ("=", 3, (3, "x"), True),
+            ("=", 3, (4, "x"), False),
+            ("!=", 3, (4, "x"), True),
+            ("<", 3, (2, "x"), True),
+            ("<=", 3, (3, "x"), True),
+            (">", 3, (4, "x"), True),
+            (">=", 3, (3, "x"), True),
+            (">=", 3, (2, "x"), False),
+        ],
+    )
+    def test_operators(self, op, value, row, expected):
+        assert matches(Comparison("a", op, value), row) is expected
+
+    def test_null_never_matches(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            assert not matches(Comparison("a", op, 3), (None, "x"))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QueryError):
+            Comparison("a", "~", 3)
+
+    def test_referenced_columns(self):
+        assert Comparison("a", "=", 1).referenced_columns() == {"a"}
+
+
+class TestBetweenInTrue:
+    def test_between_inclusive(self):
+        predicate = Between("a", 2, 4)
+        assert matches(predicate, (2, "x"))
+        assert matches(predicate, (4, "x"))
+        assert not matches(predicate, (5, "x"))
+
+    def test_between_null(self):
+        assert not matches(Between("a", 2, 4), (None, "x"))
+
+    def test_in_list(self):
+        predicate = InList("b", ["s1", "s5"])
+        assert matches(predicate, (0, "s1"))
+        assert not matches(predicate, (0, "s2"))
+
+    def test_true_predicate(self):
+        assert matches(TruePredicate(), (None, None))
+        assert TruePredicate().referenced_columns() == set()
+
+
+class TestComposite:
+    def test_and(self):
+        predicate = And(Comparison("a", ">", 1), Comparison("a", "<", 5))
+        assert matches(predicate, (3, "x"))
+        assert not matches(predicate, (7, "x"))
+
+    def test_or(self):
+        predicate = Or(Comparison("a", "=", 1), Comparison("a", "=", 9))
+        assert matches(predicate, (9, "x"))
+        assert not matches(predicate, (5, "x"))
+
+    def test_not(self):
+        assert matches(Not(Comparison("a", "=", 1)), (2, "x"))
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(QueryError):
+            And()
+
+    def test_nested_referenced_columns(self):
+        predicate = And(
+            Or(Comparison("a", "=", 1), Comparison("b", "=", "x")),
+            Not(Comparison("a", ">", 5)),
+        )
+        assert predicate.referenced_columns() == {"a", "b"}
+
+    def test_composite_equality(self):
+        assert And(Comparison("a", "=", 1)) == And(Comparison("a", "=", 1))
+        assert And(Comparison("a", "=", 1)) != Or(Comparison("a", "=", 1))
+
+
+class TestSelectivity:
+    def test_exact_fraction(self):
+        predicate = Comparison("a", "<", 5)
+        assert estimate_selectivity(predicate, ROWS, SCHEMA) == 0.5
+
+    def test_empty_rows_default_one(self):
+        assert estimate_selectivity(TruePredicate(), [], SCHEMA) == 1.0
+
+
+class TestImpliedInterval:
+    def test_equality(self):
+        assert implied_interval(Comparison("a", "=", 7), "a") == (7, 7, True, True)
+
+    def test_between(self):
+        assert implied_interval(Between("a", 1, 9), "a") == (1, 9, True, True)
+
+    def test_inequality_directions(self):
+        assert implied_interval(Comparison("a", "<", 5), "a") == (
+            None, 5, True, False,
+        )
+        assert implied_interval(Comparison("a", ">=", 5), "a") == (
+            5, None, True, True,
+        )
+
+    def test_other_column_is_unbounded(self):
+        assert implied_interval(Comparison("b", "=", "x"), "a") == (
+            None, None, True, True,
+        )
+
+    def test_and_intersects(self):
+        predicate = And(Comparison("a", ">=", 2), Comparison("a", "<=", 8))
+        assert implied_interval(predicate, "a") == (2, 8, True, True)
+
+    def test_or_takes_hull(self):
+        predicate = Or(Between("a", 1, 2), Between("a", 8, 9))
+        assert implied_interval(predicate, "a") == (1, 9, True, True)
+
+    def test_in_list_hull(self):
+        assert implied_interval(InList("a", [7, 3, 5]), "a") == (
+            3, 7, True, True,
+        )
+
+    def test_not_is_conservative(self):
+        assert implied_interval(Not(Between("a", 1, 2)), "a") == (
+            None, None, True, True,
+        )
+
+    def test_interval_is_always_sound(self):
+        """Values accepted by the predicate always lie in the interval."""
+        predicates = [
+            Comparison("a", "=", 4),
+            Between("a", 2, 6),
+            And(Comparison("a", ">", 1), Comparison("a", "<", 8)),
+            Or(Comparison("a", "=", 0), Comparison("a", "=", 9)),
+            And(Or(Between("a", 1, 3), Between("a", 6, 7)), Comparison("a", "!=", 2)),
+        ]
+        for predicate in predicates:
+            low, high, low_inc, high_inc = implied_interval(predicate, "a")
+            matcher = predicate.bind(SCHEMA)
+            for value in range(-2, 12):
+                if matcher((value, "x")):
+                    if low is not None:
+                        assert value >= low if low_inc else value > low
+                    if high is not None:
+                        assert value <= high if high_inc else value < high

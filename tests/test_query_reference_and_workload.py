@@ -1,0 +1,157 @@
+"""Unit tests for the reference evaluator and workload generation."""
+
+import random
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.aggregates import AggregateSpec
+from repro.query.predicate import Comparison
+from repro.query.reference import evaluate_star_query
+from repro.query.star import ColumnRef, StarQuery
+from repro.query.workload import QueryTemplate, RangeParameter, WorkloadGenerator
+
+
+class TestReferenceEvaluator:
+    def test_hand_checked_aggregate(self, tiny_star):
+        catalog, _ = tiny_star
+        # total sales per city for food products
+        query = StarQuery.build(
+            "sales",
+            dimension_predicates={
+                "product": Comparison("p_category", "=", "food")
+            },
+            group_by=[ColumnRef("store", "s_city")],
+            aggregates=[AggregateSpec("sum", "sales", "f_total")],
+        )
+        rows = evaluate_star_query(query, catalog)
+        # food products are p_id 10 and 30
+        # lyon: (1,10,2,10),(1,30,2,16),(1,10,1,5) -> 31
+        # paris: (2,10,5,25),(2,30,3,24) -> 49
+        # nice: (3,10,4,20),(3,30,2,16) -> 36
+        assert rows == [("lyon", 31), ("nice", 36), ("paris", 49)]
+
+    def test_global_aggregate_without_group_by(self, tiny_star):
+        catalog, _ = tiny_star
+        query = StarQuery.build(
+            "sales",
+            aggregates=[
+                AggregateSpec("count"),
+                AggregateSpec("sum", "sales", "f_qty"),
+            ],
+        )
+        rows = evaluate_star_query(query, catalog)
+        assert rows == [(12, 27)]
+
+    def test_fact_predicate_filters(self, tiny_star):
+        catalog, _ = tiny_star
+        query = StarQuery.build(
+            "sales",
+            fact_predicate=Comparison("f_qty", ">=", 4),
+            aggregates=[AggregateSpec("count")],
+        )
+        assert evaluate_star_query(query, catalog) == [(2,)]
+
+    def test_listing_query_returns_sorted_rows(self, tiny_star):
+        catalog, _ = tiny_star
+        query = StarQuery.build(
+            "sales",
+            dimension_predicates={
+                "store": Comparison("s_city", "=", "nice")
+            },
+            select=[ColumnRef("sales", "f_product"), ColumnRef("sales", "f_qty")],
+        )
+        rows = evaluate_star_query(query, catalog)
+        assert rows == [(10, 4), (30, 2), (40, 1)]
+
+    def test_aggregate_expression(self, tiny_star):
+        catalog, _ = tiny_star
+        query = StarQuery.build(
+            "sales",
+            dimension_predicates={"store": Comparison("s_id", "=", 3)},
+            aggregates=[
+                AggregateSpec(
+                    "sum", "sales", "f_total", column2="f_qty", combine="-"
+                )
+            ],
+        )
+        # nice rows: (40,1,12),(10,4,20),(30,2,16): (12-1)+(20-4)+(16-2)=41
+        assert evaluate_star_query(query, catalog) == [(41,)]
+
+
+class TestRangeParameter:
+    def test_window_size_tracks_selectivity(self):
+        parameter = RangeParameter("d", "col", tuple(range(100)))
+        rng = random.Random(0)
+        predicate = parameter.concrete_predicate(0.25, rng)
+        assert predicate.high - predicate.low + 1 == 25
+
+    def test_minimum_window_is_one_value(self):
+        parameter = RangeParameter("d", "col", tuple(range(10)))
+        predicate = parameter.concrete_predicate(0.001, random.Random(0))
+        assert predicate.low == predicate.high
+
+    def test_selectivity_bounds(self):
+        parameter = RangeParameter("d", "col", (1, 2))
+        with pytest.raises(QueryError):
+            parameter.concrete_predicate(0.0, random.Random(0))
+        with pytest.raises(QueryError):
+            parameter.concrete_predicate(1.5, random.Random(0))
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(QueryError):
+            RangeParameter("d", "col", ())
+
+
+class TestWorkloadGenerator:
+    def _template(self, name="T"):
+        return QueryTemplate(
+            name=name,
+            fact_table="sales",
+            range_parameters=(
+                RangeParameter("store", "s_size", (50, 100, 250)),
+            ),
+            group_by=(ColumnRef("store", "s_city"),),
+            aggregates=(AggregateSpec("sum", "sales", "f_total"),),
+        )
+
+    def test_same_seed_same_workload(self):
+        a = WorkloadGenerator([self._template()], seed=3).generate(5, 0.5)
+        b = WorkloadGenerator([self._template()], seed=3).generate(5, 0.5)
+        assert [q.dimension_predicates for q in a] == [
+            q.dimension_predicates for q in b
+        ]
+
+    def test_instantiated_queries_run(self, tiny_star):
+        catalog, star = tiny_star
+        generator = WorkloadGenerator([self._template()], seed=1)
+        for query in generator.generate(4, 0.67):
+            query.validate(star)
+            evaluate_star_query(query, catalog)  # must not raise
+
+    def test_generate_from_unknown_template(self):
+        generator = WorkloadGenerator([self._template()], seed=0)
+        with pytest.raises(QueryError):
+            generator.generate_from("missing", 0.5)
+
+    def test_fixed_predicates_are_anded_with_ranges(self, tiny_star):
+        catalog, star = tiny_star
+        template = QueryTemplate(
+            name="T2",
+            fact_table="sales",
+            range_parameters=(
+                RangeParameter("store", "s_size", (50, 100, 250)),
+            ),
+            fixed_dimension_predicates={
+                "store": Comparison("s_city", "=", "lyon")
+            },
+            aggregates=(AggregateSpec("count"),),
+        )
+        query = template.instantiate(1.0, random.Random(0))
+        query.validate(star)
+        # with full range, only the fixed predicate bites: lyon has 5 sales
+        assert evaluate_star_query(query, catalog) == [(5,)]
+
+    def test_empty_template_list_rejected(self):
+        with pytest.raises(QueryError):
+            WorkloadGenerator([], seed=0)

@@ -1,0 +1,127 @@
+"""Unit tests for StarQuery construction and validation."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.aggregates import AggregateSpec
+from repro.query.predicate import Comparison, TruePredicate
+from repro.query.star import ColumnRef, StarQuery
+
+
+class TestBuildNormalization:
+    def test_group_by_dimension_gets_implicit_true_predicate(self, tiny_star):
+        _, star = tiny_star
+        query = StarQuery.build(
+            "sales",
+            group_by=[ColumnRef("store", "s_city")],
+            aggregates=[AggregateSpec("sum", "sales", "f_total")],
+        )
+        assert query.references("store")
+        assert isinstance(query.predicate_on("store"), TruePredicate)
+        query.validate(star)
+
+    def test_aggregate_input_dimension_is_referenced(self, tiny_star):
+        _, star = tiny_star
+        query = StarQuery.build(
+            "sales",
+            aggregates=[AggregateSpec("max", "product", "p_price")],
+        )
+        assert query.references("product")
+        query.validate(star)
+
+    def test_select_defaults_to_group_by(self):
+        ref = ColumnRef("store", "s_city")
+        query = StarQuery.build(
+            "sales",
+            group_by=[ref],
+            aggregates=[AggregateSpec("count")],
+        )
+        assert query.select == (ref,)
+
+    def test_unreferenced_dimension_predicate_is_true(self):
+        query = StarQuery.build("sales")
+        assert isinstance(query.predicate_on("store"), TruePredicate)
+
+    def test_output_labels(self):
+        query = StarQuery.build(
+            "sales",
+            group_by=[ColumnRef("store", "s_city")],
+            aggregates=[AggregateSpec("sum", "sales", "f_total", alias="rev")],
+        )
+        assert query.output_labels() == ["store.s_city", "rev"]
+
+
+class TestValidation:
+    def test_wrong_fact_table(self, tiny_star):
+        _, star = tiny_star
+        with pytest.raises(QueryError):
+            StarQuery.build("orders").validate(star)
+
+    def test_unknown_dimension(self, tiny_star):
+        _, star = tiny_star
+        query = StarQuery.build(
+            "sales",
+            dimension_predicates={"warehouse": TruePredicate()},
+        )
+        with pytest.raises(Exception):
+            query.validate(star)
+
+    def test_predicate_on_unknown_column(self, tiny_star):
+        _, star = tiny_star
+        query = StarQuery.build(
+            "sales",
+            dimension_predicates={"store": Comparison("missing", "=", 1)},
+        )
+        with pytest.raises(QueryError):
+            query.validate(star)
+
+    def test_fact_predicate_on_unknown_column(self, tiny_star):
+        _, star = tiny_star
+        query = StarQuery.build(
+            "sales", fact_predicate=Comparison("missing", "=", 1)
+        )
+        with pytest.raises(QueryError):
+            query.validate(star)
+
+    def test_group_by_outside_from_list(self, tiny_star):
+        _, star = tiny_star
+        query = StarQuery(
+            fact_table="sales",
+            group_by=(ColumnRef("store", "s_city"),),
+            select=(ColumnRef("store", "s_city"),),
+            aggregates=(AggregateSpec("count"),),
+        )
+        # constructed directly (not via build), store never referenced
+        with pytest.raises(QueryError):
+            query.validate(star)
+
+    def test_selected_column_must_be_grouped_when_aggregating(self, tiny_star):
+        _, star = tiny_star
+        query = StarQuery.build(
+            "sales",
+            group_by=[ColumnRef("store", "s_city")],
+            select=[ColumnRef("store", "s_size")],
+            aggregates=[AggregateSpec("count")],
+        )
+        with pytest.raises(QueryError):
+            query.validate(star)
+
+    def test_aggregate_column2_validated(self, tiny_star):
+        _, star = tiny_star
+        query = StarQuery.build(
+            "sales",
+            aggregates=[
+                AggregateSpec("sum", "sales", "f_total", column2="missing")
+            ],
+        )
+        with pytest.raises(QueryError):
+            query.validate(star)
+
+    def test_listing_query_validates(self, tiny_star):
+        _, star = tiny_star
+        query = StarQuery.build(
+            "sales",
+            select=[ColumnRef("sales", "f_qty"), ColumnRef("store", "s_city")],
+        )
+        query.validate(star)
+        assert not query.is_aggregation

@@ -1,0 +1,221 @@
+"""Tests for the analytic performance models and the closed-loop sim."""
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.sim.baseline_model import BaselinePerfModel, SystemProfile
+from repro.sim.cjoin_model import CJoinPerfModel, StageLayout
+from repro.sim.concurrency import ClosedLoopSimulator
+from repro.sim.costs import CostModel, WorkloadShape
+from repro.sim.hardware import HardwareModel
+
+
+@pytest.fixture(scope="module")
+def shape100():
+    return WorkloadShape.from_scale_factor(100)
+
+
+@pytest.fixture(scope="module")
+def cjoin():
+    return CJoinPerfModel()
+
+
+class TestWorkloadShape:
+    def test_follows_ssb_scaling(self):
+        shape = WorkloadShape.from_scale_factor(1)
+        assert shape.fact_rows == 6_000_000
+        assert shape.dimension_rows == 30_000 + 2_000 + 200_000 + 2556
+
+
+class TestCostModel:
+    def test_and_cost_grows_with_word_count(self):
+        costs = CostModel()
+        assert costs.and_us(64) == costs.and_us(1)
+        assert costs.and_us(65) == 2 * costs.and_us(1)
+        assert costs.and_us(256) == 4 * costs.and_us(1)
+
+    def test_and_cost_rejects_zero(self):
+        with pytest.raises(BenchmarkError):
+            CostModel().and_us(0)
+
+    def test_probe_cost_grows_with_selectivity(self, shape100):
+        costs = CostModel()
+        hardware = HardwareModel()
+        assert costs.probe_us(shape100, 0.001, hardware) < costs.probe_us(
+            shape100, 0.1, hardware
+        )
+
+    def test_submission_matches_paper_table2(self, shape100):
+        """The calibration target: 1.6 / 2.4 / 11.6 seconds."""
+        costs = CostModel()
+        for s, expected in [(0.001, 1.6), (0.01, 2.4), (0.1, 11.6)]:
+            assert costs.submission_seconds(shape100, s) == pytest.approx(
+                expected, rel=0.25
+            )
+
+    def test_submission_matches_paper_table3(self):
+        """Calibration target: 0.4 / 0.7 / 2.4 seconds across sf."""
+        costs = CostModel()
+        for sf, expected in [(1, 0.4), (10, 0.7), (100, 2.4)]:
+            shape = WorkloadShape.from_scale_factor(sf)
+            assert costs.submission_seconds(shape, 0.01) == pytest.approx(
+                expected, rel=0.30
+            )
+
+
+class TestCJoinModel:
+    def test_response_flat_until_cpu_binds(self, cjoin, shape100):
+        r1 = cjoin.response_seconds(shape100, 1, 0.01)
+        r128 = cjoin.response_seconds(shape100, 128, 0.01)
+        r256 = cjoin.response_seconds(shape100, 256, 0.01)
+        assert r128 / r1 < 1.05
+        assert r256 / r1 <= 1.30  # the paper's headline predictability claim
+
+    def test_throughput_linear_then_sublinear(self, cjoin, shape100):
+        t1 = cjoin.throughput_qph(shape100, 1, 0.01)
+        t128 = cjoin.throughput_qph(shape100, 128, 0.01)
+        t256 = cjoin.throughput_qph(shape100, 256, 0.01)
+        assert t128 / t1 == pytest.approx(128, rel=0.1)
+        assert 1.0 < t256 / t128 < 2.0
+
+    def test_admission_caps_throughput(self, cjoin):
+        """At tiny scale the serialized admission rate is the limit."""
+        shape = WorkloadShape.from_scale_factor(1)
+        throughput = cjoin.throughput_qph(shape, 256, 0.01)
+        cap = 3600 / cjoin.submission_seconds(shape, 0.01)
+        assert throughput == pytest.approx(cap)
+
+    def test_horizontal_beats_vertical(self, cjoin, shape100):
+        horizontal = cjoin.throughput_qph(
+            shape100, 128, 0.01, StageLayout.horizontal(5)
+        )
+        vertical = cjoin.throughput_qph(
+            shape100, 128, 0.01, StageLayout.vertical(5, 4)
+        )
+        assert horizontal > vertical
+
+    def test_hybrid_between_extremes(self, cjoin, shape100):
+        horizontal = cjoin.throughput_qph(
+            shape100, 128, 0.01, StageLayout.horizontal(4)
+        )
+        vertical = cjoin.throughput_qph(
+            shape100, 128, 0.01, StageLayout.vertical(4, 4)
+        )
+        hybrid = cjoin.throughput_qph(
+            shape100, 128, 0.01, StageLayout.hybrid(4, (2, 2))
+        )
+        assert vertical <= hybrid <= horizontal
+
+    def test_vertical_needs_enough_threads(self):
+        with pytest.raises(BenchmarkError):
+            StageLayout.vertical(2, 4)
+
+    def test_hybrid_box_coverage_checked(self, cjoin, shape100):
+        with pytest.raises(BenchmarkError):
+            cjoin.cycle_seconds(
+                shape100, 1, 0.01, StageLayout.hybrid(4, (1, 1))
+            )
+
+
+class TestBaselineModel:
+    def test_contention_monotone(self, shape100):
+        model = BaselinePerfModel(SystemProfile.system_x())
+        values = [model.contention(n) for n in (1, 32, 128, 256)]
+        assert values == sorted(values)
+        assert values[0] == 1.0
+
+    def test_postgresql_degrades_faster(self, shape100):
+        x = BaselinePerfModel(SystemProfile.system_x())
+        pg = BaselinePerfModel(SystemProfile.postgresql())
+        x_growth = x.response_seconds(shape100, 256, 0.01) / x.response_seconds(
+            shape100, 1, 0.01
+        )
+        pg_growth = pg.response_seconds(
+            shape100, 256, 0.01
+        ) / pg.response_seconds(shape100, 1, 0.01)
+        assert pg_growth > x_growth > 5
+
+    def test_throughput_peaks_then_declines(self, shape100):
+        model = BaselinePerfModel(SystemProfile.system_x())
+        curve = [
+            model.throughput_qph(shape100, n, 0.01)
+            for n in (1, 16, 32, 64, 128, 256)
+        ]
+        peak_index = curve.index(max(curve))
+        assert 0 < peak_index < len(curve) - 1  # interior peak
+
+    def test_ram_resident_data_has_no_scan_contention(self):
+        shape = WorkloadShape.from_scale_factor(1)  # ~1GB, fits in 8GB
+        model = BaselinePerfModel(SystemProfile.system_x())
+        r1 = model.response_seconds(shape, 1, 0.01)
+        r64 = model.response_seconds(shape, 64, 0.01)
+        # growth comes only from CPU sharing (64/8 = 8x), not seeks
+        assert r64 / r1 < 10
+
+    def test_memory_overcommit_triggers_thrash(self, shape100):
+        model = BaselinePerfModel(SystemProfile.postgresql())
+        calm = model.response_seconds(shape100, 128, 0.01)
+        thrash = model.response_seconds(shape100, 128, 0.1)
+        assert model.memory_overcommit(shape100, 128, 0.1) > 1.0
+        assert thrash > 2 * calm
+
+
+class TestClosedLoopSimulator:
+    def _simulator(self, shape):
+        return ClosedLoopSimulator(CJoinPerfModel(), shape, 0.01, seed=1)
+
+    def test_steady_state_response_is_stable(self, shape100):
+        simulator = self._simulator(shape100)
+        records = simulator.run(32, total_queries=128, measure_from=64)
+        mean = simulator.mean_response(records)
+        stdev = simulator.stdev_response(records)
+        assert stdev / mean < 0.01  # the paper's ~0.5% deviation claim
+
+    def test_throughput_matches_analytic_model(self, shape100):
+        simulator = self._simulator(shape100)
+        records = simulator.run(64, total_queries=256, measure_from=64)
+        simulated = simulator.throughput_qph(records)
+        analytic = CJoinPerfModel().throughput_qph(shape100, 64, 0.01)
+        assert simulated == pytest.approx(analytic, rel=0.15)
+
+    def test_submission_wait_included_in_response(self, shape100):
+        simulator = self._simulator(shape100)
+        records = simulator.run(8, total_queries=32, measure_from=8)
+        for record in records:
+            assert record.submission_seconds >= 0
+            assert record.response_seconds > record.submission_seconds
+
+    def test_bad_arguments(self, shape100):
+        simulator = self._simulator(shape100)
+        with pytest.raises(BenchmarkError):
+            simulator.run(0, 10)
+        with pytest.raises(BenchmarkError):
+            ClosedLoopSimulator(CJoinPerfModel(), shape100, 0.01, jitter=-1)
+
+
+class TestBenchExperiments:
+    @pytest.mark.parametrize(
+        "experiment_id",
+        ["fig4", "fig5", "fig6", "fig7", "fig8", "tab1", "tab2", "tab3"],
+    )
+    def test_every_experiment_reproduces_its_shape(self, experiment_id):
+        from repro.bench import run_experiment
+
+        result = run_experiment(experiment_id)
+        failed = [d for d, passed in result.checks if not passed]
+        assert not failed, f"{experiment_id}: {failed}"
+
+    def test_unknown_experiment(self):
+        from repro.bench import run_experiment
+
+        with pytest.raises(BenchmarkError):
+            run_experiment("fig99")
+
+    def test_reporting_renders(self):
+        from repro.bench import format_comparison, format_series, run_experiment
+
+        result = run_experiment("tab1")
+        assert "Table 1" in format_series(result)
+        comparison = format_comparison(result)
+        assert "measured" in comparison and "paper" in comparison
+        assert "PASS" in comparison

@@ -1,0 +1,227 @@
+"""Unit tests for the SQL lexer, parser, and binder."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.predicate import And, Between, Comparison, InList, Not, Or
+from repro.query.reference import evaluate_star_query
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_star_query
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        kinds = [t.kind for t in tokenize("select FROM Where")]
+        assert kinds == ["keyword", "keyword", "keyword", "eof"]
+
+    def test_identifiers_preserve_case(self):
+        token = tokenize("MyColumn")[0]
+        assert token.kind == "ident"
+        assert token.value == "MyColumn"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].literal == 42
+        assert tokens[1].literal == pytest.approx(3.14)
+
+    def test_strings_with_escaped_quotes(self):
+        token = tokenize("'it''s'")[0]
+        assert token.kind == "string"
+        assert token.literal == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_operators_longest_match(self):
+        values = [t.value for t in tokenize("a <= b <> c >= d")]
+        assert "<=" in values and "<>" in values and ">=" in values
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a ; b")
+
+    def test_qualified_name_tokens(self):
+        kinds = [t.kind for t in tokenize("t.col")]
+        assert kinds == ["ident", "punct", "ident", "eof"]
+
+
+class TestParserStructure:
+    def _parse(self, sql, tiny):
+        _, star = tiny
+        return parse_star_query(sql, star)
+
+    def test_basic_group_by_query(self, tiny_star):
+        query = self._parse(
+            "SELECT s_city, SUM(f_total) AS total "
+            "FROM sales, store WHERE f_store = s_id GROUP BY s_city",
+            tiny_star,
+        )
+        assert query.fact_table == "sales"
+        assert [str(ref) for ref in query.group_by] == ["store.s_city"]
+        assert query.aggregates[0].label == "total"
+
+    def test_join_direction_is_irrelevant(self, tiny_star):
+        left = self._parse(
+            "SELECT COUNT(*) FROM sales, store WHERE f_store = s_id",
+            tiny_star,
+        )
+        right = self._parse(
+            "SELECT COUNT(*) FROM sales, store WHERE s_id = f_store",
+            tiny_star,
+        )
+        assert left.referenced_dimensions() == right.referenced_dimensions()
+
+    def test_between_and_in(self, tiny_star):
+        query = self._parse(
+            "SELECT COUNT(*) FROM sales, store, product "
+            "WHERE f_store = s_id AND f_product = p_id "
+            "AND s_size BETWEEN 50 AND 150 AND p_category IN ('food', 'toys')",
+            tiny_star,
+        )
+        assert isinstance(query.predicate_on("store"), Between)
+        assert isinstance(query.predicate_on("product"), InList)
+
+    def test_nested_boolean_predicates(self, tiny_star):
+        query = self._parse(
+            "SELECT COUNT(*) FROM sales, store WHERE f_store = s_id AND "
+            "(s_city = 'lyon' OR (s_size > 100 AND NOT s_city = 'nice'))",
+            tiny_star,
+        )
+        predicate = query.predicate_on("store")
+        assert isinstance(predicate, Or)
+        assert isinstance(predicate.children[1], And)
+        assert isinstance(predicate.children[1].children[1], Not)
+
+    def test_multiple_predicates_on_one_table_are_anded(self, tiny_star):
+        query = self._parse(
+            "SELECT COUNT(*) FROM sales, store "
+            "WHERE f_store = s_id AND s_size > 10 AND s_size < 300",
+            tiny_star,
+        )
+        assert isinstance(query.predicate_on("store"), And)
+
+    def test_fact_predicates_split_from_dimension_predicates(self, tiny_star):
+        query = self._parse(
+            "SELECT COUNT(*) FROM sales, store "
+            "WHERE f_store = s_id AND f_qty >= 2 AND s_size > 10",
+            tiny_star,
+        )
+        assert isinstance(query.fact_predicate, Comparison)
+        assert query.fact_predicate.column == "f_qty"
+
+    def test_aggregate_expression_inputs(self, tiny_star):
+        query = self._parse(
+            "SELECT SUM(f_total - f_qty) FROM sales",
+            tiny_star,
+        )
+        (spec,) = query.aggregates
+        assert (spec.column, spec.column2, spec.combine) == (
+            "f_total", "f_qty", "-",
+        )
+
+    def test_order_by_is_accepted_and_ignored(self, tiny_star):
+        query = self._parse(
+            "SELECT s_city, COUNT(*) FROM sales, store "
+            "WHERE f_store = s_id GROUP BY s_city ORDER BY s_city DESC",
+            tiny_star,
+        )
+        assert query.group_by  # parsed fine
+
+    def test_qualified_column_names(self, tiny_star):
+        query = self._parse(
+            "SELECT store.s_city, COUNT(*) FROM sales, store "
+            "WHERE sales.f_store = store.s_id GROUP BY store.s_city",
+            tiny_star,
+        )
+        assert str(query.group_by[0]) == "store.s_city"
+
+
+class TestParserErrors:
+    def _expect_error(self, sql, tiny):
+        _, star = tiny
+        with pytest.raises(ParseError):
+            parse_star_query(sql, star)
+
+    def test_missing_from(self, tiny_star):
+        self._expect_error("SELECT 1", tiny_star)
+
+    def test_unknown_table(self, tiny_star):
+        self._expect_error("SELECT COUNT(*) FROM nowhere", tiny_star)
+
+    def test_fact_table_required(self, tiny_star):
+        self._expect_error("SELECT COUNT(*) FROM store", tiny_star)
+
+    def test_dimension_without_join(self, tiny_star):
+        self._expect_error(
+            "SELECT COUNT(*) FROM sales, store WHERE s_size > 10",
+            tiny_star,
+        )
+
+    def test_join_must_follow_foreign_key(self, tiny_star):
+        self._expect_error(
+            "SELECT COUNT(*) FROM sales, store WHERE f_qty = s_id",
+            tiny_star,
+        )
+
+    def test_non_equi_column_join_rejected(self, tiny_star):
+        self._expect_error(
+            "SELECT COUNT(*) FROM sales, store WHERE f_store < s_id",
+            tiny_star,
+        )
+
+    def test_cross_table_or_rejected(self, tiny_star):
+        self._expect_error(
+            "SELECT COUNT(*) FROM sales, store, product "
+            "WHERE f_store = s_id AND f_product = p_id "
+            "AND (s_size > 10 OR p_price > 5)",
+            tiny_star,
+        )
+
+    def test_join_inside_or_rejected(self, tiny_star):
+        self._expect_error(
+            "SELECT COUNT(*) FROM sales, store "
+            "WHERE f_qty > 1 OR f_store = s_id",
+            tiny_star,
+        )
+
+    def test_unknown_column(self, tiny_star):
+        self._expect_error(
+            "SELECT wat FROM sales",
+            tiny_star,
+        )
+
+    def test_trailing_garbage(self, tiny_star):
+        self._expect_error(
+            "SELECT COUNT(*) FROM sales EXTRA",
+            tiny_star,
+        )
+
+
+class TestParsedQueriesEvaluate:
+    def test_sql_equals_reference(self, tiny_star):
+        catalog, star = tiny_star
+        sql = (
+            "SELECT s_city, SUM(f_total) FROM sales, store, product "
+            "WHERE f_store = s_id AND f_product = p_id "
+            "AND p_category = 'food' GROUP BY s_city"
+        )
+        query = parse_star_query(sql, star)
+        rows = evaluate_star_query(query, catalog)
+        assert rows == [("lyon", 31), ("nice", 36), ("paris", 49)]
+
+    def test_ssb_q41_parses_on_ssb_schema(self, ssb_small):
+        _, star = ssb_small
+        sql = (
+            "SELECT d_year, c_nation, SUM(lo_revenue - lo_supplycost) AS profit "
+            "FROM lineorder, customer, supplier, part, date "
+            "WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey "
+            "AND lo_partkey = p_partkey AND lo_orderdate = d_datekey "
+            "AND c_region = 'AMERICA' AND s_region = 'AMERICA' "
+            "AND p_mfgr IN ('MFGR#1', 'MFGR#2') "
+            "GROUP BY d_year, c_nation ORDER BY d_year, c_nation"
+        )
+        query = parse_star_query(sql, star)
+        assert set(query.referenced_dimensions()) == {
+            "customer", "supplier", "part", "date",
+        }

@@ -1,0 +1,60 @@
+"""SQL front-end robustness fuzzing.
+
+Whatever text arrives, the parser must either return a valid StarQuery
+or raise ParseError/QueryError — never crash with an unrelated
+exception, never hang, never return a malformed query.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.errors import QueryError
+from repro.query.reference import evaluate_star_query
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_star_query
+from tests.conftest import make_tiny_star
+
+_CATALOG, _STAR = make_tiny_star()
+
+#: fragments biased toward almost-valid star queries
+FRAGMENTS = st.sampled_from(
+    [
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "AND", "OR",
+        "NOT", "BETWEEN", "IN", "AS", "COUNT", "SUM", "MIN", "MAX", "AVG",
+        "sales", "store", "product", "s_id", "s_city", "f_store", "f_qty",
+        "p_category", "*", "(", ")", ",", ".", "=", "<", ">", "<=", ">=",
+        "<>", "!=", "-", "+", "42", "3.14", "'lyon'", "'it''s'", "x",
+        "COUNT(*)", "f_store = s_id", "BETWEEN 1 AND 5",
+    ]
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.lists(FRAGMENTS, min_size=1, max_size=25))
+def test_fragment_soup_never_crashes_unexpectedly(fragments):
+    sql = " ".join(fragments)
+    try:
+        query = parse_star_query(sql, _STAR)
+    except QueryError:
+        return  # ParseError is a QueryError; both acceptable
+    # if it parsed, it must be executable
+    query.validate(_STAR)
+    evaluate_star_query(query, _CATALOG)
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.text(max_size=80))
+def test_arbitrary_text_never_crashes_the_lexer(text):
+    try:
+        tokenize(text)
+    except QueryError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(alphabet="SELCTFROMWHE 'sales'()*=,.", max_size=60))
+def test_sqlish_text_never_crashes_the_parser(text):
+    try:
+        parse_star_query(text, _STAR)
+    except QueryError:
+        pass

@@ -1,0 +1,82 @@
+"""Detailed checks of the DATE dimension's derived attributes."""
+
+import datetime
+
+import pytest
+
+from repro.ssb.generator import CALENDAR_START, SSBGenerator
+from repro.ssb.schema import date_schema
+
+
+@pytest.fixture(scope="module")
+def date_rows():
+    return SSBGenerator(scale_factor=0.01, seed=1).date_rows()
+
+
+@pytest.fixture(scope="module")
+def columns():
+    schema = date_schema()
+    return {name: schema.column_index(name) for name in schema.column_names()}
+
+
+def test_datekeys_are_consecutive_calendar_days(date_rows, columns):
+    previous = None
+    for row in date_rows:
+        key = row[columns["d_datekey"]]
+        day = datetime.date(key // 10000, key % 10000 // 100, key % 100)
+        if previous is not None:
+            assert day - previous == datetime.timedelta(days=1)
+        previous = day
+    first = date_rows[0][columns["d_datekey"]]
+    assert first == int(CALENDAR_START.strftime("%Y%m%d"))
+
+
+def test_year_month_fields_consistent(date_rows, columns):
+    for row in date_rows:
+        key = row[columns["d_datekey"]]
+        assert row[columns["d_year"]] == key // 10000
+        assert row[columns["d_yearmonthnum"]] == key // 100
+        assert row[columns["d_monthnuminyear"]] == key % 10000 // 100
+        assert row[columns["d_yearmonth"]] == (
+            f"{row[columns['d_month']][:3]}{row[columns['d_year']]}"
+        )
+
+
+def test_weekday_flags_partition_the_week(date_rows, columns):
+    for row in date_rows:
+        weekday_flag = row[columns["d_weekdayfl"]]
+        day_in_week = row[columns["d_daynuminweek"]]
+        assert weekday_flag == (1 if day_in_week <= 5 else 0)
+
+
+def test_selling_seasons_cover_every_month(date_rows, columns):
+    seen = {}
+    for row in date_rows:
+        seen[row[columns["d_monthnuminyear"]]] = row[
+            columns["d_sellingseason"]
+        ]
+    assert seen[12] == "Christmas" and seen[1] == "Christmas"
+    assert seen[3] == "Spring"
+    assert seen[6] == "Summer"
+    assert seen[9] == "Fall"
+    assert seen[11] == "Winter"
+
+
+def test_holiday_flags(date_rows, columns):
+    holidays = [
+        row for row in date_rows if row[columns["d_holidayfl"]] == 1
+    ]
+    assert holidays, "calendar should contain holidays"
+    for row in holidays:
+        key = row[columns["d_datekey"]]
+        assert (key % 10000 // 100, key % 100) in {
+            (1, 1), (2, 14), (7, 4), (11, 25), (12, 24), (12, 25), (12, 31),
+        }
+
+
+def test_day_numbers_within_bounds(date_rows, columns):
+    for row in date_rows:
+        assert 1 <= row[columns["d_daynuminweek"]] <= 7
+        assert 1 <= row[columns["d_daynuminmonth"]] <= 31
+        assert 1 <= row[columns["d_daynuminyear"]] <= 366
+        assert 1 <= row[columns["d_weeknuminyear"]] <= 53

@@ -1,0 +1,176 @@
+"""Unit tests for pages, heaps, buffer pool, tables, and I/O stats."""
+
+import pytest
+
+from repro.catalog.schema import Column, DataType, TableSchema
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile
+from repro.storage.iostats import IOStats
+from repro.storage.page import Page
+from repro.storage.table import Table
+
+
+def _schema(name="t", pk=None):
+    return TableSchema(
+        name,
+        [Column("k", DataType.INT), Column("v", DataType.STRING)],
+        primary_key=pk,
+    )
+
+
+class TestPage:
+    def test_append_until_full(self):
+        page = Page(0, capacity=2)
+        assert page.append((1, "a")) == 0
+        assert page.append((2, "b")) == 1
+        assert page.is_full
+        with pytest.raises(StorageError):
+            page.append((3, "c"))
+
+    def test_slot_bounds(self):
+        page = Page(0, capacity=2)
+        page.append((1, "a"))
+        assert page.slot(0) == (1, "a")
+        with pytest.raises(StorageError):
+            page.slot(1)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(StorageError):
+            Page(0, capacity=0)
+
+
+class TestHeapFile:
+    def test_pages_fill_in_order(self):
+        heap = HeapFile(rows_per_page=2)
+        addresses = [heap.append_row((i, "x")) for i in range(5)]
+        assert addresses == [(0, 0), (0, 1), (1, 0), (1, 1), (2, 0)]
+        assert heap.page_count == 3
+        assert heap.row_count == 5
+
+    def test_read_row_roundtrip(self):
+        heap = HeapFile(rows_per_page=2)
+        heap.append_row((7, "seven"))
+        assert heap.read_row(0, 0) == (7, "seven")
+
+    def test_bad_page_raises(self):
+        heap = HeapFile()
+        with pytest.raises(StorageError):
+            heap.page(0)
+
+    def test_iter_rows_in_heap_order(self):
+        heap = HeapFile(rows_per_page=2)
+        rows = [(i, str(i)) for i in range(5)]
+        for row in rows:
+            heap.append_row(row)
+        assert list(heap.iter_rows()) == rows
+
+    def test_heap_ids_are_unique(self):
+        assert HeapFile().heap_id != HeapFile().heap_id
+
+
+class TestBufferPool:
+    def _heap_with_pages(self, pages=4, rows_per_page=2):
+        heap = HeapFile(rows_per_page)
+        for i in range(pages * rows_per_page):
+            heap.append_row((i, "x"))
+        return heap
+
+    def test_miss_then_hit(self):
+        stats = IOStats()
+        pool = BufferPool(2, stats)
+        heap = self._heap_with_pages()
+        pool.fetch(heap, 0)
+        pool.fetch(heap, 0)
+        assert stats.disk_reads == 1
+        assert stats.buffer_hits == 1
+
+    def test_lru_eviction(self):
+        pool = BufferPool(2)
+        heap = self._heap_with_pages(pages=3)
+        pool.fetch(heap, 0)
+        pool.fetch(heap, 1)
+        pool.fetch(heap, 2)  # evicts page 0
+        assert not pool.contains(heap, 0)
+        assert pool.contains(heap, 1)
+        assert pool.contains(heap, 2)
+
+    def test_hit_refreshes_recency(self):
+        pool = BufferPool(2)
+        heap = self._heap_with_pages(pages=3)
+        pool.fetch(heap, 0)
+        pool.fetch(heap, 1)
+        pool.fetch(heap, 0)  # page 0 now most recent
+        pool.fetch(heap, 2)  # evicts page 1
+        assert pool.contains(heap, 0)
+        assert not pool.contains(heap, 1)
+
+    def test_sequential_vs_random_classification(self):
+        stats = IOStats()
+        pool = BufferPool(10, stats)
+        heap = self._heap_with_pages(pages=5)
+        for page_id in (0, 1, 2, 4, 3):
+            pool.fetch(heap, page_id)
+        # 1 and 2 follow their predecessors; 0 (first), 4, 3 are random
+        assert stats.sequential_reads == 2
+        assert stats.random_reads == 3
+
+    def test_invalidate_per_heap(self):
+        pool = BufferPool(8)
+        heap_a = self._heap_with_pages(pages=2)
+        heap_b = self._heap_with_pages(pages=2)
+        pool.fetch(heap_a, 0)
+        pool.fetch(heap_b, 0)
+        pool.invalidate(heap_a)
+        assert not pool.contains(heap_a, 0)
+        assert pool.contains(heap_b, 0)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(StorageError):
+            BufferPool(0)
+
+
+class TestIOStats:
+    def test_sequential_fraction_with_no_reads(self):
+        assert IOStats().sequential_fraction == 1.0
+
+    def test_reset_clears_positions(self):
+        stats = IOStats()
+        stats.record_read(1, 0)
+        stats.record_read(1, 1)
+        stats.reset()
+        stats.record_read(1, 2)  # no predecessor after reset -> random
+        assert stats.random_reads == 1
+        assert stats.sequential_reads == 0
+
+
+class TestTable:
+    def test_insert_validates_schema(self):
+        table = Table(_schema())
+        with pytest.raises(Exception):
+            table.insert(("wrong", 1))
+
+    def test_primary_key_duplicates_rejected(self):
+        table = Table(_schema(pk="k"))
+        table.insert((1, "a"))
+        with pytest.raises(StorageError):
+            table.insert((1, "b"))
+
+    def test_pk_lookup(self):
+        table = Table(_schema(pk="k"))
+        table.insert((1, "a"))
+        table.insert((2, "b"))
+        assert table.lookup_pk(2) == (2, "b")
+        assert table.lookup_pk(99) is None
+
+    def test_pk_lookup_without_index_raises(self):
+        table = Table(_schema())
+        with pytest.raises(StorageError):
+            table.lookup_pk(1)
+
+    def test_from_rows_preserves_order(self):
+        rows = [(i, str(i)) for i in range(10)]
+        table = Table.from_rows(_schema(), rows, rows_per_page=3)
+        assert table.all_rows() == rows
+        assert table.row_count == 10
+        assert table.page_count == 4

@@ -1,0 +1,160 @@
+"""Unit tests for the section-5 storage extensions:
+
+column store, dictionary compression, range partitioning.
+"""
+
+import pytest
+
+from repro.catalog.schema import Column, DataType, TableSchema
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.column import ColumnStoreTable
+from repro.storage.compression import DictionaryCodec, compress_table
+from repro.storage.iostats import IOStats
+from repro.storage.partition import PartitionedTable, RangePartitioning
+from repro.storage.table import Table
+
+
+def _schema():
+    return TableSchema(
+        "t",
+        [
+            Column("k", DataType.INT),
+            Column("name", DataType.STRING),
+            Column("value", DataType.INT),
+        ],
+    )
+
+
+ROWS = [(i, f"name{i % 3}", i * 10) for i in range(12)]
+
+
+class TestColumnStore:
+    def test_merge_scan_reconstructs_requested_columns(self):
+        table = ColumnStoreTable.from_rows(_schema(), ROWS, values_per_page=4)
+        scanned = list(table.merge_scan(["k", "value"], BufferPool(32)))
+        assert len(scanned) == 12
+        position, row = scanned[3]
+        assert position == 3
+        assert row == (3, None, 30)  # unrequested column is None
+
+    def test_merge_scan_reads_only_requested_pages(self):
+        stats = IOStats()
+        table = ColumnStoreTable.from_rows(_schema(), ROWS, values_per_page=4)
+        list(table.merge_scan(["k"], BufferPool(32, stats)))
+        assert stats.disk_reads == table.column_heaps["k"].page_count
+
+    def test_pages_for_columns_counts_io_volume(self):
+        table = ColumnStoreTable.from_rows(_schema(), ROWS, values_per_page=4)
+        one = table.pages_for_columns(["k"])
+        two = table.pages_for_columns(["k", "name"])
+        assert two == 2 * one
+
+    def test_unknown_column_rejected(self):
+        table = ColumnStoreTable.from_rows(_schema(), ROWS)
+        with pytest.raises(StorageError):
+            list(table.merge_scan(["missing"], BufferPool(8)))
+
+    def test_empty_column_list_rejected(self):
+        table = ColumnStoreTable.from_rows(_schema(), ROWS)
+        with pytest.raises(StorageError):
+            list(table.merge_scan([], BufferPool(8)))
+
+
+class TestDictionaryCodec:
+    def test_roundtrip(self):
+        codec = DictionaryCodec(["cherry", "apple", "banana", "apple"])
+        for value in ("apple", "banana", "cherry"):
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_order_preserving(self):
+        codec = DictionaryCodec(["b", "d", "a", "c"])
+        codes = [codec.encode(v) for v in ("a", "b", "c", "d")]
+        assert codes == sorted(codes)
+
+    def test_unknown_value_rejected(self):
+        codec = DictionaryCodec(["x"])
+        with pytest.raises(StorageError):
+            codec.encode("y")
+        assert codec.try_encode("y") is None
+
+    def test_encode_bound_for_absent_values(self):
+        codec = DictionaryCodec(["b", "d", "f"])
+        # range predicate 'c' <= col <= 'e' maps onto codes of d only
+        low = codec.encode_bound("c", "lower")
+        high = codec.encode_bound("e", "upper")
+        assert (low, high) == (codec.encode("d"), codec.encode("d"))
+
+    def test_cardinality(self):
+        assert DictionaryCodec(["a", "a", "b"]).cardinality == 2
+
+
+class TestCompressedTable:
+    def test_decompress_restores_logical_rows(self):
+        table = Table.from_rows(_schema(), ROWS)
+        compressed = compress_table(table, ["name"])
+        logical = [
+            compressed.decompress_row(row)
+            for row in compressed.physical.heap.iter_rows()
+        ]
+        assert logical == ROWS
+
+    def test_only_string_columns_compressible(self):
+        table = Table.from_rows(_schema(), ROWS)
+        with pytest.raises(StorageError):
+            compress_table(table, ["value"])
+
+    def test_compression_shrinks_strings(self):
+        table = Table.from_rows(_schema(), ROWS)
+        compressed = compress_table(table, ["name"])
+        assert compressed.compression_ratio() > 1.0
+
+
+class TestRangePartitioning:
+    def test_partition_of(self):
+        scheme = RangePartitioning("k", (10, 20))
+        assert scheme.partition_of(5) == 0
+        assert scheme.partition_of(10) == 1
+        assert scheme.partition_of(25) == 2
+
+    def test_boundaries_must_ascend(self):
+        with pytest.raises(StorageError):
+            RangePartitioning("k", (20, 10))
+
+    def test_null_partition_value_rejected(self):
+        with pytest.raises(StorageError):
+            RangePartitioning("k", (10,)).partition_of(None)
+
+    def test_interval_pruning(self):
+        scheme = RangePartitioning("k", (10, 20, 30))
+        assert scheme.partitions_for_interval(12, 18) == [1]
+        assert scheme.partitions_for_interval(5, 25) == [0, 1, 2]
+        assert scheme.partitions_for_interval(None, 9) == [0]
+        assert scheme.partitions_for_interval(30, None) == [3]
+        assert scheme.partitions_for_interval(None, None) == [0, 1, 2, 3]
+
+
+class TestPartitionedTable:
+    def _make(self):
+        scheme = RangePartitioning("k", (4, 8))
+        return PartitionedTable.from_rows(
+            _schema(), scheme, ROWS, rows_per_page=4
+        )
+
+    def test_rows_routed_by_value(self):
+        table = self._make()
+        assert table.partition_row_counts() == [4, 4, 4]
+        assert table.row_count == 12
+
+    def test_offsets_and_spans(self):
+        table = self._make()
+        assert table.partition_offsets() == [0, 4, 8]
+        assert table.partition_span(1) == (4, 8)
+
+    def test_partitioning_column_must_exist(self):
+        with pytest.raises(StorageError):
+            PartitionedTable(_schema(), RangePartitioning("zz", (1,)))
+
+    def test_bad_partition_span(self):
+        with pytest.raises(StorageError):
+            self._make().partition_span(9)

@@ -1,0 +1,89 @@
+"""Unit tests for snapshot-isolation visibility."""
+
+import pytest
+
+from repro.catalog.schema import Column, DataType, TableSchema
+from repro.errors import SnapshotError
+from repro.storage.mvcc import (
+    Snapshot,
+    TransactionManager,
+    TupleVersion,
+    VersionedTable,
+)
+from repro.storage.table import Table
+
+
+def _versioned(rows=3):
+    schema = TableSchema("t", [Column("k", DataType.INT)])
+    table = Table.from_rows(schema, [(i,) for i in range(rows)])
+    return VersionedTable(table)
+
+
+class TestSnapshotVisibility:
+    def test_bulk_loaded_rows_visible_everywhere(self):
+        version = TupleVersion(xmin=0, xmax=None)
+        assert Snapshot(0).can_see(version)
+        assert Snapshot(100).can_see(version)
+
+    def test_insert_invisible_to_older_snapshot(self):
+        version = TupleVersion(xmin=5, xmax=None)
+        assert not Snapshot(4).can_see(version)
+        assert Snapshot(5).can_see(version)
+
+    def test_delete_invisible_after_xmax(self):
+        version = TupleVersion(xmin=1, xmax=3)
+        assert Snapshot(2).can_see(version)
+        assert not Snapshot(3).can_see(version)
+
+
+class TestVersionedTable:
+    def test_insert_appends_version(self):
+        table = _versioned(2)
+        position = table.insert((9,), xmin=4)
+        assert position == 2
+        assert table.version_at(2) == TupleVersion(4, None)
+
+    def test_double_delete_rejected(self):
+        table = _versioned(2)
+        table.delete(0, xmax=2)
+        with pytest.raises(SnapshotError):
+            table.delete(0, xmax=3)
+
+    def test_bad_position_rejected(self):
+        table = _versioned(1)
+        with pytest.raises(SnapshotError):
+            table.version_at(5)
+        with pytest.raises(SnapshotError):
+            table.delete(5, xmax=1)
+
+    def test_visible_rows_reflect_snapshot(self):
+        table = _versioned(2)  # rows (0,), (1,) at xmin=0
+        table.delete(0, xmax=1)
+        table.insert((2,), xmin=1)
+        assert table.visible_rows(Snapshot(0)) == [(0,), (1,)]
+        assert table.visible_rows(Snapshot(1)) == [(1,), (2,)]
+
+
+class TestTransactionManager:
+    def test_commit_advances_snapshot(self):
+        manager = TransactionManager()
+        table = _versioned(1)
+        assert manager.current_snapshot().snapshot_id == 0
+        snapshot = manager.commit(table, inserts=[(5,)])
+        assert snapshot.snapshot_id == 1
+        assert manager.current_snapshot().snapshot_id == 1
+
+    def test_update_as_delete_plus_insert(self):
+        manager = TransactionManager()
+        table = _versioned(1)  # row (0,)
+        before = manager.current_snapshot()
+        manager.commit(table, inserts=[(10,)], deletes=[0])
+        after = manager.current_snapshot()
+        assert table.visible_rows(before) == [(0,)]
+        assert table.visible_rows(after) == [(10,)]
+
+    def test_rows_never_physically_removed(self):
+        manager = TransactionManager()
+        table = _versioned(3)
+        manager.commit(table, deletes=[1])
+        assert table.row_count == 3  # stable positions for the scan
