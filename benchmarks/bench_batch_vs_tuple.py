@@ -1,0 +1,104 @@
+"""Batched fast path vs tuple-at-a-time on a concurrent SSB scan.
+
+Not a paper artifact — the acceptance gate for the vectorized
+execution path (DESIGN.md section 5): on the paper's headline workload
+shape (32 concurrent queries, selectivity 1%) the batched executor
+must finish the shared scan at least 2x faster than the reference
+tuple-at-a-time executor, while producing identical results.
+
+Wall time is measured as best-of-N over the drain phase only
+(submission cost is identical: admission is shared code), which keeps
+the assertion stable under CI timing noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cjoin import CJoinOperator
+from repro.cjoin.executor import ExecutorConfig
+from repro.ssb.generator import load_ssb
+from repro.ssb.queries import ssb_workload_generator
+from repro.storage.buffer import BufferPool
+
+#: the paper's default operating point, scaled to a CI-sized instance
+CONCURRENT_QUERIES = 32
+SELECTIVITY = 0.01
+SCALE_FACTOR = 0.005
+BATCH_SIZE = 512
+TIMING_ROUNDS = 3
+
+
+def _workload(catalog):
+    generator = ssb_workload_generator(seed=4, catalog=catalog)
+    return generator.generate(CONCURRENT_QUERIES, selectivity=SELECTIVITY)
+
+
+def _drain_seconds(catalog, star, queries, execution):
+    operator = CJoinOperator(
+        catalog,
+        star,
+        buffer_pool=BufferPool(512),
+        executor_config=ExecutorConfig(
+            execution=execution, batch_size=BATCH_SIZE
+        ),
+    )
+    handles = [operator.submit(query) for query in queries]
+    started = time.perf_counter()
+    operator.run_until_drained()
+    elapsed = time.perf_counter() - started
+    return elapsed, [handle.results() for handle in handles], operator.stats
+
+
+def test_batched_beats_tuple_at_32_concurrent_queries():
+    """The batched path drains a 32-query scan >= 2x faster."""
+    catalog, star = load_ssb(scale_factor=SCALE_FACTOR, seed=23)
+    queries = _workload(catalog)
+    tuple_best = float("inf")
+    batched_best = float("inf")
+    tuple_results = batched_results = None
+    for _ in range(TIMING_ROUNDS):
+        elapsed, results, _ = _drain_seconds(catalog, star, queries, "tuple")
+        if elapsed < tuple_best:
+            tuple_best = elapsed
+        tuple_results = results
+        elapsed, results, stats = _drain_seconds(
+            catalog, star, queries, "batched"
+        )
+        if elapsed < batched_best:
+            batched_best = elapsed
+        batched_results = results
+    speedup = tuple_best / batched_best
+    print(
+        f"\n{CONCURRENT_QUERIES} queries, s={SELECTIVITY:.0%}, "
+        f"sf={SCALE_FACTOR}: tuple {tuple_best * 1e3:.1f} ms, "
+        f"batched {batched_best * 1e3:.1f} ms, speedup {speedup:.2f}x "
+        f"({stats.tuples_scanned} tuples scanned, "
+        f"{stats.probes_per_tuple:.2f} probes/tuple)"
+    )
+    assert batched_results == tuple_results
+    assert speedup >= 2.0, (
+        f"batched path only {speedup:.2f}x faster "
+        f"(tuple {tuple_best:.3f}s vs batched {batched_best:.3f}s)"
+    )
+
+
+def test_batched_wall_time_for_32_queries(benchmark, ssb_bench):
+    """Track the batched drain cost itself (regression telemetry)."""
+    catalog, star = ssb_bench
+
+    def run():
+        operator = CJoinOperator(
+            catalog,
+            star,
+            buffer_pool=BufferPool(256),
+            executor_config=ExecutorConfig(
+                execution="batched", batch_size=BATCH_SIZE
+            ),
+        )
+        handles = [operator.submit(query) for query in _workload(catalog)]
+        operator.run_until_drained()
+        return [handle.results() for handle in handles]
+
+    results = benchmark(run)
+    assert len(results) == CONCURRENT_QUERIES

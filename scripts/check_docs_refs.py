@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Fail when src/ cites a documentation file or section that is missing.
+
+Module docstrings across ``src/`` cite ``DESIGN.md section N``,
+``EXPERIMENTS.md`` and ``README.md``.  Those citations rot silently:
+nothing else checks that the file exists or that the numbered section
+is still there.  This script greps every ``src/**/*.py`` for doc
+citations, resolves each against the repository root, and exits
+non-zero listing every dangling reference.  Wired into the test suite
+via tests/test_tooling.py; also runnable standalone::
+
+    python scripts/check_docs_refs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: DESIGN.md / EXPERIMENTS.md / README.md, optionally followed by
+#: "section N", "sections N-M" or "sections N and M"
+CITATION = re.compile(
+    r"(?P<doc>DESIGN|EXPERIMENTS|README)\.md"
+    r"(?:,?\s+sections?\s+(?P<first>\d+)"
+    r"(?:\s*(?:-|and)\s*(?P<last>\d+))?)?"
+)
+
+#: numbered markdown headings: "## 3. Storage substrate"
+HEADING = re.compile(r"^#{1,6}\s+(\d+)[.)]\s", re.MULTILINE)
+
+
+def doc_sections(doc_path: Path) -> set[int]:
+    """The numbered section headings present in a markdown file."""
+    return {
+        int(match.group(1))
+        for match in HEADING.finditer(doc_path.read_text(encoding="utf-8"))
+    }
+
+
+def check(root: Path = REPO_ROOT) -> list[str]:
+    """Return a list of human-readable problems (empty = all good)."""
+    problems: list[str] = []
+    sections_by_doc: dict[str, set[int] | None] = {}
+    for source in sorted((root / "src").rglob("*.py")):
+        text = source.read_text(encoding="utf-8")
+        for match in CITATION.finditer(text):
+            doc_name = f"{match.group('doc')}.md"
+            line = text.count("\n", 0, match.start()) + 1
+            where = f"{source.relative_to(root)}:{line}"
+            if doc_name not in sections_by_doc:
+                doc_path = root / doc_name
+                sections_by_doc[doc_name] = (
+                    doc_sections(doc_path) if doc_path.is_file() else None
+                )
+            sections = sections_by_doc[doc_name]
+            if sections is None:
+                problems.append(f"{where}: cites missing file {doc_name}")
+                continue
+            if match.group("first") is None:
+                continue
+            first = int(match.group("first"))
+            last = int(match.group("last") or first)
+            for number in range(first, last + 1):
+                if number not in sections:
+                    problems.append(
+                        f"{where}: cites {doc_name} section {number}, "
+                        f"which has no such numbered heading "
+                        f"(found: {sorted(sections)})"
+                    )
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    if problems:
+        print(f"{len(problems)} dangling documentation reference(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("all documentation citations in src/ resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,14 +1,29 @@
-"""Setuptools shim.
+"""Package metadata and setuptools shim.
 
 The offline environment lacks the ``wheel`` package, so PEP 517
 editable installs fail with "invalid command 'bdist_wheel'".  This
 shim enables the legacy path:
 
     pip install -e . --no-build-isolation --no-use-pep517
-
-All project metadata lives in ``pyproject.toml``.
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+README = Path(__file__).parent / "README.md"
+
+setup(
+    name="repro-cjoin",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'A Scalable, Predictable Join Operator for "
+        "Highly Concurrent Data Warehouses' (VLDB 2009): the CJOIN "
+        "shared star-join operator"
+    ),
+    long_description=README.read_text(encoding="utf-8"),
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+)

@@ -6,9 +6,16 @@ Usage::
     python -m repro.bench fig5 tab2          # run selected ones
     python -m repro.bench --chart fig5 fig6  # add ASCII charts
     python -m repro.bench --chart --log fig6 # log-scale y axis
+    python -m repro.bench --smoke            # fast CI gate
 
 Prints each experiment's paper-vs-measured series plus its shape
 checks; exits non-zero if any check fails.
+
+``--smoke`` is the fast mode wired into the test suite (see
+EXPERIMENTS.md): it runs every model-backed experiment's shape checks
+without charts *plus* a real-pipeline sanity pass — a milli-scale SSB
+workload executed through both the tuple-at-a-time and the batched
+CJOIN paths, asserting identical results — in a couple of seconds.
 """
 
 from __future__ import annotations
@@ -20,9 +27,45 @@ from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.reporting import format_comparison
 
 
+def run_smoke_pipeline() -> bool:
+    """Real-execution sanity pass: tuple and batched paths agree.
+
+    Returns True on success.  Deliberately tiny (milli-scale SSB,
+    eight queries) so the smoke gate stays fast.
+    """
+    from repro.cjoin import CJoinOperator
+    from repro.cjoin.executor import ExecutorConfig
+    from repro.ssb.generator import load_ssb
+    from repro.ssb.queries import ssb_workload_generator
+
+    catalog, star = load_ssb(scale_factor=0.0005, seed=7)
+    queries = ssb_workload_generator(seed=3, catalog=catalog).generate(
+        8, selectivity=0.1
+    )
+    results = {}
+    for execution in ("tuple", "batched"):
+        operator = CJoinOperator(
+            catalog,
+            star,
+            executor_config=ExecutorConfig(execution=execution),
+        )
+        handles = [operator.submit(query) for query in queries]
+        operator.run_until_drained()
+        results[execution] = [handle.results() for handle in handles]
+    matched = results["tuple"] == results["batched"]
+    rows = sum(len(result) for result in results["tuple"])
+    status = "ok" if matched else "MISMATCH"
+    print(
+        f"pipeline smoke: 8 queries, tuple vs batched execution -> "
+        f"{status} ({rows} result rows)"
+    )
+    return matched
+
+
 def main(argv: list[str]) -> int:
     show_chart = "--chart" in argv
     log_y = "--log" in argv
+    smoke = "--smoke" in argv
     requested = [arg for arg in argv if not arg.startswith("--")]
     requested = requested or sorted(EXPERIMENTS)
     unknown = [eid for eid in requested if eid not in EXPERIMENTS]
@@ -32,12 +75,20 @@ def main(argv: list[str]) -> int:
     all_passed = True
     for experiment_id in requested:
         result = run_experiment(experiment_id)
+        if smoke:
+            failed = [d for d, passed in result.checks if not passed]
+            status = "ok" if not failed else f"FAILED {failed}"
+            print(f"{experiment_id}: {status}")
+            all_passed = all_passed and not failed
+            continue
         print(format_comparison(result))
         if show_chart:
             print()
             print(render_chart(result, log_y=log_y))
         print()
         all_passed = all_passed and result.all_checks_pass
+    if smoke:
+        all_passed = run_smoke_pipeline() and all_passed
     if not all_passed:
         print("SOME SHAPE CHECKS FAILED")
         return 1

@@ -3,8 +3,9 @@
 Each runner returns an :class:`ExperimentResult`: named series of
 (x, value) points for ours and for the paper's digitized data, plus
 the shape assertions that must hold for the reproduction to count.
-Absolute values are modeled (see DESIGN.md); assertions therefore
-check orderings, monotonicity, growth factors, and crossovers.
+Absolute values are modeled (see DESIGN.md section 4); assertions
+therefore check orderings, monotonicity, growth factors, and
+crossovers (the EXPERIMENTS.md section 1 policy).
 """
 
 from __future__ import annotations
@@ -63,7 +64,8 @@ def run_fig4() -> ExperimentResult:
     """Horizontal vs vertical thread mapping (section 6.2.1).
 
     A hybrid (two filters per stage) series is included as the ablation
-    DESIGN.md calls out; the paper discusses but does not plot it.
+    DESIGN.md section 4 calls out; the paper discusses but does not
+    plot it.
     """
     cjoin, _, _ = _models()
     shape = WorkloadShape.from_scale_factor(DEFAULT_SF)

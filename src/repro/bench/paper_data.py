@@ -4,7 +4,8 @@ Tables 1-3 are printed verbatim in the paper; figure series are
 digitized from the plots (approximate) or reconstructed from claims in
 the running text (marked accordingly).  These are the ground truth the
 benchmark harness compares against — with the standing caveat that the
-reproduction asserts *shapes*, not absolute seconds (see DESIGN.md).
+reproduction asserts *shapes*, not absolute seconds (the assertion
+policy is spelled out in EXPERIMENTS.md section 1).
 """
 
 from __future__ import annotations

@@ -84,6 +84,81 @@ def popcount(vector: int) -> int:
     return vector.bit_count()
 
 
+# ----------------------------------------------------------------------
+# Bulk operations (the batched fast path, DESIGN.md section 5)
+#
+# A FactBatch carries one bit-vector per row plus a per-batch *alive*
+# mask (bit r set iff row r is still in flight).  These helpers give the
+# batch pipeline its amortized primitives: one Python call covers a
+# whole batch column instead of one call per tuple.
+# ----------------------------------------------------------------------
+def or_reduce(vectors) -> int:
+    """OR-reduce an iterable of bit-vectors into one union vector.
+
+    The union of a batch's row bit-vectors is the batch's "who still
+    cares" summary.  The Filter hot path goes through the index-driven
+    :func:`or_reduce_at` (via ``FactBatch.union_bits``); this whole-
+    sequence form is the general-purpose primitive.
+    """
+    union = 0
+    for vector in vectors:
+        union |= vector
+    return union
+
+
+def or_reduce_at(vectors, indices) -> int:
+    """OR-reduce ``vectors[r]`` over the row indices in ``indices``."""
+    union = 0
+    for index in indices:
+        union |= vectors[index]
+    return union
+
+
+def bulk_and(left, right) -> list[int]:
+    """Element-wise AND of two equal-length bit-vector sequences.
+
+    Raises:
+        ValueError: on a length mismatch (a silent zip would mask a
+            batch bookkeeping bug).
+    """
+    if len(left) != len(right):
+        raise ValueError(
+            f"bulk_and length mismatch: {len(left)} vs {len(right)}"
+        )
+    return [a & b for a, b in zip(left, right)]
+
+
+def bulk_popcount(vectors) -> int:
+    """Total number of set bits across a sequence of bit-vectors."""
+    return sum(vector.bit_count() for vector in vectors)
+
+
+def pack_positions(positions) -> int:
+    """Build a mask with the given 0-based bit positions set.
+
+    The inverse of :func:`iter_set_positions`; used to build the
+    dropped-rows mask a Filter subtracts from a batch's alive mask.
+    """
+    mask = 0
+    for position in positions:
+        mask |= 1 << position
+    return mask
+
+
+def iter_set_positions(mask: int) -> Iterator[int]:
+    """Yield the 0-based set-bit positions of ``mask`` in ascending order.
+
+    Unlike :func:`iter_query_ids` (1-based query ids), this enumerates
+    *row* slots of a batch alive mask.
+    """
+    position = 0
+    while mask:
+        if mask & 1:
+            yield position
+        mask >>= 1
+        position += 1
+
+
 def to_string(vector: int, width: int) -> str:
     """Render ``vector`` as the paper draws it: bit for Q1 first.
 

@@ -14,6 +14,7 @@ Distributor, orchestrated by a Pipeline Manager that admits/finalizes
 queries (Algorithms 1 and 2) and re-optimizes the filter order on line.
 """
 
+from repro.cjoin.batch import FactBatch
 from repro.cjoin.operator import CJoinOperator
 from repro.cjoin.registry import QueryHandle
 from repro.cjoin.executor import ExecutorConfig
@@ -23,6 +24,7 @@ from repro.cjoin.snapshots import SnapshotPartitionedCJoin
 __all__ = [
     "CJoinOperator",
     "ExecutorConfig",
+    "FactBatch",
     "GalaxyJoinQuery",
     "QueryHandle",
     "SnapshotPartitionedCJoin",

@@ -50,6 +50,15 @@ class OutputOperator:
         """Fold one routed fact tuple into the operator state."""
         raise NotImplementedError
 
+    def consume_batch(self, fact_tuples: list[FactTuple]) -> None:
+        """Fold a batch of routed tuples (DESIGN.md section 5).
+
+        The default just loops :meth:`consume`; subclasses override to
+        hoist extractor lookups out of the per-tuple loop.
+        """
+        for fact_tuple in fact_tuples:
+            self.consume(fact_tuple)
+
     def results(self) -> list[tuple]:
         """Canonical result rows (sorted by the select prefix)."""
         raise NotImplementedError
@@ -90,6 +99,26 @@ class AggregationOperator(OutputOperator):
             self._aggregate_inputs, accumulators
         ):
             accumulator.add(extract_input(fact_tuple))
+
+    def consume_batch(self, fact_tuples: list[FactTuple]) -> None:
+        key_extractors = self._key_extractors
+        select_extractors = self._select_extractors
+        aggregate_inputs = self._aggregate_inputs
+        groups = self._groups
+        groups_get = groups.get
+        specs = self.query.aggregates
+        for fact_tuple in fact_tuples:
+            key = tuple(extract(fact_tuple) for extract in key_extractors)
+            state = groups_get(key)
+            if state is None:
+                state = groups[key] = [
+                    tuple(extract(fact_tuple) for extract in select_extractors),
+                    [make_accumulator(spec) for spec in specs],
+                ]
+            for extract_input, accumulator in zip(
+                aggregate_inputs, state[1]
+            ):
+                accumulator.add(extract_input(fact_tuple))
 
     def results(self) -> list[tuple]:
         rows = [
@@ -141,6 +170,19 @@ class SortAggregationOperator(OutputOperator):
         )
         self._buffer.append((key, select_values, inputs))
 
+    def consume_batch(self, fact_tuples: list[FactTuple]) -> None:
+        key_extractors = self._key_extractors
+        select_extractors = self._select_extractors
+        aggregate_inputs = self._aggregate_inputs
+        self._buffer.extend(
+            (
+                tuple(extract(fact_tuple) for extract in key_extractors),
+                tuple(extract(fact_tuple) for extract in select_extractors),
+                tuple(extract(fact_tuple) for extract in aggregate_inputs),
+            )
+            for fact_tuple in fact_tuples
+        )
+
     def results(self) -> list[tuple]:
         # sort by key (repr-keyed to tolerate mixed None/typed keys),
         # then fold each run of equal keys through fresh accumulators
@@ -184,6 +226,13 @@ class ListingOperator(OutputOperator):
     def consume(self, fact_tuple: FactTuple) -> None:
         self._rows.append(
             tuple(extract(fact_tuple) for extract in self._select_extractors)
+        )
+
+    def consume_batch(self, fact_tuples: list[FactTuple]) -> None:
+        select_extractors = self._select_extractors
+        self._rows.extend(
+            tuple(extract(fact_tuple) for extract in select_extractors)
+            for fact_tuple in fact_tuples
         )
 
     def results(self) -> list[tuple]:

@@ -1,0 +1,124 @@
+"""Columnar fact batches for the vectorized fast path (DESIGN.md section 5).
+
+The tuple-at-a-time pipeline pays several Python calls per fact tuple
+per Filter — the opposite of the paper's "one pass, shared work"
+economics.  :class:`FactBatch` restores batch granularity: the
+Preprocessor emits one batch per run of consecutive fact tuples, each
+Filter makes *one* call per batch (amortizing dispatch, deduplicating
+hash-table probes by key, and testing the batch-level probe skip once),
+and the Distributor routes survivors grouped by identical bit-vectors.
+
+A batch is parallel arrays plus two liveness views of the same state:
+
+* ``live`` — the list of still-alive row indices, in scan order (what
+  the hot loops iterate);
+* ``alive`` — the same set as a bit-mask (bit r set iff row r is
+  alive), maintained with :mod:`repro.bitvec` bulk operations so
+  invariants are cheap to check and cheap to reason about.
+
+Batches never cross a control tuple: the Preprocessor flushes the
+current batch before emitting QueryStart/QueryEnd, so re-serializing by
+envelope id in the threaded executor preserves the section 3.3.3
+control-tuple ordering exactly as in the tuple path.
+"""
+
+from __future__ import annotations
+
+from repro import bitvec
+from repro.cjoin.tuples import FactTuple
+
+
+class FactBatch:
+    """A run of consecutive fact tuples in columnar form."""
+
+    __slots__ = (
+        "sequences",
+        "positions",
+        "rows",
+        "bitvectors",
+        "dim_rows",
+        "live",
+        "alive",
+        "_key_columns",
+    )
+
+    def __init__(
+        self,
+        sequences: list[int],
+        positions: list[int],
+        rows: list[tuple],
+        bitvectors: list[int],
+    ) -> None:
+        if not (
+            len(sequences) == len(positions) == len(rows) == len(bitvectors)
+        ):
+            raise ValueError("FactBatch columns must have equal length")
+        self.sequences = sequences
+        self.positions = positions
+        self.rows = rows
+        self.bitvectors = bitvectors
+        #: per-row dimension attachments (section 3.2.2 pointer rows);
+        #: None until a Filter attaches the first pointer for that row
+        self.dim_rows: list[dict[str, tuple] | None] = [None] * len(rows)
+        #: still-alive row indices in scan order (the hot-loop view)
+        self.live: list[int] = list(range(len(rows)))
+        #: the same liveness as a bit-mask — the batch's shared BitVec.
+        #: Hot loops iterate ``live``; the mask is the O(1)-to-combine
+        #: summary (tests cross-check the two views stay in sync)
+        self.alive: int = bitvec.all_ones(len(rows))
+        #: fk column index -> extracted key column (built on demand)
+        self._key_columns: dict[int, list] = {}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def live_count(self) -> int:
+        """Number of rows still in flight."""
+        return len(self.live)
+
+    def key_column(self, column_index: int) -> list:
+        """The batch's values for fact column ``column_index``.
+
+        Extracted once per batch and cached, so every Filter probing
+        the same foreign-key column shares one extraction pass.
+        """
+        column = self._key_columns.get(column_index)
+        if column is None:
+            column = [row[column_index] for row in self.rows]
+            self._key_columns[column_index] = column
+        return column
+
+    def drop_rows(self, dropped_mask: int, survivors: list[int]) -> None:
+        """Install a Filter's verdict: clear dropped bits, shrink live.
+
+        ``survivors`` must be the live list minus exactly the rows in
+        ``dropped_mask`` (the Filter builds both in its probe loop).
+        """
+        self.alive &= ~dropped_mask
+        self.live = survivors
+
+    def union_bits(self) -> int:
+        """OR of the live rows' bit-vectors (the batch relevance union)."""
+        return bitvec.or_reduce_at(self.bitvectors, self.live)
+
+    def materialize(self, row_index: int) -> FactTuple:
+        """Build the equivalent :class:`FactTuple` for one row.
+
+        Used at the batch/tuple seams: routing survivors into per-query
+        operators and feeding the optimizer's tuple-shaped profiler.
+        """
+        fact_tuple = FactTuple(
+            self.sequences[row_index],
+            self.positions[row_index],
+            self.rows[row_index],
+            self.bitvectors[row_index],
+        )
+        fact_tuple.dim_rows = self.dim_rows[row_index]
+        return fact_tuple
+
+    def __repr__(self) -> str:
+        return (
+            f"FactBatch(rows={len(self.rows)}, live={len(self.live)}, "
+            f"seq={self.sequences[0] if self.sequences else '-'}..)"
+        )

@@ -62,6 +62,16 @@ class DimensionHashTable:
             return self.complement_bitmap, None
         return entry.bits, entry.row
 
+    def entries_view(self) -> dict:
+        """The live key -> entry mapping, for the batched probe loop.
+
+        The batch fast path (DESIGN.md section 5) probes one key per
+        loop iteration; going through :meth:`probe` would add a method
+        call and a result-tuple allocation per row.  Callers treat the
+        view as read-only; entries expose ``.bits`` and ``.row``.
+        """
+        return self._entries
+
     # ------------------------------------------------------------------
     # Registration bookkeeping (Algorithms 1 and 2)
     # ------------------------------------------------------------------

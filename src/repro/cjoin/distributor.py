@@ -15,6 +15,7 @@ from collections.abc import Callable
 from repro import bitvec
 from repro.catalog.schema import StarSchema
 from repro.cjoin.aggregation import OutputOperator, make_output_operator
+from repro.cjoin.batch import FactBatch
 from repro.cjoin.registry import RegisteredQuery
 from repro.cjoin.stats import PipelineStats
 from repro.cjoin.tuples import FactTuple, QueryEnd, QueryStart
@@ -42,6 +43,8 @@ class Distributor:
         """Handle one pipeline item (fact tuple or control tuple)."""
         if isinstance(item, FactTuple):
             self._route(item)
+        elif isinstance(item, FactBatch):
+            self._route_batch(item)
         elif isinstance(item, QueryStart):
             self._start_query(item.registration)
         elif isinstance(item, QueryEnd):
@@ -59,6 +62,41 @@ class Distributor:
                 )
             operator.consume(fact_tuple)
             self._registrations[query_id].tuples_streamed += 1
+
+    def _route_batch(self, batch: FactBatch) -> None:
+        """Route a batch's surviving rows, grouped by bit-vector.
+
+        Surviving rows of one batch often share the exact same
+        ``b_tau`` (they passed the same predicates), so the per-tuple
+        query-id enumeration of :meth:`_route` is amortized: decode
+        each distinct bit-vector once and hand every operator its rows
+        as one :meth:`~OutputOperator.consume_batch` call.
+        """
+        live = batch.live
+        if not live:
+            return
+        self.stats.tuples_distributed += len(live)
+        bitvectors = batch.bitvectors
+        groups: dict[int, list[int]] = {}
+        for row_index in live:
+            bits = bitvectors[row_index]
+            group = groups.get(bits)
+            if group is None:
+                groups[bits] = [row_index]
+            else:
+                group.append(row_index)
+        operators = self._operators
+        registrations = self._registrations
+        for bits, row_indices in groups.items():
+            fact_tuples = [batch.materialize(r) for r in row_indices]
+            for query_id in bitvec.iter_query_ids(bits):
+                operator = operators.get(query_id)
+                if operator is None:
+                    raise PipelineError(
+                        f"fact tuple routed to unregistered query {query_id}"
+                    )
+                operator.consume_batch(fact_tuples)
+                registrations[query_id].tuples_streamed += len(fact_tuples)
 
     def _start_query(self, registration: RegisteredQuery) -> None:
         query_id = registration.query_id

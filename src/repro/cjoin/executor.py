@@ -21,6 +21,21 @@ Two drivers over the same operator code:
   data tuples (the section 3.3.3 correctness property) even with many
   workers per stage.
 
+Orthogonal to the thread mapping, both drivers support two *execution
+granularities* selected by ``ExecutorConfig.execution``:
+
+* ``'tuple'`` (default) — the reference tuple-at-a-time path: every
+  fact tuple travels as a :class:`FactTuple` and every Filter is
+  invoked once per tuple;
+* ``'batched'`` — the vectorized fast path (DESIGN.md section 5): the
+  Preprocessor packs runs of fact tuples into columnar
+  :class:`~repro.cjoin.batch.FactBatch` objects, each Filter handles a
+  whole batch per call (batch-level probe skip, per-batch probe
+  deduplication, bulk alive-mask updates), and the Distributor routes
+  survivors grouped by identical bit-vectors.  Both paths produce
+  identical results (enforced by tests/test_batch_equivalence.py);
+  the batched path is what makes the hot loop fast in pure Python.
+
 Note on fidelity: under CPython's GIL, stage threads do not speed up
 this pure-Python pipeline — the threaded executor demonstrates the
 *architecture* (and is tested for correctness); the performance
@@ -35,6 +50,7 @@ import queue
 import threading
 from dataclasses import dataclass, field
 
+from repro.cjoin.batch import FactBatch
 from repro.cjoin.manager import PipelineManager
 from repro.cjoin.pipeline import CJoinPipeline
 from repro.cjoin.tuples import ControlTuple, FactTuple
@@ -50,6 +66,8 @@ class ExecutorConfig:
 
     Attributes:
         mode: 'synchronous', 'horizontal', 'vertical', or 'hybrid'.
+        execution: 'tuple' (reference path) or 'batched' (vectorized
+            fast path over FactBatch columns); orthogonal to ``mode``.
         stage_threads: worker threads for the single horizontal stage,
             or per-stage thread counts for vertical/hybrid.
         stage_boxes: for 'hybrid', filter-count per stage (e.g.
@@ -62,6 +80,7 @@ class ExecutorConfig:
     """
 
     mode: str = "synchronous"
+    execution: str = "tuple"
     stage_threads: tuple[int, ...] = (1,)
     stage_boxes: tuple[int, ...] = ()
     batch_size: int = DEFAULT_BATCH_SIZE
@@ -71,6 +90,11 @@ class ExecutorConfig:
     def __post_init__(self) -> None:
         if self.mode not in ("synchronous", "horizontal", "vertical", "hybrid"):
             raise PipelineError(f"unknown executor mode {self.mode!r}")
+        if self.execution not in ("tuple", "batched"):
+            raise PipelineError(
+                f"unknown execution granularity {self.execution!r}; "
+                f"expected 'tuple' or 'batched'"
+            )
         if self.batch_size < 1:
             raise PipelineError("batch_size must be >= 1")
         if any(threads < 1 for threads in self.stage_threads):
@@ -90,6 +114,9 @@ class _ProfilingDriver:
 
     def observe(self, item) -> None:
         """Feed one preprocessor item into the profiling cadence."""
+        if isinstance(item, FactBatch):
+            self.observe_batch(item)
+            return
         if not isinstance(item, FactTuple):
             return
         policy = self.manager.ordering_policy
@@ -102,6 +129,39 @@ class _ProfilingDriver:
         interval = self.config.reoptimize_interval
         if interval > 0:
             self._since_reopt += 1
+            if self._since_reopt >= interval:
+                self._since_reopt = 0
+                self.manager.reoptimize()
+
+    def observe_batch(self, batch: FactBatch) -> None:
+        """Advance the profiling cadence by a whole batch at once.
+
+        Must run *before* the batch enters the filter chain, like the
+        tuple path: the profiler wants preprocessor-fresh bit-vectors,
+        and any reoptimization installs a pure permutation that is safe
+        for batches not yet filtered.
+        """
+        row_count = len(batch)
+        if row_count == 0:
+            return
+        policy = self.manager.ordering_policy
+        rate = self.config.profile_sample_rate
+        if policy.wants_profiles and rate > 0:
+            self._since_profile += row_count
+            due, self._since_profile = divmod(self._since_profile, rate)
+            live = batch.live
+            if due and live:
+                # keep the tuple path's cadence (one profile per `rate`
+                # rows) and spread the samples across the batch instead
+                # of always profiling the first row of a run
+                filters = list(self.pipeline.filters)
+                stride = max(1, len(live) // due)
+                for sample_index in range(due):
+                    row = live[min(sample_index * stride, len(live) - 1)]
+                    policy.record_profile(filters, batch.materialize(row))
+        interval = self.config.reoptimize_interval
+        if interval > 0:
+            self._since_reopt += row_count
             if self._since_reopt >= interval:
                 self._since_reopt = 0
                 self.manager.reoptimize()
@@ -122,13 +182,24 @@ class SynchronousExecutor:
         self._profiler = _ProfilingDriver(pipeline, manager, self.config)
 
     def step(self) -> int:
-        """Process one batch; returns the number of items handled."""
-        items = self.pipeline.preprocessor.next_items(self.config.batch_size)
+        """Process one batch; returns the number of items handled.
+
+        With ``execution='batched'`` the count is logical: every fact
+        row inside a FactBatch counts as one item, so drain-progress
+        semantics match the tuple path.
+        """
+        preprocessor = self.pipeline.preprocessor
+        if self.config.execution == "batched":
+            items = preprocessor.next_batched_items(self.config.batch_size)
+        else:
+            items = preprocessor.next_items(self.config.batch_size)
+        handled = 0
         for item in items:
+            handled += len(item) if isinstance(item, FactBatch) else 1
             self._profiler.observe(item)
             self.pipeline.process_item(item)
         self.manager.process_finished()
-        return len(items)
+        return handled
 
     def run_until_drained(self, max_batches: int | None = None) -> None:
         """Run until every admitted query has completed.
@@ -301,8 +372,13 @@ class ThreadedExecutor:
     # ------------------------------------------------------------------
     def _preprocessor_loop(self) -> None:
         batch_id = 0
+        batched = self.config.execution == "batched"
+        preprocessor = self.pipeline.preprocessor
         while not self._stop.is_set():
-            items = self.pipeline.preprocessor.next_items(self.config.batch_size)
+            if batched:
+                items = preprocessor.next_batched_items(self.config.batch_size)
+            else:
+                items = preprocessor.next_items(self.config.batch_size)
             if not items:
                 self.manager.process_finished()
                 self._stop.wait(0.001)
@@ -330,6 +406,14 @@ class ThreadedExecutor:
                     survivors.append(item)
                     continue
                 stage_filters = tuple(self.pipeline.filters)[stage_slice]
+                if isinstance(item, FactBatch):
+                    for stage_filter in stage_filters:
+                        stage_filter.process_batch(item)
+                        if not item.live:
+                            break
+                    if item.live:
+                        survivors.append(item)
+                    continue
                 if self._run_stage_filters(stage_filters, item):
                     survivors.append(item)
             self._put(out_queue, _Batch(batch.batch_id, survivors))

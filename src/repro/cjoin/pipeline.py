@@ -7,6 +7,7 @@ and Distributor.  Pure wiring — execution strategies live in
 
 from __future__ import annotations
 
+from repro.cjoin.batch import FactBatch
 from repro.cjoin.distributor import Distributor
 from repro.cjoin.filter import Filter
 from repro.cjoin.preprocessor import Preprocessor
@@ -82,9 +83,24 @@ class CJoinPipeline:
                 return False
         return True
 
+    def run_filters_batch(self, batch: FactBatch) -> None:
+        """Run a whole batch through the chain (vectorized fast path).
+
+        Stops early once no row survives; the Distributor treats a
+        fully-dead batch as a no-op.
+        """
+        for stage_filter in self.filters:
+            stage_filter.process_batch(batch)
+            if not batch.live:
+                return
+
     def process_item(self, item) -> None:
         """Process one item end-to-end (synchronous execution)."""
         if isinstance(item, ControlTuple):
+            self.distributor.process(item)
+            return
+        if isinstance(item, FactBatch):
+            self.run_filters_batch(item)
             self.distributor.process(item)
             return
         if self.run_filters(item):

@@ -25,6 +25,7 @@ from collections import deque
 
 from repro import bitvec
 from repro.catalog.schema import StarSchema
+from repro.cjoin.batch import FactBatch
 from repro.cjoin.registry import RegisteredQuery
 from repro.cjoin.stats import PipelineStats
 from repro.cjoin.tuples import ControlTuple, FactTuple, QueryEnd, QueryStart
@@ -181,6 +182,128 @@ class Preprocessor:
                 items.append(
                     FactTuple(self._next_sequence(), position, row, bits)
                 )
+            return items
+
+    def next_batched_items(self, max_rows: int) -> list:
+        """Produce pipeline items with fact tuples grouped into batches.
+
+        The batched-path twin of :meth:`next_items`: emits the same
+        logical stream (same per-row sequence numbers, same relative
+        order of control tuples and fact rows), but runs of consecutive
+        fact rows are packed into :class:`FactBatch` columns.  A batch
+        never spans a control tuple — the open batch is flushed before
+        any QueryEnd is appended — so downstream re-serialization keeps
+        the section 3.3.3 ordering property unchanged.
+        """
+        with self._lock:
+            items: list = []
+            while self._pending_control and len(items) < max_rows:
+                items.append(self._pending_control.popleft())
+            # controls spend item budget exactly like the tuple path:
+            # a pending QueryStart must never be overtaken by a fact
+            # row carrying that query's bit
+            if self._pending_control or not self._active:
+                return items
+            budget = max_rows - len(items)
+            stats = self.stats
+            scan = self.scan
+            sequences: list[int] = []
+            positions: list[int] = []
+            rows: list[tuple] = []
+            bitvectors: list[int] = []
+            # hoisted bit sources; refreshed whenever a wraparound can
+            # mutate the active set (the only mutator under this lock)
+            unconditional = self._unconditional_mask
+            conditional = self._conditional
+            versioned = self.versioned_fact
+
+            def flush() -> None:
+                if rows:
+                    items.append(
+                        FactBatch(
+                            list(sequences),
+                            list(positions),
+                            list(rows),
+                            list(bitvectors),
+                        )
+                    )
+                    sequences.clear()
+                    positions.clear()
+                    rows.clear()
+                    bitvectors.clear()
+
+            produced_rows = 0
+            while produced_rows < budget:
+                if scan.table.row_count == 0:
+                    break  # empty table; nothing to stream
+                # arrival at the next position may wrap queries around
+                position = scan.next_position
+                ended = self._handle_wraparound(position)
+                if ended:
+                    flush()
+                    items.extend(ended)
+                    # ends spend item budget too, like the tuple path
+                    budget -= len(ended)
+                    if not self._active:
+                        break
+                    unconditional = self._unconditional_mask
+                    conditional = self._conditional
+                # a run must stop before the next registered start
+                # position so every wrap-around is observed on arrival
+                limit = budget - produced_rows
+                for start_position in self._starts:
+                    if position < start_position < position + limit:
+                        limit = start_position - position
+                produced = scan.next_run(limit)
+                if produced is None:
+                    break
+                run_start, run_rows = produced
+                stats.tuples_scanned += len(run_rows)
+                if not conditional:
+                    # every active query is unconditional: the whole
+                    # run shares one initial bit-vector, so the columns
+                    # extend in bulk with no per-row work
+                    bits = unconditional
+                    if bits == 0:
+                        stats.tuples_preprocessor_dropped += len(run_rows)
+                        continue
+                    run_length = len(run_rows)
+                    sequence = self._sequence
+                    sequences.extend(
+                        range(sequence + 1, sequence + run_length + 1)
+                    )
+                    self._sequence = sequence + run_length
+                    positions.extend(
+                        range(run_start, run_start + run_length)
+                    )
+                    rows.extend(run_rows)
+                    bitvectors.extend([bits] * run_length)
+                    produced_rows += run_length
+                    continue
+                for offset, row in enumerate(run_rows):
+                    row_position = run_start + offset
+                    # inline _initial_bits (the per-row hot path)
+                    bits = unconditional
+                    for active in conditional:
+                        if active.snapshot is not None and not active.snapshot.can_see(
+                            versioned.version_at(row_position)
+                        ):
+                            continue
+                        if active.fact_matcher is not None and not active.fact_matcher(
+                            row
+                        ):
+                            continue
+                        bits |= active.bit
+                    if bits == 0:
+                        stats.tuples_preprocessor_dropped += 1
+                        continue
+                    produced_rows += 1
+                    self._sequence += 1
+                    sequences.append(self._sequence)
+                    positions.append(row_position)
+                    rows.append(row)
+                    bitvectors.append(bits)
+            flush()
             return items
 
     def _handle_wraparound(self, position: int) -> list[QueryEnd]:

@@ -23,6 +23,7 @@ import dataclasses
 from repro.baseline.engine import EngineProfile, QueryAtATimeEngine
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import StarSchema
+from repro.cjoin.executor import ExecutorConfig
 from repro.cjoin.operator import CJoinOperator
 from repro.cjoin.registry import QueryHandle
 from repro.engine.router import QueryRouter, RoutingDecision
@@ -46,7 +47,15 @@ class Warehouse:
         buffer_pool_pages: int = DEFAULT_POOL_PAGES,
         max_concurrent: int = 256,
         enable_updates: bool = False,
+        execution: str = "tuple",
     ) -> None:
+        """Args:
+            execution: CJOIN execution granularity — 'tuple' for the
+                reference tuple-at-a-time path, 'batched' for the
+                vectorized fast path (DESIGN.md section 5).  Results
+                are identical; 'batched' trades per-tuple dispatch for
+                per-batch columnar loops.
+        """
         self.catalog = catalog
         self.star = star
         self.io_stats = IOStats()
@@ -63,6 +72,7 @@ class Warehouse:
             buffer_pool=self.buffer_pool,
             max_concurrent=max_concurrent,
             versioned_fact=self.versioned_fact,
+            executor_config=ExecutorConfig(execution=execution),
         )
         self.baseline = QueryAtATimeEngine(
             catalog,

@@ -2,8 +2,8 @@
 
 Python (under the GIL) cannot reproduce the paper's wall-clock
 concurrency behaviour, so the evaluation substrate is a calibrated
-analytic/event model of the same pipeline logic (see DESIGN.md,
-sections 3-4).  The models share one set of hardware and cost
+analytic/event model of the same pipeline logic (see DESIGN.md
+section 4).  The models share one set of hardware and cost
 constants (:mod:`repro.sim.hardware`, :mod:`repro.sim.costs`),
 calibrated against the paper's published tables; every figure harness
 in ``benchmarks/`` runs on top of them.

@@ -104,6 +104,37 @@ class ContinuousScan:
         self._tuples_returned += 1
         return position, row
 
+    def next_run(self, max_rows: int) -> tuple[int, list[tuple]] | None:
+        """Return ``(start_position, rows)`` for a contiguous scan run.
+
+        The bulk twin of :meth:`next` (the batched fast path, DESIGN.md
+        section 5): produces up to ``max_rows`` consecutive rows in one
+        call, never crossing a page boundary or the table end, so one
+        buffer-pool fetch covers the whole run and the per-row Python
+        dispatch of the tuple path disappears.  Returns None when the
+        table is empty.  Visiting order and wrap-around behaviour are
+        identical to repeated :meth:`next` calls.
+        """
+        row_count = self.table.row_count
+        if row_count == 0 or max_rows < 1:
+            return None
+        if self._position >= row_count:
+            self._position = 0
+        position = self._position
+        rows_per_page = self.table.heap.rows_per_page
+        page_id, slot_id = divmod(position, rows_per_page)
+        if page_id != self._current_page_id:
+            self._current_page = self.buffer_pool.fetch(self.table.heap, page_id)
+            self._current_page_id = page_id
+        page_rows = self._current_page.rows
+        available = min(
+            len(page_rows) - slot_id, row_count - position, max_rows
+        )
+        rows = page_rows[slot_id : slot_id + available]
+        self._position = position + available
+        self._tuples_returned += available
+        return position, rows
+
     def __iter__(self) -> Iterator[tuple[int, tuple]]:
         """Iterate forever (while rows exist); callers must break."""
         while True:

@@ -85,3 +85,38 @@ class TestStringRoundtrip:
     def test_from_string_rejects_garbage(self):
         with pytest.raises(ValueError):
             bitvec.from_string("01x1")
+
+
+class TestBulkOperations:
+    """The batched fast path's primitives (DESIGN.md section 5)."""
+
+    def test_or_reduce(self):
+        assert bitvec.or_reduce([0b001, 0b100, 0b001]) == 0b101
+        assert bitvec.or_reduce([]) == bitvec.EMPTY
+
+    def test_or_reduce_at_subset(self):
+        vectors = [0b001, 0b010, 0b100]
+        assert bitvec.or_reduce_at(vectors, [0, 2]) == 0b101
+        assert bitvec.or_reduce_at(vectors, []) == bitvec.EMPTY
+
+    def test_bulk_and_elementwise(self):
+        assert bitvec.bulk_and([0b11, 0b10], [0b01, 0b11]) == [0b01, 0b10]
+
+    def test_bulk_and_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bitvec.bulk_and([0b1], [0b1, 0b1])
+
+    def test_bulk_popcount(self):
+        assert bitvec.bulk_popcount([0b101, 0b11, 0]) == 4
+
+    def test_pack_and_iter_positions_roundtrip(self):
+        positions = [0, 3, 7, 70]
+        mask = bitvec.pack_positions(positions)
+        assert list(bitvec.iter_set_positions(mask)) == positions
+        assert bitvec.pack_positions([]) == bitvec.EMPTY
+
+    def test_set_positions_are_zero_based(self):
+        # row slots, unlike iter_query_ids' 1-based query ids
+        mask = bitvec.pack_positions([0])
+        assert list(bitvec.iter_set_positions(mask)) == [0]
+        assert list(bitvec.iter_query_ids(mask)) == [1]

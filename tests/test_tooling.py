@@ -1,0 +1,69 @@
+"""CI gates for the repo's tooling layer.
+
+Wires two standalone entry points into the tier-1 suite:
+
+* ``scripts/check_docs_refs.py`` — every DESIGN.md / EXPERIMENTS.md /
+  README.md citation in ``src/`` must resolve to a real file and a
+  real numbered section;
+* ``python -m repro.bench --smoke`` — the fast experiment gate (all
+  shape checks plus the tuple-vs-batched real-pipeline sanity pass).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_check_docs_refs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs_refs", REPO_ROOT / "scripts" / "check_docs_refs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_exist():
+    for name in ("DESIGN.md", "EXPERIMENTS.md", "README.md"):
+        assert (REPO_ROOT / name).is_file(), f"{name} is missing"
+
+
+def test_doc_citations_resolve():
+    checker = _load_check_docs_refs()
+    problems = checker.check(REPO_ROOT)
+    assert not problems, "\n".join(problems)
+
+
+def test_docs_refs_checker_flags_dangling_citation(tmp_path):
+    """The checker actually fails on a dangling section citation."""
+    checker = _load_check_docs_refs()
+    (tmp_path / "src").mkdir()
+    (tmp_path / "src" / "mod.py").write_text(
+        '"""See DESIGN.md section 99."""\n', encoding="utf-8"
+    )
+    (tmp_path / "DESIGN.md").write_text("## 1. Intro\n", encoding="utf-8")
+    problems = checker.check(tmp_path)
+    assert len(problems) == 1 and "section 99" in problems[0]
+    (tmp_path / "src" / "mod.py").write_text(
+        '"""See EXPERIMENTS.md."""\n', encoding="utf-8"
+    )
+    problems = checker.check(tmp_path)
+    assert len(problems) == 1 and "missing file" in problems[0]
+
+
+def test_bench_smoke_passes(capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "pipeline smoke" in out and "ok" in out
+
+
+def test_bench_smoke_unknown_id_rejected():
+    from repro.bench.__main__ import main
+
+    assert main(["--smoke", "nope"]) == 2
