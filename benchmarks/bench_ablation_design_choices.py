@@ -16,7 +16,6 @@ from repro.cjoin.optimizer import AGreedyPolicy, DropRatePolicy, FixedOrderPolic
 from repro.query.aggregates import AggregateSpec
 from repro.query.predicate import Comparison
 from repro.query.star import StarQuery
-from repro.ssb.queries import ssb_workload_generator
 from repro.storage.buffer import BufferPool
 
 

@@ -50,36 +50,53 @@ def _drain_seconds(catalog, star, queries, execution):
     return elapsed, [handle.results() for handle in handles], operator.stats
 
 
-def test_batched_beats_tuple_at_32_concurrent_queries():
-    """The batched path drains a 32-query scan >= 2x faster."""
+def measure_batch_vs_tuple(rounds: int = TIMING_ROUNDS) -> dict:
+    """Best-of-``rounds`` tuple vs batched drain comparison.
+
+    Shared by the acceptance test below and by
+    scripts/check_bench_regression.py, which compares the speedup ratio
+    against BENCH_baseline.json.
+    """
     catalog, star = load_ssb(scale_factor=SCALE_FACTOR, seed=23)
     queries = _workload(catalog)
     tuple_best = float("inf")
     batched_best = float("inf")
     tuple_results = batched_results = None
-    for _ in range(TIMING_ROUNDS):
-        elapsed, results, _ = _drain_seconds(catalog, star, queries, "tuple")
-        if elapsed < tuple_best:
-            tuple_best = elapsed
-        tuple_results = results
-        elapsed, results, stats = _drain_seconds(
+    stats = None
+    for _ in range(rounds):
+        elapsed, tuple_results, _ = _drain_seconds(
+            catalog, star, queries, "tuple"
+        )
+        tuple_best = min(tuple_best, elapsed)
+        elapsed, batched_results, stats = _drain_seconds(
             catalog, star, queries, "batched"
         )
-        if elapsed < batched_best:
-            batched_best = elapsed
-        batched_results = results
-    speedup = tuple_best / batched_best
+        batched_best = min(batched_best, elapsed)
+    return {
+        "tuple_seconds": tuple_best,
+        "batched_seconds": batched_best,
+        "speedup": tuple_best / batched_best,
+        "identical": batched_results == tuple_results,
+        "tuples_scanned": stats.tuples_scanned,
+        "probes_per_tuple": stats.probes_per_tuple,
+    }
+
+
+def test_batched_beats_tuple_at_32_concurrent_queries():
+    """The batched path drains a 32-query scan >= 2x faster."""
+    measured = measure_batch_vs_tuple()
     print(
         f"\n{CONCURRENT_QUERIES} queries, s={SELECTIVITY:.0%}, "
-        f"sf={SCALE_FACTOR}: tuple {tuple_best * 1e3:.1f} ms, "
-        f"batched {batched_best * 1e3:.1f} ms, speedup {speedup:.2f}x "
-        f"({stats.tuples_scanned} tuples scanned, "
-        f"{stats.probes_per_tuple:.2f} probes/tuple)"
+        f"sf={SCALE_FACTOR}: tuple {measured['tuple_seconds'] * 1e3:.1f} ms, "
+        f"batched {measured['batched_seconds'] * 1e3:.1f} ms, speedup "
+        f"{measured['speedup']:.2f}x ({measured['tuples_scanned']} tuples "
+        f"scanned, {measured['probes_per_tuple']:.2f} probes/tuple)"
     )
-    assert batched_results == tuple_results
-    assert speedup >= 2.0, (
-        f"batched path only {speedup:.2f}x faster "
-        f"(tuple {tuple_best:.3f}s vs batched {batched_best:.3f}s)"
+    assert measured["identical"]
+    assert measured["speedup"] >= 2.0, (
+        f"batched path only {measured['speedup']:.2f}x faster "
+        f"(tuple {measured['tuple_seconds']:.3f}s vs batched "
+        f"{measured['batched_seconds']:.3f}s)"
     )
 
 

@@ -9,7 +9,6 @@ to the row-store operator.
 from repro.catalog.catalog import Catalog
 from repro.cjoin import CJoinOperator
 from repro.cjoin.columnstore import ColumnStoreCJoinOperator, fact_columns_needed
-from repro.query.reference import evaluate_star_query
 from repro.ssb.generator import SSBGenerator
 from repro.ssb.queries import ssb_workload_generator
 from repro.ssb.schema import ssb_star_schema

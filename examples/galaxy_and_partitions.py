@@ -22,9 +22,9 @@ from repro.catalog.schema import (
 from repro.cjoin import CJoinOperator, GalaxyJoinQuery, evaluate_galaxy_join
 from repro.cjoin.partitioned import PartitionedCJoinOperator, as_catalog_table
 from repro.query.aggregates import AggregateSpec
-from repro.query.predicate import Between, Comparison
+from repro.query.predicate import Comparison
 from repro.query.star import ColumnRef, StarQuery
-from repro.ssb.generator import SSBGenerator, load_ssb
+from repro.ssb.generator import SSBGenerator
 from repro.ssb.schema import ssb_star_schema
 from repro.storage.partition import PartitionedTable, RangePartitioning
 from repro.storage.table import Table

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Fail when a headline performance ratio regresses > 20% vs baseline.
+
+Two speedup ratios are tracked (ratios, not absolute seconds, so the
+gate is meaningful across machines of different speeds):
+
+* ``batch_vs_tuple_speedup`` — the PR-1 vectorized drain vs the
+  reference tuple-at-a-time drain (benchmarks/bench_batch_vs_tuple.py);
+* ``parallel_scaleup_speedup`` — the 4-worker process-parallel drain
+  vs the serial batched drain (benchmarks/bench_parallel_scaleup.py);
+  only measurable on hosts with >= 4 CPUs, skipped elsewhere.
+
+Each measured ratio is compared against BENCH_baseline.json at the
+repository root; a measurement below ``baseline * (1 - tolerance)``
+(default tolerance 20%) fails the check.  Wired into CI as a
+non-blocking job (timing on shared runners is advisory); run it
+locally before and after touching hot paths.
+
+Updating the baseline (see EXPERIMENTS.md section 5): after an
+intentional performance change, run on a quiet multi-core host::
+
+    python scripts/check_bench_regression.py --update
+
+review the diff to BENCH_baseline.json, and commit it together with
+the change that moved the numbers.  ``--update`` only overwrites
+metrics that are measurable on the current host, so a 2-core laptop
+refreshing the batch ratio will not clobber the parallel one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_baseline.json"
+
+#: fraction of the baseline ratio a measurement may lose before the
+#: gate fails (0.2 = fail below 80% of baseline)
+DEFAULT_TOLERANCE = 0.2
+
+
+def _ensure_import_paths() -> None:
+    for path in (str(REPO_ROOT), str(REPO_ROOT / "src")):
+        if path not in sys.path:
+            sys.path.insert(0, path)
+
+
+def measure_metrics() -> dict[str, float | None]:
+    """Run both benchmarks; None marks metrics this host cannot measure."""
+    _ensure_import_paths()
+    from benchmarks.bench_batch_vs_tuple import measure_batch_vs_tuple
+    from benchmarks.bench_parallel_scaleup import WORKERS, measure_scaleup
+
+    metrics: dict[str, float | None] = {}
+    batch = measure_batch_vs_tuple()
+    if not batch["identical"]:
+        raise AssertionError("batched drain produced different results")
+    metrics["batch_vs_tuple_speedup"] = round(batch["speedup"], 3)
+    if (os.cpu_count() or 1) >= WORKERS:
+        scaleup = measure_scaleup()
+        if not scaleup["identical"]:
+            raise AssertionError("parallel drain produced different results")
+        metrics["parallel_scaleup_speedup"] = round(scaleup["speedup"], 3)
+    else:
+        metrics["parallel_scaleup_speedup"] = None
+    return metrics
+
+
+def check(
+    measured: dict[str, float | None],
+    baseline: dict,
+    tolerance: float,
+) -> list[str]:
+    """Return failure messages (empty = all tracked ratios hold up)."""
+    problems = []
+    for name, reference in baseline.get("metrics", {}).items():
+        value = measured.get(name)
+        if reference is None:
+            print(f"{name}: skipped (no committed baseline; see --update)")
+            continue
+        if value is None:
+            print(f"{name}: skipped (not measurable on this host)")
+            continue
+        floor = reference * (1.0 - tolerance)
+        status = "ok" if value >= floor else "REGRESSION"
+        print(
+            f"{name}: measured {value:.2f}x vs baseline {reference:.2f}x "
+            f"(floor {floor:.2f}x) -> {status}"
+        )
+        if value < floor:
+            problems.append(
+                f"{name} regressed: {value:.2f}x < {floor:.2f}x "
+                f"(baseline {reference:.2f}x - {tolerance:.0%})"
+            )
+    return problems
+
+
+def update_baseline(measured: dict[str, float | None]) -> None:
+    """Overwrite measurable metrics in BENCH_baseline.json."""
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    for name, value in measured.items():
+        if value is not None:
+            baseline["metrics"][name] = value
+    BASELINE_PATH.write_text(
+        json.dumps(baseline, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"updated {BASELINE_PATH.name}: {baseline['metrics']}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="write measured ratios into BENCH_baseline.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional loss vs baseline (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    measured = measure_metrics()
+    if args.update:
+        update_baseline(measured)
+        return 0
+    problems = check(measured, baseline, args.tolerance)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("benchmark ratios within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

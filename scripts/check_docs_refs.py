@@ -15,7 +15,6 @@ via tests/test_tooling.py; also runnable standalone::
 from __future__ import annotations
 
 import re
-import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent

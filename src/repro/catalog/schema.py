@@ -89,6 +89,23 @@ class TableSchema:
                     f"foreign key column {fk.column!r} is not a column of {name!r}"
                 )
 
+    def without_primary_key(self) -> "TableSchema":
+        """A copy of this schema with no primary key.
+
+        Used wherever one logical table is split across several stored
+        tables (range partitions, fact shards): the fragments share one
+        key space, so per-fragment PK indexes would be misleading.
+        Returns self when there is no primary key to strip.
+        """
+        if self.primary_key is None:
+            return self
+        return TableSchema(
+            self.name,
+            self.columns,
+            primary_key=None,
+            foreign_keys=self.foreign_keys,
+        )
+
     def column_index(self, column_name: str) -> int:
         """Return the position of ``column_name`` in a row tuple."""
         try:

@@ -19,6 +19,7 @@ from repro.cjoin.operator import CJoinOperator
 from repro.cjoin.registry import QueryHandle
 from repro.cjoin.executor import ExecutorConfig
 from repro.cjoin.galaxy import GalaxyJoinQuery, evaluate_galaxy_join
+from repro.cjoin.parallel import execute_process_parallel
 from repro.cjoin.snapshots import SnapshotPartitionedCJoin
 
 __all__ = [
@@ -29,4 +30,5 @@ __all__ = [
     "QueryHandle",
     "SnapshotPartitionedCJoin",
     "evaluate_galaxy_join",
+    "execute_process_parallel",
 ]

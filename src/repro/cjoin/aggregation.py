@@ -8,6 +8,14 @@ fact-to-fact sub-plans (section 5).
 Operators read fact attributes directly from the tuple and dimension
 attributes through the row pointers the Filters attached (section
 3.2.2), so no probing happens here.
+
+For the process-parallel backend (DESIGN.md section 8) every operator
+is also *mergeable*: :meth:`OutputOperator.partial_state` exports the
+un-finalized state accumulated over one fact shard, and
+:meth:`OutputOperator.merge_partial` folds such a state into a fresh
+coordinator-side operator.  Merging shard states in shard order
+reconstructs exactly the state the serial scan would have built,
+because shards are contiguous spans of the same scan order.
 """
 
 from __future__ import annotations
@@ -58,6 +66,22 @@ class OutputOperator:
         """
         for fact_tuple in fact_tuples:
             self.consume(fact_tuple)
+
+    def partial_state(self):
+        """Export the un-finalized state for cross-process merging.
+
+        The returned value must be picklable and must not be mutated by
+        this operator afterwards (workers export once, at query end).
+        """
+        raise NotImplementedError
+
+    def merge_partial(self, state) -> None:
+        """Fold a :meth:`partial_state` export into this operator.
+
+        The coordinator calls this once per shard, in shard order; the
+        state may be adopted wholesale (ownership transfers).
+        """
+        raise NotImplementedError
 
     def results(self) -> list[tuple]:
         """Canonical result rows (sorted by the select prefix)."""
@@ -119,6 +143,34 @@ class AggregationOperator(OutputOperator):
                 aggregate_inputs, state[1]
             ):
                 accumulator.add(extract_input(fact_tuple))
+
+    def partial_state(self) -> dict[tuple, tuple]:
+        """Compact group table: key -> (select values, state tuples).
+
+        Accumulators are flattened to their plain-value
+        :meth:`~repro.query.aggregates.Accumulator.state` exports, so a
+        shard ships minimal bytes back to the coordinator.
+        """
+        return {
+            key: (
+                select_values,
+                tuple(acc.state() for acc in accumulators),
+            )
+            for key, (select_values, accumulators) in self._groups.items()
+        }
+
+    def merge_partial(self, state: dict[tuple, tuple]) -> None:
+        groups = self._groups
+        specs = self.query.aggregates
+        for key, (select_values, states) in state.items():
+            mine = groups.get(key)
+            if mine is None:
+                mine = groups[key] = [
+                    select_values,
+                    [make_accumulator(spec) for spec in specs],
+                ]
+            for accumulator, partial in zip(mine[1], states):
+                accumulator.merge_state(partial)
 
     def results(self) -> list[tuple]:
         rows = [
@@ -183,6 +235,15 @@ class SortAggregationOperator(OutputOperator):
             for fact_tuple in fact_tuples
         )
 
+    def partial_state(self) -> list[tuple]:
+        """The unsorted (key, select values, inputs) buffer."""
+        return self._buffer
+
+    def merge_partial(self, state: list[tuple]) -> None:
+        # shard buffers concatenated in shard order reproduce the
+        # serial scan-order buffer; results() sorts either way
+        self._buffer.extend(state)
+
     def results(self) -> list[tuple]:
         # sort by key (repr-keyed to tolerate mixed None/typed keys),
         # then fold each run of equal keys through fresh accumulators
@@ -234,6 +295,13 @@ class ListingOperator(OutputOperator):
             tuple(extract(fact_tuple) for extract in select_extractors)
             for fact_tuple in fact_tuples
         )
+
+    def partial_state(self) -> list[tuple]:
+        """The projected rows collected so far."""
+        return self._rows
+
+    def merge_partial(self, state: list[tuple]) -> None:
+        self._rows.extend(state)
 
     def results(self) -> list[tuple]:
         return sorted(self._rows)

@@ -38,6 +38,10 @@ class Distributor:
         self.aggregation_mode = aggregation_mode
         self._operators: dict[int, OutputOperator] = {}
         self._registrations: dict[int, RegisteredQuery] = {}
+        #: when set (shard workers, DESIGN.md section 8), every
+        #: finalized query also exports its operator's un-finalized
+        #: partial state here, keyed by query id
+        self.partial_sink: dict[int, object] | None = None
 
     def process(self, item) -> None:
         """Handle one pipeline item (fact tuple or control tuple)."""
@@ -112,7 +116,17 @@ class Distributor:
         registration = self._registrations.pop(query_id, None)
         if operator is None or registration is None:
             raise PipelineError(f"end-of-query for unknown query {query_id}")
-        registration.handle.complete(operator.results())
+        if self.partial_sink is not None:
+            if query_id in self.partial_sink:
+                raise PipelineError(
+                    f"query id {query_id} finalized twice in one shard drain"
+                )
+            self.partial_sink[query_id] = operator.partial_state()
+            # shard-local finalized rows are never read (the coordinator
+            # merges partials and finalizes once); complete empty
+            registration.handle.complete([])
+        else:
+            registration.handle.complete(operator.results())
         self.stats.queries_completed += 1
         if self.on_query_finished is not None:
             self.on_query_finished(query_id)

@@ -40,7 +40,11 @@ Note on fidelity: under CPython's GIL, stage threads do not speed up
 this pure-Python pipeline — the threaded executor demonstrates the
 *architecture* (and is tested for correctness); the performance
 consequences of thread mappings are reproduced by the calibrated model
-in :mod:`repro.sim` (see DESIGN.md section 4).
+in :mod:`repro.sim` (see DESIGN.md section 4).  For real multi-core
+speedups this repository defers to the process-parallel sharded
+backend (:mod:`repro.cjoin.parallel`, DESIGN.md section 8), selected
+via ``ExecutorConfig(backend='process', workers=N)``: data parallelism
+across fact shards sidesteps the GIL where thread-per-stage cannot.
 """
 
 from __future__ import annotations
@@ -48,16 +52,40 @@ from __future__ import annotations
 import heapq
 import queue
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cjoin.batch import FactBatch
 from repro.cjoin.manager import PipelineManager
 from repro.cjoin.pipeline import CJoinPipeline
 from repro.cjoin.tuples import ControlTuple, FactTuple
-from repro.errors import PipelineError
+from repro.errors import ConfigError, PipelineError
 
 #: Default number of items pulled from the Preprocessor per batch.
 DEFAULT_BATCH_SIZE = 256
+
+#: Upper bound on process-parallel workers: beyond this, shard setup
+#: cost dwarfs any conceivable speedup on real hardware.
+MAX_WORKERS = 128
+
+#: Upper bound on per-stage worker threads (same rationale).
+MAX_STAGE_THREADS = 64
+
+#: Upper bound on batch_size: one batch should never be asked to hold
+#: more rows than a large fact table, which only wastes memory.
+MAX_BATCH_SIZE = 1 << 20
+
+
+def _require_int(name: str, value, low: int, high: int) -> None:
+    """Range-check an integer config field with an actionable message."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigError(
+            f"{name} must be an int, got {value!r} "
+            f"({type(value).__name__})"
+        )
+    if not low <= value <= high:
+        raise ConfigError(
+            f"{name} must be in [{low}, {high}], got {value}"
+        )
 
 
 @dataclass(frozen=True)
@@ -68,6 +96,12 @@ class ExecutorConfig:
         mode: 'synchronous', 'horizontal', 'vertical', or 'hybrid'.
         execution: 'tuple' (reference path) or 'batched' (vectorized
             fast path over FactBatch columns); orthogonal to ``mode``.
+        backend: 'serial' (in-process, the default) or 'process' — the
+            sharded multi-process drain (DESIGN.md section 8).  The
+            process backend requires ``execution='batched'`` and
+            ``mode='synchronous'``.
+        workers: fact-table shards / worker processes for the process
+            backend; must be 1 for the serial backend.
         stage_threads: worker threads for the single horizontal stage,
             or per-stage thread counts for vertical/hybrid.
         stage_boxes: for 'hybrid', filter-count per stage (e.g.
@@ -81,6 +115,8 @@ class ExecutorConfig:
 
     mode: str = "synchronous"
     execution: str = "tuple"
+    backend: str = "serial"
+    workers: int = 1
     stage_threads: tuple[int, ...] = (1,)
     stage_boxes: tuple[int, ...] = ()
     batch_size: int = DEFAULT_BATCH_SIZE
@@ -89,16 +125,58 @@ class ExecutorConfig:
 
     def __post_init__(self) -> None:
         if self.mode not in ("synchronous", "horizontal", "vertical", "hybrid"):
-            raise PipelineError(f"unknown executor mode {self.mode!r}")
+            raise ConfigError(f"unknown executor mode {self.mode!r}")
         if self.execution not in ("tuple", "batched"):
-            raise PipelineError(
+            raise ConfigError(
                 f"unknown execution granularity {self.execution!r}; "
                 f"expected 'tuple' or 'batched'"
             )
-        if self.batch_size < 1:
-            raise PipelineError("batch_size must be >= 1")
-        if any(threads < 1 for threads in self.stage_threads):
-            raise PipelineError("stage thread counts must be >= 1")
+        if self.backend not in ("serial", "process"):
+            raise ConfigError(
+                f"unknown backend {self.backend!r}; "
+                f"expected 'serial' or 'process'"
+            )
+        _require_int("workers", self.workers, 1, MAX_WORKERS)
+        _require_int("batch_size", self.batch_size, 1, MAX_BATCH_SIZE)
+        if self.backend == "process":
+            if self.execution != "batched":
+                raise ConfigError(
+                    "backend='process' requires execution='batched' "
+                    "(shard workers run the vectorized drain); pass "
+                    "execution='batched'"
+                )
+            if self.mode != "synchronous":
+                raise ConfigError(
+                    f"backend='process' requires mode='synchronous', "
+                    f"got mode={self.mode!r}; process-level parallelism "
+                    f"replaces stage threading"
+                )
+        elif self.workers != 1:
+            raise ConfigError(
+                f"workers={self.workers} requires backend='process'; "
+                f"the serial backend always uses exactly 1 worker"
+            )
+        if not self.stage_threads:
+            raise ConfigError(
+                "stage_threads must name at least one stage; use (1,) "
+                "for a single single-threaded stage"
+            )
+        for position, threads in enumerate(self.stage_threads):
+            _require_int(
+                f"stage_threads[{position}]", threads, 1, MAX_STAGE_THREADS
+            )
+        for position, box in enumerate(self.stage_boxes):
+            _require_int(f"stage_boxes[{position}]", box, 1, MAX_WORKERS)
+        if self.stage_boxes and self.mode != "hybrid":
+            raise ConfigError(
+                f"stage_boxes is only meaningful with mode='hybrid', "
+                f"got mode={self.mode!r}"
+            )
+        if self.mode == "hybrid" and not self.stage_boxes:
+            raise ConfigError(
+                "mode='hybrid' requires stage_boxes, e.g. (2, 2) to box "
+                "a 4-filter chain into two stages"
+            )
 
 
 class _ProfilingDriver:

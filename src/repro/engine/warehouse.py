@@ -27,7 +27,7 @@ from repro.cjoin.executor import ExecutorConfig
 from repro.cjoin.operator import CJoinOperator
 from repro.cjoin.registry import QueryHandle
 from repro.engine.router import QueryRouter, RoutingDecision
-from repro.errors import QueryError
+from repro.errors import ConfigError, QueryError
 from repro.query.star import StarQuery
 from repro.storage.buffer import BufferPool
 from repro.storage.iostats import IOStats
@@ -47,15 +47,36 @@ class Warehouse:
         buffer_pool_pages: int = DEFAULT_POOL_PAGES,
         max_concurrent: int = 256,
         enable_updates: bool = False,
-        execution: str = "tuple",
+        execution: str | None = None,
+        backend: str = "serial",
+        workers: int = 1,
     ) -> None:
         """Args:
             execution: CJOIN execution granularity — 'tuple' for the
                 reference tuple-at-a-time path, 'batched' for the
                 vectorized fast path (DESIGN.md section 5).  Results
                 are identical; 'batched' trades per-tuple dispatch for
-                per-batch columnar loops.
+                per-batch columnar loops.  Defaults to 'tuple' for the
+                serial backend and 'batched' for the process backend
+                (which requires it).
+            backend: 'serial' for the always-on in-process operator, or
+                'process' to drain CJOIN queries over ``workers`` fact
+                shards in worker processes (DESIGN.md section 8).  The
+                process backend admits queries at drain boundaries only
+                and is incompatible with ``enable_updates``.
+            workers: shard/worker-process count for backend='process'.
         """
+        if execution is None:
+            execution = "batched" if backend == "process" else "tuple"
+        self.executor_config = ExecutorConfig(
+            execution=execution, backend=backend, workers=workers
+        )
+        if backend == "process" and enable_updates:
+            raise ConfigError(
+                "backend='process' does not support enable_updates: "
+                "shard workers cannot see the coordinator's MVCC "
+                "snapshots; use backend='serial' for update workloads"
+            )
         self.catalog = catalog
         self.star = star
         self.io_stats = IOStats()
@@ -66,6 +87,7 @@ class Warehouse:
         if enable_updates:
             self.transactions = TransactionManager()
             self.versioned_fact = VersionedTable(catalog.table(star.fact.name))
+        self.max_concurrent = max_concurrent
         self.cjoin = CJoinOperator(
             catalog,
             star,
@@ -84,6 +106,9 @@ class Warehouse:
         self._pending_baseline: list[tuple[StarQuery, QueryHandle]] = []
         #: star queries waiting for a CJOIN slot (admission overflow)
         self._overflow_cjoin: list[tuple[StarQuery, QueryHandle]] = []
+        #: CJOIN-routed queries awaiting the next process-parallel
+        #: drain (backend='process' admits at drain boundaries only)
+        self._pending_parallel: list[tuple[StarQuery, QueryHandle]] = []
 
     @classmethod
     def from_ssb(
@@ -117,6 +142,11 @@ class Warehouse:
         query = self._stamp_snapshot(query)
         decision = self.router.route(query, force)
         if decision is RoutingDecision.CJOIN:
+            if self.executor_config.backend == "process":
+                query.validate(self.star)
+                handle = QueryHandle(query)
+                self._pending_parallel.append((query, handle))
+                return handle
             try:
                 return self.cjoin.submit(query)
             except AdmissionError:
@@ -208,6 +238,23 @@ class Warehouse:
     # ------------------------------------------------------------------
     def run(self, max_in_flight_baseline: int | None = None) -> None:
         """Run all submitted queries to completion."""
+        if self._pending_parallel:
+            from repro.cjoin.parallel import execute_process_parallel
+
+            pending = self._pending_parallel
+            results = execute_process_parallel(
+                self.catalog,
+                self.star,
+                [query for query, _ in pending],
+                workers=self.executor_config.workers,
+                batch_size=self.executor_config.batch_size,
+                max_concurrent=self.max_concurrent,
+            )
+            # clear only after the drain succeeds so a failed/interrupted
+            # run() can simply be retried with the queries still queued
+            self._pending_parallel = []
+            for (_, handle), rows in zip(pending, results):
+                handle.complete(rows)
         while self.cjoin.active_query_count > 0 or self._overflow_cjoin:
             if self.cjoin.active_query_count > 0:
                 self.cjoin.run_until_drained()

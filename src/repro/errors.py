@@ -66,5 +66,15 @@ class PipelineError(ReproError):
     """
 
 
+class ConfigError(PipelineError):
+    """An execution configuration is invalid (unknown mode/backend,
+
+    out-of-range worker or batch counts, inconsistent stage layouts,
+    ...).  Subclasses :class:`PipelineError` so pre-existing callers
+    that catch configuration problems at pipeline granularity keep
+    working.
+    """
+
+
 class BenchmarkError(ReproError):
     """An experiment harness was configured with invalid parameters."""

@@ -4,6 +4,14 @@ The Distributor pipes fact tuples into per-query aggregation
 operators; these accumulators are the arithmetic inside those
 operators.  NULL inputs are skipped per SQL semantics, and COUNT(*)
 counts rows regardless of values.
+
+Every accumulator is a *commutative mergeable state*, not just a
+streaming fold: :meth:`Accumulator.merge` combines two partial states
+into one as if their inputs had been concatenated.  This is what lets
+the process-parallel backend (DESIGN.md section 8) aggregate each fact
+shard independently and have a coordinator merge the per-shard states
+— AVG in particular keeps its (sum, count) pair un-finalized so the
+merge is exact.
 """
 
 from __future__ import annotations
@@ -82,11 +90,33 @@ class AggregateSpec:
 
 
 class Accumulator:
-    """Base class for streaming aggregate state."""
+    """Base class for streaming, mergeable aggregate state."""
 
     def add(self, value) -> None:
         """Fold one input value into the state."""
         raise NotImplementedError
+
+    def state(self):
+        """Export the partial state as plain picklable values.
+
+        The compact wire format for cross-process merging: plain ints,
+        floats, or tuples thereof — never accumulator objects — so
+        shard workers ship minimal bytes back to the coordinator.
+        """
+        raise NotImplementedError
+
+    def merge_state(self, state) -> None:
+        """Fold a :meth:`state` export of the same kind into this one.
+
+        Must be equivalent to having added the exported state's inputs
+        here directly (commutative and associative up to floating-point
+        re-association).
+        """
+        raise NotImplementedError
+
+    def merge(self, other: "Accumulator") -> None:
+        """Fold another accumulator of the same kind into this one."""
+        self.merge_state(other.state())
 
     def result(self):
         """Return the final aggregate value (SQL semantics on empty input)."""
@@ -104,6 +134,12 @@ class CountAccumulator(Accumulator):
         if value is not None or self._count_nulls:
             self._count += 1
 
+    def state(self) -> int:
+        return self._count
+
+    def merge_state(self, state: int) -> None:
+        self._count += state
+
     def result(self) -> int:
         return self._count
 
@@ -118,6 +154,14 @@ class SumAccumulator(Accumulator):
         if value is None:
             return
         self._sum = value if self._sum is None else self._sum + value
+
+    def state(self):
+        return self._sum
+
+    def merge_state(self, state) -> None:
+        if state is None:
+            return
+        self._sum = state if self._sum is None else self._sum + state
 
     def result(self):
         return self._sum
@@ -135,6 +179,15 @@ class MinAccumulator(Accumulator):
         if self._min is None or value < self._min:
             self._min = value
 
+    def state(self):
+        return self._min
+
+    def merge_state(self, state) -> None:
+        if state is None:
+            return
+        if self._min is None or state < self._min:
+            self._min = state
+
     def result(self):
         return self._min
 
@@ -151,12 +204,26 @@ class MaxAccumulator(Accumulator):
         if self._max is None or value > self._max:
             self._max = value
 
+    def state(self):
+        return self._max
+
+    def merge_state(self, state) -> None:
+        if state is None:
+            return
+        if self._max is None or state > self._max:
+            self._max = state
+
     def result(self):
         return self._max
 
 
 class AvgAccumulator(Accumulator):
-    """AVG(column); NULL on empty/all-NULL input."""
+    """AVG(column); NULL on empty/all-NULL input.
+
+    The state is the (sum, count) pair, never the finalized quotient,
+    so merging partial states from fact-table shards is exact: the
+    division happens once, at :meth:`result`.
+    """
 
     def __init__(self) -> None:
         self._sum = 0.0
@@ -167,6 +234,13 @@ class AvgAccumulator(Accumulator):
             return
         self._sum += value
         self._count += 1
+
+    def state(self) -> tuple:
+        return (self._sum, self._count)
+
+    def merge_state(self, state: tuple) -> None:
+        self._sum += state[0]
+        self._count += state[1]
 
     def result(self):
         if self._count == 0:

@@ -109,4 +109,7 @@ def selling_season(month: int) -> str:
 
 def phone_number(rng: random.Random) -> str:
     """A synthetic 10-digit phone string."""
-    return f"{rng.randrange(10, 35)}-{rng.randrange(100, 1000)}-{rng.randrange(100, 1000)}-{rng.randrange(1000, 10000)}"
+    return (
+        f"{rng.randrange(10, 35)}-{rng.randrange(100, 1000)}-"
+        f"{rng.randrange(100, 1000)}-{rng.randrange(1000, 10000)}"
+    )

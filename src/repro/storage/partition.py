@@ -66,7 +66,11 @@ class RangePartitioning:
             if first < len(self.boundaries) and self.boundaries[first] == low:
                 pass  # conservative: keep partition, correctness over pruning
         if not high_inclusive and high is not None and last > first:
-            if last - 1 >= 0 and last - 1 < len(self.boundaries) and self.boundaries[last - 1] == high:
+            last_boundary = last - 1
+            if (
+                0 <= last_boundary < len(self.boundaries)
+                and self.boundaries[last_boundary] == high
+            ):
                 last -= 1
         return list(range(first, last + 1))
 
@@ -148,15 +152,40 @@ class PartitionedTable:
         return start, start + self.partitions[partition_id].row_count
 
 
+def contiguous_spans(row_count: int, segment_count: int) -> list[tuple[int, int]]:
+    """Split ``[0, row_count)`` into balanced contiguous ``[start, end)`` spans.
+
+    The segmentation primitive shared by range partitioning consumers
+    and the process-parallel CJOIN backend (DESIGN.md section 8): spans
+    are contiguous in global scan order, sizes differ by at most one
+    row, and when ``row_count < segment_count`` the trailing spans are
+    empty (never dropped), so callers can map segment index -> worker
+    statically.
+
+    Raises:
+        StorageError: on a non-positive segment count or negative
+            row count.
+    """
+    if segment_count < 1:
+        raise StorageError(
+            f"segment_count must be >= 1, got {segment_count}"
+        )
+    if row_count < 0:
+        raise StorageError(f"row_count must be >= 0, got {row_count}")
+    base, extra = divmod(row_count, segment_count)
+    spans: list[tuple[int, int]] = []
+    start = 0
+    for segment in range(segment_count):
+        length = base + (1 if segment < extra else 0)
+        spans.append((start, start + length))
+        start += length
+    return spans
+
+
 def _unkeyed(schema: TableSchema) -> TableSchema:
     """Copy ``schema`` without a primary key.
 
     Partitions share one logical key space, so per-partition PK indexes
     would be misleading; uniqueness is the loader's responsibility.
     """
-    return TableSchema(
-        schema.name,
-        schema.columns,
-        primary_key=None,
-        foreign_keys=schema.foreign_keys,
-    )
+    return schema.without_primary_key()

@@ -46,6 +46,34 @@ class Table:
             table.insert(row)
         return table
 
+    @classmethod
+    def from_validated_rows(
+        cls,
+        schema: TableSchema,
+        rows: list[tuple],
+        rows_per_page: int = DEFAULT_ROWS_PER_PAGE,
+    ) -> "Table":
+        """Bulk-load rows that are already known schema-valid.
+
+        The fast path for rehosting a slice of an existing table (fact
+        shards in the process-parallel backend, DESIGN.md section 8):
+        pages are built by slicing, skipping per-row validation, and no
+        primary/secondary indexes are maintained — the result serves
+        scan-driven paths only.  The schema is stored without its
+        primary key so index lookups fail loudly (None) instead of
+        silently missing rows.
+        """
+        from repro.storage.page import Page
+
+        table = cls(schema.without_primary_key(), rows_per_page)
+        heap = table.heap
+        for page_id, start in enumerate(range(0, len(rows), rows_per_page)):
+            page = Page(page_id, rows_per_page)
+            page.rows = list(rows[start:start + rows_per_page])
+            heap.pages.append(page)
+        heap._row_count = len(rows)
+        return table
+
     def insert(self, row: tuple) -> tuple[int, int]:
         """Validate and append ``row``; return its (page, slot) address.
 

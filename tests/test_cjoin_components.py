@@ -120,7 +120,6 @@ class TestPreprocessorProtocol:
 
     def test_two_queries_same_start_position(self):
         preprocessor, catalog, *_ = build_preprocessor()
-        rows = catalog.table("sales").row_count
         preprocessor.stall()
         preprocessor.activate(registration(1))
         preprocessor.activate(registration(2))

@@ -8,7 +8,7 @@ are out of scope under the GIL (see DESIGN.md).
 import pytest
 
 from repro.cjoin import CJoinOperator
-from repro.cjoin.executor import ExecutorConfig, SynchronousExecutor, ThreadedExecutor
+from repro.cjoin.executor import ExecutorConfig, ThreadedExecutor
 from repro.errors import PipelineError
 from repro.query.reference import evaluate_star_query
 

@@ -14,7 +14,6 @@ from repro.query.aggregates import AggregateSpec
 from repro.query.predicate import Comparison
 from repro.query.reference import evaluate_star_query
 from repro.query.star import ColumnRef, StarQuery
-from repro.ssb.queries import ssb_workload_generator
 from repro.storage.buffer import BufferPool
 from repro.storage.iostats import IOStats
 

@@ -1,6 +1,5 @@
 """Tests for CJOIN over a range-partitioned fact table (section 5)."""
 
-import pytest
 
 from repro.catalog.catalog import Catalog
 from repro.cjoin.partitioned import (

@@ -1,6 +1,5 @@
 """Sort-based aggregation: equivalence with hash aggregation."""
 
-import hypothesis.strategies as st
 import pytest
 from hypothesis import given, settings
 

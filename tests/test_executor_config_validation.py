@@ -1,0 +1,150 @@
+"""ExecutorConfig range validation (ConfigError with actionable text).
+
+Prior to the process backend, only ``mode``/``execution`` names were
+validated; worker counts, batch sizes and stage layouts silently
+accepted nonsense (zero workers, bool batch sizes, hybrid layouts with
+no boxes).  Every rejection must carry an actionable message naming
+the field and the accepted range.
+"""
+
+import pytest
+
+from repro.cjoin.executor import (
+    MAX_BATCH_SIZE,
+    MAX_STAGE_THREADS,
+    MAX_WORKERS,
+    ExecutorConfig,
+)
+from repro.errors import ConfigError, PipelineError
+
+
+class TestNameValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(ConfigError, match="unknown executor mode"):
+            ExecutorConfig(mode="diagonal")
+
+    def test_unknown_execution(self):
+        with pytest.raises(ConfigError, match="'tuple' or 'batched'"):
+            ExecutorConfig(execution="vectorised")
+
+    def test_unknown_backend(self):
+        with pytest.raises(ConfigError, match="'serial' or 'process'"):
+            ExecutorConfig(backend="thread")
+
+    def test_config_error_is_a_pipeline_error(self):
+        """Pre-existing callers catching PipelineError keep working."""
+        with pytest.raises(PipelineError):
+            ExecutorConfig(execution="vectorised")
+
+
+class TestWorkerRange:
+    @pytest.mark.parametrize("workers", [0, -1, MAX_WORKERS + 1])
+    def test_out_of_range_workers(self, workers):
+        with pytest.raises(ConfigError, match="workers must be in"):
+            ExecutorConfig(
+                execution="batched", backend="process", workers=workers
+            )
+
+    @pytest.mark.parametrize("workers", [1.5, "4", True])
+    def test_non_int_workers(self, workers):
+        with pytest.raises(ConfigError, match="workers must be an int"):
+            ExecutorConfig(
+                execution="batched", backend="process", workers=workers
+            )
+
+    def test_workers_require_process_backend(self):
+        with pytest.raises(ConfigError, match="requires backend='process'"):
+            ExecutorConfig(execution="batched", workers=4)
+
+    def test_boundary_workers_accepted(self):
+        config = ExecutorConfig(
+            execution="batched", backend="process", workers=MAX_WORKERS
+        )
+        assert config.workers == MAX_WORKERS
+
+
+class TestBatchSizeRange:
+    @pytest.mark.parametrize("batch_size", [0, -3, MAX_BATCH_SIZE + 1])
+    def test_out_of_range_batch_size(self, batch_size):
+        with pytest.raises(ConfigError, match="batch_size must be in"):
+            ExecutorConfig(batch_size=batch_size)
+
+    @pytest.mark.parametrize("batch_size", [0.5, "256", False])
+    def test_non_int_batch_size(self, batch_size):
+        with pytest.raises(ConfigError, match="batch_size must be an int"):
+            ExecutorConfig(batch_size=batch_size)
+
+
+class TestProcessBackendConstraints:
+    def test_process_requires_batched_execution(self):
+        with pytest.raises(ConfigError, match="requires execution='batched'"):
+            ExecutorConfig(backend="process", workers=2)
+
+    def test_process_requires_synchronous_mode(self):
+        with pytest.raises(ConfigError, match="requires mode='synchronous'"):
+            ExecutorConfig(
+                mode="horizontal",
+                execution="batched",
+                backend="process",
+                workers=2,
+            )
+
+    def test_valid_process_config(self):
+        config = ExecutorConfig(
+            execution="batched", backend="process", workers=8
+        )
+        assert (config.backend, config.workers) == ("process", 8)
+
+
+class TestStageLayouts:
+    def test_empty_stage_threads(self):
+        with pytest.raises(ConfigError, match="at least one stage"):
+            ExecutorConfig(mode="horizontal", stage_threads=())
+
+    @pytest.mark.parametrize("threads", [0, -2, MAX_STAGE_THREADS + 1])
+    def test_out_of_range_stage_threads(self, threads):
+        with pytest.raises(ConfigError, match=r"stage_threads\[1\]"):
+            ExecutorConfig(mode="horizontal", stage_threads=(1, threads))
+
+    def test_zero_stage_box(self):
+        with pytest.raises(ConfigError, match=r"stage_boxes\[0\]"):
+            ExecutorConfig(
+                mode="hybrid", stage_threads=(1,), stage_boxes=(0, 4)
+            )
+
+    def test_boxes_without_hybrid_mode(self):
+        with pytest.raises(ConfigError, match="mode='hybrid'"):
+            ExecutorConfig(mode="horizontal", stage_boxes=(2, 2))
+
+    def test_hybrid_without_boxes(self):
+        with pytest.raises(ConfigError, match="requires stage_boxes"):
+            ExecutorConfig(mode="hybrid", stage_threads=(1,))
+
+
+class TestWarehouseWiring:
+    def test_warehouse_rejects_process_with_updates(self, tiny_star):
+        from repro.engine.warehouse import Warehouse
+
+        catalog, star = tiny_star
+        with pytest.raises(ConfigError, match="enable_updates"):
+            Warehouse(
+                catalog,
+                star,
+                backend="process",
+                workers=2,
+                enable_updates=True,
+            )
+
+    def test_warehouse_rejects_bad_worker_count(self, tiny_star):
+        from repro.engine.warehouse import Warehouse
+
+        catalog, star = tiny_star
+        with pytest.raises(ConfigError, match="workers must be in"):
+            Warehouse(catalog, star, backend="process", workers=0)
+
+    def test_warehouse_defaults_execution_for_process_backend(self, tiny_star):
+        from repro.engine.warehouse import Warehouse
+
+        catalog, star = tiny_star
+        warehouse = Warehouse(catalog, star, backend="process", workers=2)
+        assert warehouse.executor_config.execution == "batched"

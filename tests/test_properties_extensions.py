@@ -23,7 +23,7 @@ from repro.cjoin.partitioned import (
     as_catalog_table,
 )
 from repro.query.aggregates import AggregateSpec
-from repro.query.predicate import Between, Comparison
+from repro.query.predicate import Between
 from repro.query.reference import evaluate_star_query
 from repro.query.star import StarQuery
 from repro.storage.mvcc import Snapshot, TransactionManager, VersionedTable

@@ -1,6 +1,5 @@
 """Public API surface and the experiment CLI."""
 
-import pytest
 
 import repro
 from repro.bench.__main__ import main as bench_main

@@ -1,6 +1,5 @@
 """Tests for SQL rendering, including the render->parse round trip."""
 
-import hypothesis.strategies as st
 import pytest
 from hypothesis import given, settings
 

@@ -5,7 +5,6 @@ storage must be interchangeable — same random data, same random star
 queries, same results.
 """
 
-import hypothesis.strategies as st
 from hypothesis import given, settings
 
 from repro.catalog.catalog import Catalog

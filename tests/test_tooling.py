@@ -12,7 +12,6 @@ Wires two standalone entry points into the tier-1 suite:
 from __future__ import annotations
 
 import importlib.util
-import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
