@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
 """Fail when a headline performance ratio regresses > 20% vs baseline.
 
-Two speedup ratios are tracked (ratios, not absolute seconds, so the
-gate is meaningful across machines of different speeds):
+Three ratios are tracked (ratios, not absolute seconds, so the gate
+is meaningful across machines of different speeds):
 
 * ``batch_vs_tuple_speedup`` — the PR-1 vectorized drain vs the
   reference tuple-at-a-time drain (benchmarks/bench_batch_vs_tuple.py);
 * ``parallel_scaleup_speedup`` — the 4-worker process-parallel drain
   vs the serial batched drain (benchmarks/bench_parallel_scaleup.py);
-  only measurable on hosts with >= 4 CPUs, skipped elsewhere.
+  only measurable on hosts with >= 4 CPUs, skipped elsewhere;
+* ``open_loop_flatness`` — p95 latency at a low Poisson arrival rate
+  over p95 at 8x that rate against the always-on service
+  (benchmarks/bench_open_loop_latency.py; 1.0 = perfectly flat, the
+  paper's predictability claim).
 
 Each measured ratio is compared against BENCH_baseline.json at the
 repository root; a measurement below ``baseline * (1 - tolerance)``
@@ -50,9 +54,10 @@ def _ensure_import_paths() -> None:
 
 
 def measure_metrics() -> dict[str, float | None]:
-    """Run both benchmarks; None marks metrics this host cannot measure."""
+    """Run the tracked benchmarks; None marks unmeasurable-here metrics."""
     _ensure_import_paths()
     from benchmarks.bench_batch_vs_tuple import measure_batch_vs_tuple
+    from benchmarks.bench_open_loop_latency import measure_open_loop
     from benchmarks.bench_parallel_scaleup import WORKERS, measure_scaleup
 
     metrics: dict[str, float | None] = {}
@@ -67,6 +72,10 @@ def measure_metrics() -> dict[str, float | None]:
         metrics["parallel_scaleup_speedup"] = round(scaleup["speedup"], 3)
     else:
         metrics["parallel_scaleup_speedup"] = None
+    open_loop = measure_open_loop()
+    if not open_loop["identical"]:
+        raise AssertionError("open-loop service results diverged from reference")
+    metrics["open_loop_flatness"] = round(open_loop["flatness"], 3)
     return metrics
 
 

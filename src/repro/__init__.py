@@ -30,7 +30,7 @@ from repro.catalog import (
     TableSchema,
 )
 from repro.cjoin import CJoinOperator, ExecutorConfig, QueryHandle
-from repro.engine import Warehouse
+from repro.engine import Warehouse, WarehouseService
 from repro.errors import ReproError
 from repro.query import (
     AggregateSpec,
@@ -72,5 +72,6 @@ __all__ = [
     "TableSchema",
     "TruePredicate",
     "Warehouse",
+    "WarehouseService",
     "__version__",
 ]

@@ -74,12 +74,40 @@ MAX_STAGE_THREADS = 64
 #: more rows than a large fact table, which only wastes memory.
 MAX_BATCH_SIZE = 1 << 20
 
+#: Upper bound on maxConc / service in-flight limits: bit-vectors are
+#: arbitrary-precision ints, but beyond this bound every per-tuple
+#: bit operation touches kilobytes of limbs for no plausible workload.
+MAX_CONCURRENT_QUERIES = 1 << 16
+
+#: Upper bound on the service's pending-admission FIFO.
+MAX_ADMISSION_QUEUE_DEPTH = 1 << 20
+
+#: Upper bound on the service's idle-throttle sleep, in seconds: a
+#: larger value only adds admission latency, never saves more CPU.
+MAX_IDLE_SLEEP = 60.0
+
+#: Default idle-throttle sleep for continuous mode.
+DEFAULT_IDLE_SLEEP = 0.001
+
 
 def _require_int(name: str, value, low: int, high: int) -> None:
     """Range-check an integer config field with an actionable message."""
     if isinstance(value, bool) or not isinstance(value, int):
         raise ConfigError(
             f"{name} must be an int, got {value!r} "
+            f"({type(value).__name__})"
+        )
+    if not low <= value <= high:
+        raise ConfigError(
+            f"{name} must be in [{low}, {high}], got {value}"
+        )
+
+
+def _require_float(name: str, value, low: float, high: float) -> None:
+    """Range-check a numeric config field with an actionable message."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError(
+            f"{name} must be a number, got {value!r} "
             f"({type(value).__name__})"
         )
     if not low <= value <= high:
@@ -246,7 +274,21 @@ class _ProfilingDriver:
 
 
 class SynchronousExecutor:
-    """Drives the pipeline to completion on the calling thread."""
+    """Drives the pipeline to completion on the calling thread.
+
+    Two drive modes:
+
+    * :meth:`run_until_drained` — the batch-drain mode: run until every
+      admitted query completes, then return (the historical
+      ``Warehouse.run()`` contract);
+    * :meth:`run_forever` — the continuous service mode (DESIGN.md
+      section 9): cycle the scan indefinitely, idle-throttling when no
+      query is registered, until :meth:`stop` is signalled from another
+      thread.  Mid-scan admission needs no extra machinery here: the
+      manager's stall protocol serializes ``admit()`` against
+      :meth:`step`'s item production on the preprocessor lock, so any
+      thread may admit at any moment between batches.
+    """
 
     def __init__(
         self,
@@ -258,6 +300,7 @@ class SynchronousExecutor:
         self.manager = manager
         self.config = config if config is not None else ExecutorConfig()
         self._profiler = _ProfilingDriver(pipeline, manager, self.config)
+        self._stop = threading.Event()
 
     def step(self) -> int:
         """Process one batch; returns the number of items handled.
@@ -298,6 +341,45 @@ class SynchronousExecutor:
                 raise PipelineError(
                     f"pipeline did not drain within {max_batches} batches"
                 )
+
+    def run_forever(
+        self,
+        idle_sleep: float = DEFAULT_IDLE_SLEEP,
+        on_cycle=None,
+        stop_event: threading.Event | None = None,
+    ) -> None:
+        """Cycle the pipeline until stopped (the always-on service mode).
+
+        Steps the pipeline continuously; when a step handles nothing
+        (no registered queries, no pending control tuples) the loop
+        sleeps ``idle_sleep`` seconds instead of spinning.  ``on_cycle``
+        — called once per loop iteration, before the step — is the
+        service layer's hook for pumping its admission queue on the
+        driver thread.  ``stop_event`` overrides the executor's own
+        stop flag so an external owner (the service) can coordinate
+        shutdown without racing :meth:`stop`'s flag reset.
+
+        Returns after the stop flag is set; a clean shutdown leaves the
+        pipeline consistent, and admitted-but-unfinished queries simply
+        resume on the next drive call.
+        """
+        _require_float("idle_sleep", idle_sleep, 0.0, MAX_IDLE_SLEEP)
+        stop = stop_event if stop_event is not None else self._stop
+        try:
+            while not stop.is_set():
+                if on_cycle is not None:
+                    on_cycle()
+                if self.step() == 0:
+                    stop.wait(idle_sleep)
+        finally:
+            if stop is self._stop:
+                # consume the signal on the way out: each stop() ends
+                # at most one run, and the driver stays reusable
+                self._stop.clear()
+
+    def stop(self) -> None:
+        """Signal :meth:`run_forever` to return (thread-safe, idempotent)."""
+        self._stop.set()
 
 
 class _Batch:
@@ -434,6 +516,30 @@ class ThreadedExecutor:
         for thread in self._threads:
             thread.join(timeout=10)
         self._started = False
+
+    def run_forever(
+        self,
+        idle_sleep: float = DEFAULT_IDLE_SLEEP,
+        on_cycle=None,
+        stop_event: threading.Event | None = None,
+    ) -> None:
+        """Continuous service mode, uniform with the synchronous driver.
+
+        The stage threads already cycle the scan on their own, so this
+        body only starts them (when not yet started) and pumps
+        ``on_cycle`` every ``idle_sleep`` seconds until the stop flag is
+        set.  With an external ``stop_event`` the caller still owns the
+        thread teardown: call :meth:`stop` after this returns to join
+        the stage threads.
+        """
+        _require_float("idle_sleep", idle_sleep, 0.0, MAX_IDLE_SLEEP)
+        if not self._started:
+            self.start()
+        stop = stop_event if stop_event is not None else self._stop
+        while not stop.is_set():
+            if on_cycle is not None:
+                on_cycle()
+            stop.wait(idle_sleep)
 
     def wait_for(self, handles, timeout: float = 60.0) -> None:
         """Block until every handle completes.

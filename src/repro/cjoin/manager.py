@@ -41,7 +41,7 @@ from repro.cjoin.registry import (
     QueryIdAllocator,
     RegisteredQuery,
 )
-from repro.cjoin.stats import PipelineStats
+from repro.cjoin.stats import PipelineStats, QueryLatencyRecord
 from repro.errors import AdmissionError
 from repro.query.star import StarQuery
 from repro.storage.buffer import BufferPool
@@ -104,11 +104,18 @@ class PipelineManager:
     # ------------------------------------------------------------------
     # Admission (Algorithm 1)
     # ------------------------------------------------------------------
-    def admit(self, query: StarQuery) -> QueryHandle:
+    def admit(
+        self, query: StarQuery, handle: QueryHandle | None = None
+    ) -> QueryHandle:
         """Register ``query`` with the always-on pipeline.
 
         Returns a :class:`QueryHandle`; results become available once
         the continuous scan wraps around the query's start position.
+
+        ``handle`` lets a caller that queued the query earlier (the
+        service's admission queue) keep the handle it already gave out:
+        the handle's submission timestamp then predates admission, so
+        ``wait_seconds`` measures the real admission wait.
         """
         started = time.perf_counter()
         query.validate(self.star)
@@ -116,7 +123,9 @@ class PipelineManager:
             self.process_finished()  # reclaim ids before allocating
             query_id = self.allocator.allocate()
             try:
-                handle, rows_loaded = self._admit_locked(query, query_id)
+                handle, rows_loaded = self._admit_locked(
+                    query, query_id, handle
+                )
             except Exception:
                 self._rollback_admission(query_id)
                 self.allocator.release(query_id)
@@ -125,9 +134,18 @@ class PipelineManager:
         self.timings.record(time.perf_counter() - started, rows_loaded)
         return handle
 
-    def _admit_locked(self, query: StarQuery, query_id: int) -> QueryHandle:
-        handle = QueryHandle(query)
+    def _admit_locked(
+        self,
+        query: StarQuery,
+        query_id: int,
+        handle: QueryHandle | None = None,
+    ) -> QueryHandle:
+        if handle is None:
+            handle = QueryHandle(query)
+        handle.admitted_at = time.perf_counter()
         registration = RegisteredQuery(query_id, query, handle)
+        registration.scanned_at_admission = self.stats.tuples_scanned
+        registration.admitted_with_in_flight = len(self._registrations)
         handle.registration = registration
         # keep the query's reference order: new Filters are appended in
         # this order, which is what the FixedOrderPolicy preserves
@@ -304,6 +322,7 @@ class PipelineManager:
         registration = self._registrations.pop(query_id, None)
         if registration is None:
             raise AdmissionError(f"unknown finished query {query_id}")
+        self._record_latency(registration)
         self._referenced_by.pop(query_id, None)
         for table in self._tables.values():
             table.unregister_query(query_id)
@@ -331,6 +350,34 @@ class PipelineManager:
             finally:
                 preprocessor.resume()
         self.allocator.release(query_id)
+
+    def _record_latency(self, registration: RegisteredQuery) -> None:
+        """Append the query's latency breakdown to the pipeline stats.
+
+        Runs at cleanup, after the Distributor completed the handle, so
+        every timestamp is in place.  Queries torn down before
+        completion (rollbacks never reach here; they are not recorded).
+        """
+        handle = registration.handle
+        if handle.completed_at is None or handle.admitted_at is None:
+            return
+        fact_rows = self.catalog.table(
+            registration.query.fact_table
+        ).row_count
+        scanned = max(
+            self.stats.tuples_scanned - registration.scanned_at_admission, 0
+        )
+        self.stats.record_latency(
+            QueryLatencyRecord(
+                query_id=registration.query_id,
+                label=registration.query.label,
+                wait_seconds=handle.admitted_at - handle.submitted_at,
+                scan_cycles=scanned / fact_rows if fact_rows else 0.0,
+                latency_seconds=handle.completed_at - handle.submitted_at,
+                admitted_with_in_flight=registration.admitted_with_in_flight,
+                scan_position_at_admission=registration.start_position or 0,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Run-time optimization (section 3.4)

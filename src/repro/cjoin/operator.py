@@ -113,9 +113,16 @@ class CJoinOperator:
     # ------------------------------------------------------------------
     # Query lifecycle
     # ------------------------------------------------------------------
-    def submit(self, query: StarQuery) -> QueryHandle:
-        """Register a star query with the always-on pipeline."""
-        return self.manager.admit(query)
+    def submit(
+        self, query: StarQuery, handle: QueryHandle | None = None
+    ) -> QueryHandle:
+        """Register a star query with the always-on pipeline.
+
+        ``handle`` keeps a pre-created handle (a queued submission's)
+        attached to the query, preserving its submission timestamp for
+        admission-wait telemetry.
+        """
+        return self.manager.admit(query, handle)
 
     def run_until_drained(self, max_batches: int | None = None) -> None:
         """Drive the pipeline until all submitted queries complete.
@@ -145,9 +152,8 @@ class CJoinOperator:
         self.executor.start()
 
     def stop(self) -> None:
-        """Stop background threads (threaded executor only)."""
-        if isinstance(self.executor, ThreadedExecutor):
-            self.executor.stop()
+        """Stop background execution (threads or a continuous driver)."""
+        self.executor.stop()
 
     # ------------------------------------------------------------------
     # Introspection

@@ -83,6 +83,11 @@ class RegisteredQuery:
         self.awaiting_first_tuple = True
         #: fact tuples emitted to this query so far (progress metric)
         self.tuples_streamed = 0
+        #: pipeline-wide tuples_scanned at admission (latency telemetry)
+        self.scanned_at_admission = 0
+        #: queries already registered when this one was admitted; > 0
+        #: means a mid-scan admission rather than a drain boundary
+        self.admitted_with_in_flight = 0
 
     def __repr__(self) -> str:
         return f"RegisteredQuery(id={self.query_id}, label={self.query.label!r})"
@@ -101,10 +106,21 @@ class QueryHandle:
         self._done = threading.Event()
         self._results: list[tuple] | None = None
         self.submitted_at = time.perf_counter()
+        #: stamped by the Pipeline Manager when the query enters the
+        #: pipeline; submitted_at..admitted_at is the admission wait
+        self.admitted_at: float | None = None
+        #: stamped on the first completion callback (with today's
+        #: aggregate-only Distributor this coincides with completed_at,
+        #: but streaming result delivery can move it earlier)
+        self.first_result_at: float | None = None
         self.completed_at: float | None = None
         #: filled by the operator: scan cycle fraction remaining, etc.
         self.registration: RegisteredQuery | None = None
         self._progress_total: int | None = None
+        #: guards the done-flag/callback handoff: registration from one
+        #: thread must never race completion on the pipeline driver
+        self._callback_lock = threading.Lock()
+        self._callbacks: list = []
 
     # ------------------------------------------------------------------
     # Completion
@@ -118,19 +134,53 @@ class QueryHandle:
         """Block until done (threaded executors); returns done-ness."""
         return self._done.wait(timeout)
 
+    def on_complete(self, callback) -> None:
+        """Register ``callback(handle)`` to run at completion.
+
+        Runs on the completing thread (the pipeline driver).  A handle
+        that is already done invokes the callback immediately — the
+        service layer uses this hook to track in-flight counts without
+        polling.  Registration is race-free against a concurrent
+        :meth:`complete`: the callback fires exactly once either way.
+        """
+        with self._callback_lock:
+            if not self.done:
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
     def complete(self, results: list[tuple]) -> None:
         """Fulfill the handle (called by the Distributor)."""
         self._results = results
-        self.completed_at = time.perf_counter()
-        self._done.set()
+        now = time.perf_counter()
+        if self.first_result_at is None:
+            self.first_result_at = now
+        self.completed_at = now
+        with self._callback_lock:
+            self._done.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
 
-    def results(self) -> list[tuple]:
+    def results(self, timeout: float | None = None) -> list[tuple]:
         """Canonical result rows.
 
+        With ``timeout`` (seconds), blocks until the query completes —
+        the natural call under the always-on service, where completion
+        happens on a background driver thread.  Without it, the
+        historical non-blocking contract holds.
+
         Raises:
-            AdmissionError: if the query has not completed yet.
+            AdmissionError: if the query has not completed yet
+                (``timeout=None``), or did not complete within
+                ``timeout`` seconds.
         """
-        if not self.done:
+        if timeout is not None:
+            if not self.wait(timeout):
+                raise AdmissionError(
+                    f"query did not complete within {timeout} seconds"
+                )
+        elif not self.done:
             raise AdmissionError("query has not completed yet")
         return list(self._results)
 
@@ -144,6 +194,28 @@ class QueryHandle:
         if self.completed_at is None:
             raise AdmissionError("query has not completed yet")
         return self.completed_at - self.submitted_at
+
+    @property
+    def latency_seconds(self) -> float:
+        """End-to-end seconds from submission to completion.
+
+        Alias of :attr:`response_time` under the service vocabulary.
+
+        Raises:
+            AdmissionError: if the query has not completed yet.
+        """
+        return self.response_time
+
+    @property
+    def wait_seconds(self) -> float:
+        """Seconds the query waited between submission and admission.
+
+        Raises:
+            AdmissionError: if the query has not been admitted yet.
+        """
+        if self.admitted_at is None:
+            raise AdmissionError("query has not been admitted yet")
+        return self.admitted_at - self.submitted_at
 
     # ------------------------------------------------------------------
     # Progress feedback (section 3.2.3)

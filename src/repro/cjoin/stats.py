@@ -1,17 +1,66 @@
 """Run-time statistics for the CJOIN pipeline.
 
-Two consumers:
+Three consumers:
 
 * the Pipeline Manager's on-line optimizer, which orders Filters by
   their *observed* drop rates (section 3.4);
 * tests and micro-benchmarks, which assert structural properties —
   e.g. at most K probes per fact tuple regardless of the number of
-  concurrent queries (section 3.2.3).
+  concurrent queries (section 3.2.3);
+* the always-on service layer (DESIGN.md section 9), which reports
+  per-query latency/predictability telemetry: admission wait, scan
+  cycles to completion, and end-to-end response time, summarized as
+  p50/p95/p99 percentiles.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``values`` (0.0 when empty).
+
+    ``fraction`` is in (0, 1]; e.g. 0.95 for p95.  Nearest-rank keeps
+    the result an actually-observed latency, which is what open-loop
+    benchmark reports conventionally quote.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    ordered = sorted(values)
+    rank = math.ceil(fraction * len(ordered))
+    return ordered[max(rank, 1) - 1]
+
+
+@dataclass(frozen=True)
+class QueryLatencyRecord:
+    """Per-query latency breakdown, recorded at finalization cleanup.
+
+    The three timings decompose the paper's "predictable response
+    time" claim: a query waits for admission (bounded by the service's
+    ``max_in_flight``), then rides the continuous scan for about one
+    cycle regardless of concurrency, so end-to-end latency stays flat
+    as load grows.
+    """
+
+    query_id: int
+    label: str | None
+    #: seconds from handle creation (submission) to pipeline admission
+    wait_seconds: float
+    #: pipeline scan cycles elapsed while the query was registered
+    #: (tuples scanned during its lifetime / fact-table rows; ~1.0 for
+    #: a query that completes after one wrap of the continuous scan)
+    scan_cycles: float
+    #: seconds from submission to completion (end-to-end latency)
+    latency_seconds: float
+    #: queries already registered when this one was admitted; > 0
+    #: means the admission was mid-scan, not at a drain boundary
+    admitted_with_in_flight: int
+    #: continuous-scan position the query started at
+    scan_position_at_admission: int
 
 
 @dataclass
@@ -59,11 +108,42 @@ class PipelineStats:
     queries_completed: int = 0
     reoptimizations: int = 0
     filter_orders: list[tuple[str, ...]] = field(default_factory=list)
+    #: one QueryLatencyRecord per finalized query, in completion order
+    latency_records: list[QueryLatencyRecord] = field(default_factory=list)
 
     def record_order(self, order: tuple[str, ...]) -> None:
         """Log a (re)ordering of the filter sequence."""
         if not self.filter_orders or self.filter_orders[-1] != order:
             self.filter_orders.append(order)
+
+    def record_latency(self, record: QueryLatencyRecord) -> None:
+        """Log one finalized query's latency breakdown."""
+        self.latency_records.append(record)
+
+    def latency_summary(self) -> dict[str, float]:
+        """p50/p95/p99 over the recorded per-query latencies.
+
+        Returns a dict with ``count``, end-to-end percentiles
+        (``p50``/``p95``/``p99``), admission-wait percentiles
+        (``wait_p50``/``wait_p95``/``wait_p99``), and the mean scan
+        cycles to completion (``mean_scan_cycles``); zeros when no
+        query has finished yet.
+        """
+        latencies = [r.latency_seconds for r in self.latency_records]
+        waits = [r.wait_seconds for r in self.latency_records]
+        cycles = [r.scan_cycles for r in self.latency_records]
+        return {
+            "count": float(len(latencies)),
+            "p50": percentile(latencies, 0.50),
+            "p95": percentile(latencies, 0.95),
+            "p99": percentile(latencies, 0.99),
+            "wait_p50": percentile(waits, 0.50),
+            "wait_p95": percentile(waits, 0.95),
+            "wait_p99": percentile(waits, 0.99),
+            "mean_scan_cycles": (
+                sum(cycles) / len(cycles) if cycles else 0.0
+            ),
+        }
 
     @property
     def probes_per_tuple(self) -> float:

@@ -3,10 +3,14 @@
 Concurrent star queries are diverted to the specialized CJOIN
 processor; anything else (or anything explicitly requested) runs on
 conventional query-at-a-time infrastructure.  Updates flow through
-snapshot isolation (section 3.5).
+snapshot isolation (section 3.5).  The always-on serving surface —
+background continuous scan, mid-scan online admission, latency
+telemetry — is :class:`~repro.engine.service.WarehouseService`
+(DESIGN.md section 9).
 """
 
 from repro.engine.router import QueryRouter, RoutingDecision
+from repro.engine.service import WarehouseService
 from repro.engine.warehouse import Warehouse
 
-__all__ = ["QueryRouter", "RoutingDecision", "Warehouse"]
+__all__ = ["QueryRouter", "RoutingDecision", "Warehouse", "WarehouseService"]

@@ -1,0 +1,384 @@
+"""The always-on warehouse service (DESIGN.md section 9).
+
+The paper's operator never stops: the fact scan cycles indefinitely
+and queries attach mid-cycle at whatever position the scan happens to
+be.  :class:`WarehouseService` is that serving surface.  It owns a
+background driver thread that keeps the CJOIN pipeline cycling
+(idle-throttled when no query is registered), a bounded FIFO admission
+queue in front of the Pipeline Manager, and the per-query latency
+telemetry that backs the "predictable" half of the paper's title.
+
+Usage, open-loop::
+
+    service = warehouse.start_service()
+    handle = warehouse.submit_sql("SELECT COUNT(*) FROM lineorder, date "
+                                  "WHERE lo_orderdate = d_datekey")
+    rows = handle.results(timeout=30.0)   # blocks; driver completes it
+    print(service.latency_summary())      # p50/p95/p99 end-to-end
+    warehouse.stop_service()
+
+Admission protocol: ``submit()`` may be called from any thread at any
+moment.  When an in-flight slot is free (fewer than ``max_in_flight``
+registered queries) and no earlier submission is waiting, the query is
+admitted *inline on the calling thread* through the Pipeline Manager's
+stall protocol — ``admit()`` serializes against the driver's item
+production on the preprocessor lock, so the scan pauses for exactly
+the Algorithm-1 critical sections and nothing else.  Otherwise the
+query joins the FIFO queue (bounded by ``admission_queue_depth``;
+overflow raises :class:`~repro.errors.AdmissionError`) and the driver
+thread admits it as completions free slots.  Either way the caller
+immediately holds a :class:`~repro.cjoin.registry.QueryHandle` whose
+``results(timeout=...)`` blocks until the continuous scan wraps.
+
+Shutdown protocol: ``stop()`` sets the service's stop event, joins the
+driver thread, and (for threaded executors) joins the stage threads.
+Admitted-but-unfinished queries stay registered and resume on the next
+``start()`` or ``drain()`` — stopping never corrupts pipeline state.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.cjoin.executor import (
+    DEFAULT_IDLE_SLEEP,
+    MAX_ADMISSION_QUEUE_DEPTH,
+    MAX_CONCURRENT_QUERIES,
+    MAX_IDLE_SLEEP,
+    SynchronousExecutor,
+    _require_float,
+    _require_int,
+)
+from repro.cjoin.operator import CJoinOperator
+from repro.cjoin.registry import QueryHandle
+from repro.errors import AdmissionError, PipelineError
+from repro.query.star import StarQuery
+
+#: Default bound on submissions waiting for an in-flight slot.
+DEFAULT_ADMISSION_QUEUE_DEPTH = 1024
+
+
+class WarehouseService:
+    """Long-running serving surface over one CJOIN operator.
+
+    Args:
+        operator: the always-on operator to drive.
+        max_in_flight: bound on concurrently registered queries;
+            defaults to (and is capped by) the operator's ``maxConc``.
+        idle_sleep: driver sleep, in seconds, between polls while no
+            query is registered (the idle throttle).
+        admission_queue_depth: bound on submissions waiting for a slot;
+            a full queue rejects further submissions with
+            :class:`~repro.errors.AdmissionError` (back-pressure).
+    """
+
+    def __init__(
+        self,
+        operator: CJoinOperator,
+        max_in_flight: int | None = None,
+        idle_sleep: float = DEFAULT_IDLE_SLEEP,
+        admission_queue_depth: int = DEFAULT_ADMISSION_QUEUE_DEPTH,
+    ) -> None:
+        max_concurrent = operator.manager.allocator.max_concurrent
+        if max_in_flight is None:
+            max_in_flight = max_concurrent
+        _require_int("max_in_flight", max_in_flight, 1, MAX_CONCURRENT_QUERIES)
+        _require_float("idle_sleep", idle_sleep, 0.0, MAX_IDLE_SLEEP)
+        _require_int(
+            "admission_queue_depth",
+            admission_queue_depth,
+            1,
+            MAX_ADMISSION_QUEUE_DEPTH,
+        )
+        self.operator = operator
+        #: the operator can never register more than maxConc queries,
+        #: so a larger request silently clamps rather than guaranteeing
+        #: AdmissionError storms from the id allocator
+        self.max_in_flight = min(max_in_flight, max_concurrent)
+        self.idle_sleep = idle_sleep
+        self.admission_queue_depth = admission_queue_depth
+        self._cond = threading.Condition()
+        self._queue: deque[tuple[StarQuery, QueryHandle]] = deque()
+        self._in_flight = 0
+        #: True while the driver admits a submission it popped from the
+        #: queue; inline admission must not overtake that query (FIFO)
+        self._pumping = False
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._driver_error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """True while the background driver thread is alive."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    @property
+    def in_flight(self) -> int:
+        """Queries admitted and not yet completed."""
+        with self._cond:
+            return self._in_flight
+
+    @property
+    def queued(self) -> int:
+        """Submissions waiting for an in-flight slot."""
+        with self._cond:
+            return len(self._queue)
+
+    def latency_summary(self) -> dict[str, float]:
+        """p50/p95/p99 latency and admission-wait percentiles so far."""
+        return self.operator.stats.latency_summary()
+
+    @property
+    def latency_records(self):
+        """Per-query latency records, in completion order."""
+        return list(self.operator.stats.latency_records)
+
+    # ------------------------------------------------------------------
+    # Submission (any thread, any time)
+    # ------------------------------------------------------------------
+    def submit(
+        self, query: StarQuery, handle: QueryHandle | None = None
+    ) -> QueryHandle:
+        """Submit a star query; returns its handle immediately.
+
+        Admits inline when a slot is free (mid-scan, via the manager's
+        stall protocol); queues FIFO otherwise.
+
+        Raises:
+            AdmissionError: when the admission queue is full.
+            QueryError: when the query does not fit the star schema
+                (validated up front so queued submissions cannot fail
+                late on the driver thread).
+        """
+        query.validate(self.operator.star)
+        if handle is None:
+            handle = QueryHandle(query)
+        with self._cond:
+            # reserve a slot only; the admission itself runs outside
+            # the service lock so the driver's scan (and completion
+            # callbacks) never block behind a dimension subquery
+            inline = (
+                not self._queue
+                and not self._pumping
+                and self._in_flight < self.max_in_flight
+            )
+            if inline:
+                self._in_flight += 1
+            else:
+                self._enqueue_locked(query, handle)
+                return handle
+        try:
+            self.operator.submit(query, handle)
+        except AdmissionError:
+            # operator fuller than our count (direct operator.submit
+            # callers bypass the service); fall back to the queue
+            with self._cond:
+                self._in_flight -= 1
+                self._enqueue_locked(query, handle)
+            return handle
+        except BaseException:
+            with self._cond:
+                self._in_flight -= 1
+                self._cond.notify_all()
+            raise
+        handle.on_complete(self._on_query_done)
+        return handle
+
+    def _enqueue_locked(self, query: StarQuery, handle: QueryHandle) -> None:
+        """Append to the admission FIFO; reject when at depth."""
+        if len(self._queue) >= self.admission_queue_depth:
+            raise AdmissionError(
+                f"admission queue is full "
+                f"({self.admission_queue_depth} queries waiting); "
+                f"retry later or raise admission_queue_depth"
+            )
+        self._queue.append((query, handle))
+        self._cond.notify_all()
+
+    def _on_query_done(self, handle: QueryHandle) -> None:
+        """Completion callback: free the slot and wake waiters."""
+        with self._cond:
+            self._in_flight -= 1
+            self._cond.notify_all()
+
+    def _pump_admissions(self) -> int:
+        """Admit queued submissions while slots are free (FIFO).
+
+        Called on the driver thread once per scan cycle, and by the
+        synchronous drain loop.  Returns the number admitted.  Each
+        admission runs outside the service lock (the ``_pumping`` flag
+        keeps inline submissions from overtaking the popped query).
+        """
+        admitted = 0
+        while True:
+            with self._cond:
+                if not self._queue or self._in_flight >= self.max_in_flight:
+                    return admitted
+                query, handle = self._queue.popleft()
+                self._in_flight += 1
+                self._pumping = True
+            try:
+                self.operator.submit(query, handle)
+            except AdmissionError:
+                # ids still held pending cleanup; retry next cycle
+                with self._cond:
+                    self._in_flight -= 1
+                    self._queue.appendleft((query, handle))
+                    self._pumping = False
+                return admitted
+            except BaseException:
+                with self._cond:
+                    self._in_flight -= 1
+                    self._pumping = False
+                    self._cond.notify_all()
+                raise
+            handle.on_complete(self._on_query_done)
+            with self._cond:
+                self._pumping = False
+                self._cond.notify_all()
+            admitted += 1
+
+    # ------------------------------------------------------------------
+    # Background driver lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "WarehouseService":
+        """Start the background continuous-scan driver.
+
+        Returns self, so ``service = warehouse.start_service()`` reads
+        naturally.  Restartable: ``start()`` after ``stop()`` spins up
+        a fresh driver over the same pipeline state.
+
+        Raises:
+            PipelineError: if the driver is already running.
+        """
+        with self._cond:
+            if self.running:
+                raise PipelineError("service driver is already running")
+            self._driver_error = None
+            self._stop_event = threading.Event()
+            self._thread = threading.Thread(
+                target=self._drive, name="warehouse-service", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _drive(self) -> None:
+        try:
+            self.operator.executor.run_forever(
+                idle_sleep=self.idle_sleep,
+                on_cycle=self._pump_admissions,
+                stop_event=self._stop_event,
+            )
+        except BaseException as error:  # keep stop()/drain() informative
+            self._driver_error = error
+        finally:
+            self.operator.manager.process_finished()
+            with self._cond:
+                self._cond.notify_all()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Shut the driver down cleanly (idempotent).
+
+        Joins the driver thread and, for threaded executors, the stage
+        threads.  In-flight queries stay registered; they resume on the
+        next ``start()`` or ``drain()``.
+
+        Raises:
+            PipelineError: if the driver does not stop within
+                ``timeout`` seconds, or previously crashed.
+        """
+        thread = self._thread
+        self._stop_event.set()
+        with self._cond:
+            self._cond.notify_all()
+        if thread is not None:
+            thread.join(timeout)
+            if thread.is_alive():
+                raise PipelineError(
+                    f"service driver did not stop within {timeout} seconds"
+                )
+        self._thread = None
+        self.operator.stop()  # joins stage threads for threaded executors
+        self._raise_driver_error()
+
+    def _raise_driver_error(self) -> None:
+        if self._driver_error is not None:
+            error, self._driver_error = self._driver_error, None
+            raise PipelineError(
+                "service driver crashed; pipeline state preserved"
+            ) from error
+
+    # ------------------------------------------------------------------
+    # Draining (the Warehouse.run() compatibility path)
+    # ------------------------------------------------------------------
+    def drain(self, timeout: float | None = None) -> None:
+        """Run every submitted query to completion.
+
+        With the driver running, blocks until the queue empties and the
+        last in-flight query completes.  Without it, drives the
+        pipeline on the calling thread — the historical batch-drain
+        behaviour ``Warehouse.run()`` is specified to keep.
+
+        Raises:
+            PipelineError: on ``timeout`` (running driver only), driver
+                crash, or a non-synchronous executor with no driver.
+        """
+        if self.running:
+            with self._cond:
+                done = self._cond.wait_for(
+                    lambda: (
+                        (not self._queue and self._in_flight == 0)
+                        or self._driver_error is not None
+                    ),
+                    timeout,
+                )
+            self._raise_driver_error()
+            if not done:
+                raise PipelineError(
+                    f"service did not drain within {timeout} seconds"
+                )
+            return
+        self._raise_driver_error()
+        executor = self.operator.executor
+        if not isinstance(executor, SynchronousExecutor):
+            raise PipelineError(
+                "drain() without a running driver requires the "
+                "synchronous executor; call start() for threaded modes"
+            )
+        while True:
+            self._pump_admissions()
+            executor.run_until_drained()
+            self.operator.manager.process_finished()
+            with self._cond:
+                if not self._queue and self._in_flight == 0:
+                    return
+
+    def pump(self, batches: int = 1) -> int:
+        """Deterministic single-thread drive: admissions + ``batches`` steps.
+
+        The embedded-mode hook tests use to interleave submissions with
+        scan progress at exact batch offsets (mid-scan admission
+        equivalence).  Returns the number of items handled.
+
+        Raises:
+            PipelineError: when the background driver is running (the
+                driver owns the pipeline then) or the executor is not
+                synchronous.
+        """
+        if self.running:
+            raise PipelineError(
+                "pump() conflicts with the running driver; call stop() first"
+            )
+        executor = self.operator.executor
+        if not isinstance(executor, SynchronousExecutor):
+            raise PipelineError("pump() requires the synchronous executor")
+        handled = 0
+        for _ in range(batches):
+            self._pump_admissions()
+            handled += executor.step()
+        return handled

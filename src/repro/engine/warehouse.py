@@ -23,10 +23,19 @@ import dataclasses
 from repro.baseline.engine import EngineProfile, QueryAtATimeEngine
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import StarSchema
-from repro.cjoin.executor import ExecutorConfig
+from repro.cjoin.executor import (
+    DEFAULT_IDLE_SLEEP,
+    MAX_CONCURRENT_QUERIES,
+    ExecutorConfig,
+    _require_int,
+)
 from repro.cjoin.operator import CJoinOperator
 from repro.cjoin.registry import QueryHandle
 from repro.engine.router import QueryRouter, RoutingDecision
+from repro.engine.service import (
+    DEFAULT_ADMISSION_QUEUE_DEPTH,
+    WarehouseService,
+)
 from repro.errors import ConfigError, QueryError
 from repro.query.star import StarQuery
 from repro.storage.buffer import BufferPool
@@ -50,6 +59,9 @@ class Warehouse:
         execution: str | None = None,
         backend: str = "serial",
         workers: int = 1,
+        max_in_flight: int | None = None,
+        idle_sleep: float = DEFAULT_IDLE_SLEEP,
+        admission_queue_depth: int = DEFAULT_ADMISSION_QUEUE_DEPTH,
     ) -> None:
         """Args:
             execution: CJOIN execution granularity — 'tuple' for the
@@ -65,7 +77,18 @@ class Warehouse:
                 process backend admits queries at drain boundaries only
                 and is incompatible with ``enable_updates``.
             workers: shard/worker-process count for backend='process'.
+            max_in_flight: service bound on concurrently registered
+                CJOIN queries (defaults to ``max_concurrent``); later
+                submissions wait FIFO in the admission queue
+                (DESIGN.md section 9).
+            idle_sleep: service driver sleep between polls while no
+                query is registered.
+            admission_queue_depth: bound on queries waiting for an
+                in-flight slot before submissions are rejected.
         """
+        _require_int(
+            "max_concurrent", max_concurrent, 1, MAX_CONCURRENT_QUERIES
+        )
         if execution is None:
             execution = "batched" if backend == "process" else "tuple"
         self.executor_config = ExecutorConfig(
@@ -103,9 +126,16 @@ class Warehouse:
             EngineProfile.system_x(),
             versioned_fact=self.versioned_fact,
         )
+        #: the always-on serving surface (DESIGN.md section 9): owns
+        #: the CJOIN admission queue; submit() delegates to it and
+        #: run() drains through it
+        self.service = WarehouseService(
+            self.cjoin,
+            max_in_flight=max_in_flight,
+            idle_sleep=idle_sleep,
+            admission_queue_depth=admission_queue_depth,
+        )
         self._pending_baseline: list[tuple[StarQuery, QueryHandle]] = []
-        #: star queries waiting for a CJOIN slot (admission overflow)
-        self._overflow_cjoin: list[tuple[StarQuery, QueryHandle]] = []
         #: CJOIN-routed queries awaiting the next process-parallel
         #: drain (backend='process' admits at drain boundaries only)
         self._pending_parallel: list[tuple[StarQuery, QueryHandle]] = []
@@ -133,12 +163,12 @@ class Warehouse:
     ) -> QueryHandle:
         """Submit a star query; returns a handle for its results.
 
-        When the CJOIN operator is at its concurrency limit
-        (``maxConc``), the query is queued and admitted as slots free
-        up during :meth:`run` — callers see one uniform handle API.
+        CJOIN-routed queries go to the always-on service: admitted
+        mid-scan immediately when an in-flight slot is free, queued
+        FIFO otherwise — callers see one uniform handle API whether
+        the service driver is running in the background or the queries
+        drain later inside :meth:`run`.
         """
-        from repro.errors import AdmissionError
-
         query = self._stamp_snapshot(query)
         decision = self.router.route(query, force)
         if decision is RoutingDecision.CJOIN:
@@ -147,12 +177,7 @@ class Warehouse:
                 handle = QueryHandle(query)
                 self._pending_parallel.append((query, handle))
                 return handle
-            try:
-                return self.cjoin.submit(query)
-            except AdmissionError:
-                handle = QueryHandle(query)
-                self._overflow_cjoin.append((query, handle))
-                return handle
+            return self.service.submit(query)
         handle = QueryHandle(query)
         self._pending_baseline.append((query, handle))
         return handle
@@ -206,25 +231,6 @@ class Warehouse:
             lines.append("pipeline idle: this query would start a new scan cycle")
         return "\n".join(lines)
 
-    @staticmethod
-    def _forward_handle(live: QueryHandle, placeholder: QueryHandle) -> None:
-        """Complete an overflow placeholder when its live query finishes.
-
-        The live handle completes synchronously inside run() (the
-        synchronous executor drains fully), so forwarding is a copy.
-        """
-        if live.done:
-            placeholder.complete(live.results())
-            return
-        # threaded operators complete in the background; chain lazily
-        original_complete = live.complete
-
-        def complete_and_forward(results):
-            original_complete(results)
-            placeholder.complete(results)
-
-        live.complete = complete_and_forward  # type: ignore[method-assign]
-
     def _stamp_snapshot(self, query: StarQuery) -> StarQuery:
         """Tag the query with the current snapshot when updates are on."""
         if self.transactions is None or query.snapshot_id is not None:
@@ -236,8 +242,27 @@ class Warehouse:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def start_service(self) -> WarehouseService:
+        """Start the always-on background driver; returns the service.
+
+        Afterwards, CJOIN-routed submissions are admitted mid-scan and
+        complete in the background — read them with
+        ``handle.results(timeout=...)``.  Baseline-routed queries still
+        drain inside :meth:`run`.
+        """
+        return self.service.start()
+
+    def stop_service(self) -> None:
+        """Stop the background driver cleanly (idempotent)."""
+        self.service.stop()
+
     def run(self, max_in_flight_baseline: int | None = None) -> None:
-        """Run all submitted queries to completion."""
+        """Run all submitted queries to completion.
+
+        Compatibility wrapper over the service: without a running
+        driver this drives the pipeline on the calling thread exactly
+        as before; with one, it blocks until the service drains.
+        """
         if self._pending_parallel:
             from repro.cjoin.parallel import execute_process_parallel
 
@@ -255,20 +280,7 @@ class Warehouse:
             self._pending_parallel = []
             for (_, handle), rows in zip(pending, results):
                 handle.complete(rows)
-        while self.cjoin.active_query_count > 0 or self._overflow_cjoin:
-            if self.cjoin.active_query_count > 0:
-                self.cjoin.run_until_drained()
-            self.cjoin.manager.process_finished()  # free slots
-            while self._overflow_cjoin:
-                query, placeholder = self._overflow_cjoin[0]
-                from repro.errors import AdmissionError
-
-                try:
-                    live = self.cjoin.submit(query)
-                except AdmissionError:
-                    break  # still full; drain another round first
-                self._overflow_cjoin.pop(0)
-                self._forward_handle(live, placeholder)
+        self.service.drain()
         if self._pending_baseline:
             queries = [query for query, _ in self._pending_baseline]
             handles = [handle for _, handle in self._pending_baseline]

@@ -1,16 +1,20 @@
-"""ExecutorConfig range validation (ConfigError with actionable text).
+"""ExecutorConfig and service-knob range validation (ConfigError).
 
 Prior to the process backend, only ``mode``/``execution`` names were
 validated; worker counts, batch sizes and stage layouts silently
 accepted nonsense (zero workers, bool batch sizes, hybrid layouts with
-no boxes).  Every rejection must carry an actionable message naming
-the field and the accepted range.
+no boxes).  The service layer (DESIGN.md section 9) added
+``max_concurrent`` / ``max_in_flight`` / ``idle_sleep`` /
+``admission_queue_depth`` to the same regime.  Every rejection must
+carry an actionable message naming the field and the accepted range.
 """
 
 import pytest
 
 from repro.cjoin.executor import (
     MAX_BATCH_SIZE,
+    MAX_CONCURRENT_QUERIES,
+    MAX_IDLE_SLEEP,
     MAX_STAGE_THREADS,
     MAX_WORKERS,
     ExecutorConfig,
@@ -148,3 +152,74 @@ class TestWarehouseWiring:
         catalog, star = tiny_star
         warehouse = Warehouse(catalog, star, backend="process", workers=2)
         assert warehouse.executor_config.execution == "batched"
+
+
+class TestServiceKnobs:
+    """The always-on service knobs (DESIGN.md section 9)."""
+
+    @pytest.mark.parametrize(
+        "max_concurrent", [0, -5, MAX_CONCURRENT_QUERIES + 1]
+    )
+    def test_out_of_range_max_concurrent(self, tiny_star, max_concurrent):
+        from repro.engine.warehouse import Warehouse
+
+        catalog, star = tiny_star
+        with pytest.raises(ConfigError, match="max_concurrent must be in"):
+            Warehouse(catalog, star, max_concurrent=max_concurrent)
+
+    @pytest.mark.parametrize("max_concurrent", [2.5, "256", True])
+    def test_non_int_max_concurrent(self, tiny_star, max_concurrent):
+        from repro.engine.warehouse import Warehouse
+
+        catalog, star = tiny_star
+        with pytest.raises(ConfigError, match="max_concurrent must be an int"):
+            Warehouse(catalog, star, max_concurrent=max_concurrent)
+
+    @pytest.mark.parametrize(
+        "max_in_flight", [0, -1, MAX_CONCURRENT_QUERIES + 1, 1.5, False]
+    )
+    def test_bad_max_in_flight(self, tiny_star, max_in_flight):
+        from repro.engine.warehouse import Warehouse
+
+        catalog, star = tiny_star
+        with pytest.raises(ConfigError, match="max_in_flight must be"):
+            Warehouse(catalog, star, max_in_flight=max_in_flight)
+
+    def test_max_in_flight_clamped_to_max_concurrent(self, tiny_star):
+        from repro.engine.warehouse import Warehouse
+
+        catalog, star = tiny_star
+        warehouse = Warehouse(catalog, star, max_concurrent=4, max_in_flight=64)
+        assert warehouse.service.max_in_flight == 4
+
+    @pytest.mark.parametrize(
+        "idle_sleep", [-0.001, MAX_IDLE_SLEEP + 1.0, "fast", None, True]
+    )
+    def test_bad_idle_sleep(self, tiny_star, idle_sleep):
+        from repro.engine.warehouse import Warehouse
+
+        catalog, star = tiny_star
+        with pytest.raises(ConfigError, match="idle_sleep must be"):
+            Warehouse(catalog, star, idle_sleep=idle_sleep)
+
+    def test_idle_sleep_accepts_ints(self, tiny_star):
+        from repro.engine.warehouse import Warehouse
+
+        catalog, star = tiny_star
+        assert Warehouse(catalog, star, idle_sleep=1).service.idle_sleep == 1
+
+    @pytest.mark.parametrize("depth", [0, -2, 0.5, "many", False])
+    def test_bad_admission_queue_depth(self, tiny_star, depth):
+        from repro.engine.warehouse import Warehouse
+
+        catalog, star = tiny_star
+        with pytest.raises(ConfigError, match="admission_queue_depth must be"):
+            Warehouse(catalog, star, admission_queue_depth=depth)
+
+    def test_run_forever_validates_idle_sleep(self, tiny_star):
+        from repro.cjoin import CJoinOperator
+
+        catalog, star = tiny_star
+        operator = CJoinOperator(catalog, star)
+        with pytest.raises(ConfigError, match="idle_sleep must be in"):
+            operator.executor.run_forever(idle_sleep=-1.0)
