@@ -7,14 +7,18 @@ calibrated performance models that regenerate the paper's evaluation.
 
 Quick start::
 
-    from repro import Warehouse
+    import repro
 
-    warehouse = Warehouse.from_ssb(scale_factor=0.001)
-    rows = warehouse.execute_sql(
-        "SELECT d_year, SUM(lo_revenue) AS revenue "
-        "FROM lineorder, date "
-        "WHERE lo_orderdate = d_datekey GROUP BY d_year"
-    )
+    with repro.connect(scale_factor=0.001) as connection:
+        cursor = connection.execute(
+            "SELECT d_year, SUM(lo_revenue) AS revenue "
+            "FROM lineorder, date "
+            "WHERE lo_orderdate = d_datekey AND d_year >= ? "
+            "GROUP BY d_year",
+            (1994,),
+        )
+        for year, revenue in cursor:
+            print(year, revenue)
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
@@ -30,7 +34,8 @@ from repro.catalog import (
     TableSchema,
 )
 from repro.cjoin import CJoinOperator, ExecutorConfig, QueryHandle
-from repro.engine import Warehouse, WarehouseService
+from repro.client import Connection, Cursor, connect
+from repro.engine import Submission, Warehouse, WarehouseService
 from repro.errors import ReproError
 from repro.query import (
     AggregateSpec,
@@ -57,6 +62,8 @@ __all__ = [
     "Column",
     "ColumnRef",
     "Comparison",
+    "Connection",
+    "Cursor",
     "DataType",
     "ExecutorConfig",
     "ForeignKey",
@@ -68,10 +75,12 @@ __all__ = [
     "ReproError",
     "StarQuery",
     "StarSchema",
+    "Submission",
     "Table",
     "TableSchema",
     "TruePredicate",
     "Warehouse",
     "WarehouseService",
     "__version__",
+    "connect",
 ]

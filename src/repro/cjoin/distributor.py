@@ -22,6 +22,13 @@ from repro.cjoin.tuples import FactTuple, QueryEnd, QueryStart
 from repro.errors import PipelineError
 
 
+#: Tuples routed to a query before its first partial-result snapshot;
+#: the interval then doubles after every refresh (exponential backoff,
+#: see Distributor._feed_partial) so snapshot cost stays amortized O(1)
+#: per routed tuple even for operators whose results() rescan state.
+DEFAULT_STREAM_INTERVAL = 256
+
+
 class Distributor:
     """Terminal pipeline component: routing plus query lifecycle."""
 
@@ -31,13 +38,20 @@ class Distributor:
         stats: PipelineStats,
         on_query_finished: Callable[[int], None] | None = None,
         aggregation_mode: str = "hash",
+        stream_interval: int = DEFAULT_STREAM_INTERVAL,
     ) -> None:
         self.star = star
         self.stats = stats
         self.on_query_finished = on_query_finished
         self.aggregation_mode = aggregation_mode
+        #: routed tuples between handle partial-snapshot refreshes for
+        #: handles that asked to stream (DESIGN.md section 10)
+        self.stream_interval = max(stream_interval, 1)
         self._operators: dict[int, OutputOperator] = {}
         self._registrations: dict[int, RegisteredQuery] = {}
+        #: per query: (tuples routed since the last partial snapshot,
+        #: current refresh threshold — doubles after every snapshot)
+        self._since_snapshot: dict[int, tuple[int, int]] = {}
         #: when set (shard workers, DESIGN.md section 8), every
         #: finalized query also exports its operator's un-finalized
         #: partial state here, keyed by query id
@@ -65,7 +79,10 @@ class Distributor:
                     f"fact tuple routed to unregistered query {query_id}"
                 )
             operator.consume(fact_tuple)
-            self._registrations[query_id].tuples_streamed += 1
+            registration = self._registrations[query_id]
+            registration.tuples_streamed += 1
+            if registration.handle._stream_partials:
+                self._feed_partial(query_id, operator, 1)
 
     def _route_batch(self, batch: FactBatch) -> None:
         """Route a batch's surviving rows, grouped by bit-vector.
@@ -100,7 +117,38 @@ class Distributor:
                         f"fact tuple routed to unregistered query {query_id}"
                     )
                 operator.consume_batch(fact_tuples)
-                registrations[query_id].tuples_streamed += len(fact_tuples)
+                registration = registrations[query_id]
+                registration.tuples_streamed += len(fact_tuples)
+                if registration.handle._stream_partials:
+                    self._feed_partial(
+                        query_id, operator, len(fact_tuples)
+                    )
+
+    def _feed_partial(
+        self, query_id: int, operator: OutputOperator, routed: int
+    ) -> None:
+        """Refresh the handle's partial snapshot periodically.
+
+        Only called for handles whose owner asked to stream (the
+        ``_stream_partials`` flag is checked on the routing fast path,
+        so idle handles cost one attribute test and nothing else).
+        The refresh threshold doubles after every snapshot, so even a
+        sort/listing operator whose ``results()`` rescans its whole
+        buffer costs O(n) amortized per routed tuple across the cycle
+        (a constant number of refreshes per doubling of n), never
+        quadratic — streaming one query cannot stall the shared scan.
+        """
+        since, threshold = self._since_snapshot.get(
+            query_id, (0, self.stream_interval)
+        )
+        since += routed
+        if since < threshold:
+            self._since_snapshot[query_id] = (since, threshold)
+            return
+        self._since_snapshot[query_id] = (0, threshold * 2)
+        self._registrations[query_id].handle.update_partial(
+            operator.results()
+        )
 
     def _start_query(self, registration: RegisteredQuery) -> None:
         query_id = registration.query_id
@@ -114,8 +162,18 @@ class Distributor:
     def _end_query(self, query_id: int) -> None:
         operator = self._operators.pop(query_id, None)
         registration = self._registrations.pop(query_id, None)
+        self._since_snapshot.pop(query_id, None)
         if operator is None or registration is None:
             raise PipelineError(f"end-of-query for unknown query {query_id}")
+        if registration.handle.cancelled:
+            # a cancelled query's QueryEnd arrived through the normal
+            # stream; its accumulated state is discarded and the handle
+            # completes empty (results() raises CancelledError)
+            registration.handle.complete([])
+            self.stats.queries_completed += 1
+            if self.on_query_finished is not None:
+                self.on_query_finished(query_id)
+            return
         if self.partial_sink is not None:
             if query_id in self.partial_sink:
                 raise PipelineError(

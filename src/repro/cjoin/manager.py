@@ -144,6 +144,11 @@ class PipelineManager:
             handle = QueryHandle(query)
         handle.admitted_at = time.perf_counter()
         registration = RegisteredQuery(query_id, query, handle)
+        # once registered, the manager owns cancellation (a queued
+        # submission's handle previously pointed at the service queue);
+        # the canceller pins its own registration so a stale handle can
+        # never cancel a later query that recycled the same id
+        handle._canceller = lambda: self.cancel(query_id, registration)
         registration.scanned_at_admission = self.stats.tuples_scanned
         registration.admitted_with_in_flight = len(self._registrations)
         handle.registration = registration
@@ -294,6 +299,55 @@ class PipelineManager:
         return dimension.index_lookup(column, values)
 
     # ------------------------------------------------------------------
+    # Cancellation (DESIGN.md section 10)
+    # ------------------------------------------------------------------
+    def cancel(
+        self,
+        query_id: int,
+        expected: RegisteredQuery | None = None,
+    ) -> bool:
+        """Deregister an in-flight query before its scan wraps.
+
+        Runs the mid-scan deregistration under the same stall protocol
+        admission uses: the Preprocessor drops the query from ``Q`` and
+        emits its QueryEnd early, which flows behind any in-flight
+        tuples still carrying the bit; the Distributor then tears the
+        query down through the ordinary end-of-query path (state
+        discarded, handle completed as cancelled) and Algorithm 2
+        cleanup frees the id — so the in-flight slot is reusable within
+        one scan cycle.  Returns False when the query is unknown here
+        or already finished (its results stand).
+
+        ``expected`` guards against query-id recycling: ids are reused
+        as soon as cleanup releases them, so a canceller that raced a
+        completion must not tear down the *next* query admitted under
+        the same id.  When given, the cancellation only proceeds if the
+        id still maps to that exact registration.
+        """
+        with self._lock:
+            registration = self._registrations.get(query_id)
+            if registration is None:
+                return False
+            if expected is not None and registration is not expected:
+                return False  # the id was recycled; nothing to cancel
+            handle = registration.handle
+            if handle.done:
+                return False
+            preprocessor = self.pipeline.preprocessor
+            preprocessor.stall()
+            try:
+                cancelled = preprocessor.cancel(registration)
+                if cancelled:
+                    # flag before resuming: the driver thread may
+                    # process the QueryEnd immediately afterwards
+                    handle.mark_cancelled()
+            finally:
+                preprocessor.resume()
+            if cancelled:
+                self.stats.queries_cancelled += 1
+            return cancelled
+
+    # ------------------------------------------------------------------
     # Finalization (Algorithm 2)
     # ------------------------------------------------------------------
     def on_query_finished(self, query_id: int) -> None:
@@ -356,10 +410,16 @@ class PipelineManager:
 
         Runs at cleanup, after the Distributor completed the handle, so
         every timestamp is in place.  Queries torn down before
-        completion (rollbacks never reach here; they are not recorded).
+        completion (rollbacks never reach here; they are not recorded),
+        and cancelled queries, are not recorded — a cancellation is not
+        a latency sample.
         """
         handle = registration.handle
-        if handle.completed_at is None or handle.admitted_at is None:
+        if (
+            handle.cancelled
+            or handle.completed_at is None
+            or handle.admitted_at is None
+        ):
             return
         fact_rows = self.catalog.table(
             registration.query.fact_table

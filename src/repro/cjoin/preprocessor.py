@@ -129,6 +129,40 @@ class Preprocessor:
         self._pending_control.append(QueryStart(self._next_sequence(), registration))
         self.stats.control_tuples += 1
 
+    def cancel(self, registration: RegisteredQuery) -> bool:
+        """Deregister an active query early (DESIGN.md section 10).
+
+        Must be called while stalled.  Removes the query from ``Q`` (no
+        further fact tuples carry its bit), forgets its wrap-around
+        start position, and appends its QueryEnd control tuple — which
+        flows through the pipeline *behind* any in-flight tuples still
+        carrying the bit, so the Distributor tears the query down in
+        order, exactly like a natural wrap.  Returns False when the
+        query is not active here (already wrapped, or admitted with an
+        empty fact table); its normal completion is then imminent.
+        """
+        if not self._stalled:
+            raise PipelineError("cancel() requires a stalled preprocessor")
+        query_id = registration.query_id
+        if query_id not in self._active:
+            return False
+        self._deactivate(query_id)
+        position = registration.start_position
+        started_here = self._starts.get(position)
+        if started_here is not None:
+            remaining = [
+                entry for entry in started_here if entry is not registration
+            ]
+            if remaining:
+                self._starts[position] = remaining
+            else:
+                del self._starts[position]
+        self._pending_control.append(
+            QueryEnd(self._next_sequence(), query_id)
+        )
+        self.stats.control_tuples += 1
+        return True
+
     def finish_immediately(self, registration: RegisteredQuery) -> None:
         """Emit start+end back to back (empty fact table admission)."""
         if not self._stalled:

@@ -14,7 +14,7 @@ import threading
 import time
 from typing import TYPE_CHECKING
 
-from repro.errors import AdmissionError
+from repro.errors import AdmissionError, CancelledError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.query.star import StarQuery
@@ -96,15 +96,33 @@ class RegisteredQuery:
 class QueryHandle:
     """The caller's view of a submitted query.
 
-    Exposes completion state, canonical results, and the progress /
+    Exposes completion state, canonical results, cancellation,
+    incremental result streaming, and the progress /
     estimated-completion feedback the paper highlights as a side
     benefit of the continuous scan (section 3.2.3).
+
+    Streaming (DESIGN.md section 10): while the continuous scan is
+    mid-cycle, :meth:`rows_so_far` returns the query's current partial
+    result snapshot (fed by the Distributor); iterating the handle
+    blocks until the scan wraps, then streams the canonical rows.
     """
 
     def __init__(self, query: "StarQuery") -> None:
         self.query = query
         self._done = threading.Event()
         self._results: list[tuple] | None = None
+        #: set once cancel() succeeds; result accessors then raise
+        #: CancelledError instead of returning rows
+        self._cancelled = False
+        #: installed by whichever layer owns the query right now (the
+        #: service for queued submissions, the manager once admitted,
+        #: the warehouse for offline pending routes); cancel() calls it
+        self._canceller = None
+        #: latest partial-result snapshot pushed by the Distributor
+        self._partial_rows: list[tuple] = []
+        #: True once a caller asked for partials — the Distributor
+        #: skips snapshot work for handles nobody is watching
+        self._stream_partials = False
         self.submitted_at = time.perf_counter()
         #: stamped by the Pipeline Manager when the query enters the
         #: pipeline; submitted_at..admitted_at is the admission wait
@@ -151,7 +169,7 @@ class QueryHandle:
 
     def complete(self, results: list[tuple]) -> None:
         """Fulfill the handle (called by the Distributor)."""
-        self._results = results
+        self._results = [] if self._cancelled else results
         now = time.perf_counter()
         if self.first_result_at is None:
             self.first_result_at = now
@@ -174,7 +192,12 @@ class QueryHandle:
             AdmissionError: if the query has not completed yet
                 (``timeout=None``), or did not complete within
                 ``timeout`` seconds.
+            CancelledError: if the query was cancelled.
         """
+        if self._cancelled:
+            raise CancelledError(
+                f"query {self.query.label or ''!r} was cancelled"
+            )
         if timeout is not None:
             if not self.wait(timeout):
                 raise AdmissionError(
@@ -182,7 +205,90 @@ class QueryHandle:
                 )
         elif not self.done:
             raise AdmissionError("query has not completed yet")
+        if self._cancelled:
+            raise CancelledError(
+                f"query {self.query.label or ''!r} was cancelled"
+            )
         return list(self._results)
+
+    # ------------------------------------------------------------------
+    # Cancellation (DESIGN.md section 10)
+    # ------------------------------------------------------------------
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` succeeded for this query."""
+        return self._cancelled
+
+    def mark_cancelled(self) -> None:
+        """Flag the query as cancelled (called by the owning layer)."""
+        self._cancelled = True
+
+    def cancel(self) -> bool:
+        """Cancel the query wherever it currently lives.
+
+        Queued submissions are dropped from their admission queue;
+        registered CJOIN queries are deregistered mid-scan through the
+        manager's stall protocol, freeing their in-flight slot within
+        one scan cycle.  Returns True when the cancellation took
+        effect, False when the query already completed (its results
+        stand) or no owner is attached yet.  Idempotent: cancelling a
+        cancelled query returns True.
+        """
+        if self._cancelled:
+            return True
+        if self.done:
+            return False
+        canceller = self._canceller
+        if canceller is None:
+            return False
+        return bool(canceller())
+
+    # ------------------------------------------------------------------
+    # Result streaming (DESIGN.md section 10)
+    # ------------------------------------------------------------------
+    def update_partial(self, rows: list[tuple]) -> None:
+        """Install a fresh partial-result snapshot (Distributor-fed)."""
+        self._partial_rows = rows
+
+    def rows_so_far(self) -> list[tuple]:
+        """The query's current partial results, without blocking.
+
+        Before completion this is the latest per-scan-cycle snapshot
+        the Distributor pushed (empty until the first push); after
+        completion it equals :meth:`results`.  The first call turns
+        snapshot feeding on, so an untouched handle costs the
+        Distributor nothing.
+        """
+        if self.done:
+            return [] if self._cancelled else list(self._results)
+        self._stream_partials = True
+        return list(self._partial_rows)
+
+    def __iter__(self):
+        """Stream the canonical rows, blocking until the scan wraps."""
+        return self.iter_rows()
+
+    def iter_rows(self, timeout: float | None = None):
+        """Yield canonical result rows as the query finalizes.
+
+        CJOIN finalizes a query's rows when the continuous scan wraps
+        to its start position, so iteration blocks (up to ``timeout``
+        seconds, forever when None) until the wrap, then streams the
+        rows out; use :meth:`rows_so_far` for mid-cycle partials.
+
+        Raises:
+            AdmissionError: if the query does not complete in time.
+            CancelledError: if the query was cancelled.
+        """
+        if not self.wait(timeout):
+            raise AdmissionError(
+                f"query did not complete within {timeout} seconds"
+            )
+        if self._cancelled:
+            raise CancelledError(
+                f"query {self.query.label or ''!r} was cancelled"
+            )
+        yield from self._results
 
     @property
     def response_time(self) -> float:

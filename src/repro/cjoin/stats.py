@@ -61,6 +61,13 @@ class QueryLatencyRecord:
     admitted_with_in_flight: int
     #: continuous-scan position the query started at
     scan_position_at_admission: int
+    #: which submission route completed the query: 'service' (the
+    #: always-on CJOIN operator), 'process' (sharded drain), or
+    #: 'baseline' (query-at-a-time engine) — matching Submission.route,
+    #: so the submission log and latency records join on one vocabulary
+    #: and latency_summary() covers the whole warehouse (DESIGN.md
+    #: section 10)
+    route: str = "service"
 
 
 @dataclass
@@ -106,6 +113,8 @@ class PipelineStats:
     probe_skips_total: int = 0
     queries_admitted: int = 0
     queries_completed: int = 0
+    #: queries deregistered early by cancel() (DESIGN.md section 10)
+    queries_cancelled: int = 0
     reoptimizations: int = 0
     filter_orders: list[tuple[str, ...]] = field(default_factory=list)
     #: one QueryLatencyRecord per finalized query, in completion order

@@ -1,0 +1,239 @@
+"""Client connections: ``repro.connect(...)`` (DESIGN.md section 10).
+
+A :class:`Connection` wraps one :class:`~repro.engine.warehouse.Warehouse`
+and owns its serving lifecycle: on open it starts the always-on
+service driver (so cursor queries are admitted mid-scan and complete
+in the background), and on close it stops the driver, closes its
+cursors, and — when the connection built the warehouse itself —
+closes the warehouse too.
+
+Usage::
+
+    import repro
+
+    with repro.connect(scale_factor=0.001) as connection:
+        cursor = connection.execute(
+            "SELECT d_year, SUM(lo_revenue) AS revenue "
+            "FROM lineorder, date "
+            "WHERE lo_orderdate = d_datekey AND d_year >= ? "
+            "GROUP BY d_year",
+            (1994,),
+        )
+        for year, revenue in cursor:
+            print(year, revenue)
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from repro.client.cursor import Cursor
+from repro.client.exceptions import (
+    InterfaceError,
+    NotSupportedError,
+    translated,
+)
+from repro.engine.submission import ROUTE_BASELINE, ROUTE_PROCESS
+from repro.engine.warehouse import Warehouse
+
+#: Default bound on how long a fetch blocks waiting for completion.
+DEFAULT_FETCH_TIMEOUT = 60.0
+
+
+class Connection:
+    """One client session over a warehouse (PEP 249 shaped).
+
+    Args:
+        warehouse: the warehouse to serve from.
+        owns_warehouse: close the warehouse when the connection closes
+            (True when :func:`connect` built it from kwargs).
+        start_service: start the always-on background driver so
+            submissions are admitted mid-scan; pass False for
+            single-threaded embedding — fetches then drain the
+            pipeline on the calling thread instead.
+        fetch_timeout: seconds a fetch may block waiting for a query's
+            scan cycle to wrap before raising ``OperationalError``.
+    """
+
+    def __init__(
+        self,
+        warehouse: Warehouse,
+        owns_warehouse: bool = False,
+        start_service: bool = True,
+        fetch_timeout: float = DEFAULT_FETCH_TIMEOUT,
+    ) -> None:
+        self.warehouse = warehouse
+        self.fetch_timeout = fetch_timeout
+        self._owns_warehouse = owns_warehouse
+        self._closed = False
+        #: open cursors, held weakly: a per-statement cursor the caller
+        #: dropped is reclaimed by the GC instead of accumulating for
+        #: the session's lifetime
+        self._cursors: weakref.WeakSet[Cursor] = weakref.WeakSet()
+        self._started_service = False
+        # the process backend admits at drain boundaries only, so a
+        # background driver would just idle; everything else serves live
+        if (
+            start_service
+            and warehouse.executor_config.backend == "serial"
+            and not warehouse.service.running
+        ):
+            with translated():
+                warehouse.start_service()
+            self._started_service = True
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran."""
+        return self._closed
+
+    def close(self) -> None:
+        """Close the connection (idempotent).
+
+        Closes every cursor, stops the service driver this connection
+        started, and closes the warehouse when this connection owns it.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for cursor in list(self._cursors):  # close() deregisters
+            cursor.close()
+        with translated():
+            if self._owns_warehouse:
+                self.warehouse.close()
+            elif self._started_service:
+                self.warehouse.stop_service()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+
+    def _forget(self, cursor: Cursor) -> None:
+        """Drop a closed cursor from the open-cursor registry."""
+        self._cursors.discard(cursor)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def cursor(self) -> Cursor:
+        """A new cursor over this connection."""
+        self._check_open()
+        cursor = Cursor(self)
+        self._cursors.add(cursor)
+        return cursor
+
+    def execute(self, sql: str, params=None) -> Cursor:
+        """Convenience: new cursor, execute, return it (sqlite3 style)."""
+        return self.cursor().execute(sql, params)
+
+    def executemany(self, sql: str, seq_of_params) -> Cursor:
+        """Convenience: new cursor, executemany, return it."""
+        return self.cursor().executemany(sql, seq_of_params)
+
+    # ------------------------------------------------------------------
+    # Transactions (PEP 249 surface)
+    # ------------------------------------------------------------------
+    def commit(self) -> None:
+        """No-op: reads are snapshot-isolated and auto-committed.
+
+        Fact-table writes go through
+        :meth:`~repro.engine.warehouse.Warehouse.apply_update`, which
+        commits its write set atomically (paper section 3.5).
+        """
+        self._check_open()
+
+    def rollback(self) -> None:
+        """Unsupported: there is no open transaction to roll back.
+
+        Raises:
+            NotSupportedError: always.
+        """
+        self._check_open()
+        raise NotSupportedError(
+            "the warehouse auto-commits; there is no transaction to "
+            "roll back"
+        )
+
+    # ------------------------------------------------------------------
+    # Completion driving (cursor support)
+    # ------------------------------------------------------------------
+    def _complete(self, handle) -> None:
+        """Make sure ``handle`` can finish before a blocking fetch.
+
+        With the background driver running and nothing parked on the
+        offline routes there is nothing to do — the fetch just blocks
+        on the handle.  Otherwise (no driver, or process/baseline
+        submissions waiting for their drain boundary) drive
+        ``Warehouse.run()`` on the calling thread.
+        """
+        if handle.done:
+            return
+        warehouse = self.warehouse
+        offline_pending = warehouse.pending_submissions(
+            ROUTE_PROCESS
+        ) or warehouse.pending_submissions(ROUTE_BASELINE)
+        if offline_pending or not warehouse.service.running:
+            warehouse.run()
+
+
+def connect(
+    warehouse: Warehouse | None = None,
+    *,
+    start_service: bool = True,
+    fetch_timeout: float = DEFAULT_FETCH_TIMEOUT,
+    catalog=None,
+    star=None,
+    **warehouse_kwargs,
+) -> Connection:
+    """Open a client session; the library's front door.
+
+    Three ways in:
+
+    * ``connect(warehouse)`` — serve an existing warehouse; the
+      connection starts/stops the service driver but leaves the
+      warehouse open when it closes.
+    * ``connect(catalog=..., star=..., **kwargs)`` — build a
+      :class:`~repro.engine.warehouse.Warehouse` over your own data.
+    * ``connect(scale_factor=..., **kwargs)`` — build an SSB-loaded
+      warehouse (``Warehouse.from_ssb`` keywords).
+
+    Raises:
+        InterfaceError: when both a warehouse and build kwargs are
+            given, or a catalog is given without its star schema.
+    """
+    if warehouse is not None:
+        if warehouse_kwargs or catalog is not None or star is not None:
+            raise InterfaceError(
+                "pass either an existing warehouse or kwargs to build "
+                "one, not both"
+            )
+        return Connection(
+            warehouse,
+            owns_warehouse=False,
+            start_service=start_service,
+            fetch_timeout=fetch_timeout,
+        )
+    with translated():
+        if catalog is not None:
+            if star is None:
+                raise InterfaceError(
+                    "connect(catalog=...) also requires star=..."
+                )
+            built = Warehouse(catalog, star, **warehouse_kwargs)
+        else:
+            built = Warehouse.from_ssb(**warehouse_kwargs)
+    return Connection(
+        built,
+        owns_warehouse=True,
+        start_service=start_service,
+        fetch_timeout=fetch_timeout,
+    )

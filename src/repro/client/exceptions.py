@@ -1,0 +1,88 @@
+"""PEP-249-flavoured exceptions for the client layer.
+
+The client surface speaks the vocabulary database drivers have used
+for decades — :class:`ProgrammingError` for a bad statement,
+:class:`OperationalError` for a rejected or cancelled query — while
+every class also derives from :class:`~repro.errors.ReproError`, so
+existing ``except ReproError`` boundaries keep catching everything.
+
+:func:`translated` is the single choke point that maps the library's
+internal hierarchy onto this one; the original exception always rides
+along as ``__cause__``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.errors import (
+    AdmissionError,
+    CancelledError,
+    ConfigError,
+    PipelineError,
+    QueryError,
+    ReproError,
+    SchemaError,
+)
+
+__all__ = [
+    "Error",
+    "InterfaceError",
+    "DatabaseError",
+    "ProgrammingError",
+    "OperationalError",
+    "NotSupportedError",
+    "translated",
+]
+
+
+class Error(ReproError):
+    """Base class of every client-layer exception (PEP 249 ``Error``)."""
+
+
+class InterfaceError(Error):
+    """Misuse of the client API itself: a closed connection or cursor,
+    fetching before a query was executed, ..."""
+
+
+class DatabaseError(Error):
+    """An error reported by the warehouse while handling a statement."""
+
+
+class ProgrammingError(DatabaseError):
+    """The statement or its parameters are wrong: SQL that does not
+    parse, names that do not bind, placeholder/parameter mismatches,
+    non-star query shapes."""
+
+
+class OperationalError(DatabaseError):
+    """The statement was fine but the operation did not complete:
+    admission rejected (back-pressure), a timeout expired, the query
+    was cancelled, or the pipeline is in the wrong state."""
+
+
+class NotSupportedError(DatabaseError):
+    """The requested feature is outside this warehouse's dialect."""
+
+
+@contextmanager
+def translated():
+    """Re-raise internal repro errors as their client-layer class.
+
+    Client exceptions pass through untouched.  ``CancelledError`` must
+    map before its ``QueryError`` base: a cancellation is operational,
+    not a programming mistake.
+    """
+    try:
+        yield
+    except Error:
+        raise
+    except CancelledError as error:
+        raise OperationalError(str(error)) from error
+    except (QueryError, SchemaError) as error:
+        # QueryError covers ParseError; both are statement mistakes
+        raise ProgrammingError(str(error)) from error
+    except (AdmissionError, ConfigError, PipelineError) as error:
+        raise OperationalError(str(error)) from error
+    except ReproError as error:
+        raise DatabaseError(str(error)) from error

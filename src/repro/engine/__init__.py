@@ -11,6 +11,14 @@ telemetry — is :class:`~repro.engine.service.WarehouseService`
 
 from repro.engine.router import QueryRouter, RoutingDecision
 from repro.engine.service import WarehouseService
+from repro.engine.submission import Submission, SubmissionQueue
 from repro.engine.warehouse import Warehouse
 
-__all__ = ["QueryRouter", "RoutingDecision", "Warehouse", "WarehouseService"]
+__all__ = [
+    "QueryRouter",
+    "RoutingDecision",
+    "Submission",
+    "SubmissionQueue",
+    "Warehouse",
+    "WarehouseService",
+]

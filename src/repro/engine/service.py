@@ -158,6 +158,9 @@ class WarehouseService:
         query.validate(self.operator.star)
         if handle is None:
             handle = QueryHandle(query)
+        # the service owns cancellation while the query waits in the
+        # FIFO; admission hands ownership to the Pipeline Manager
+        handle._canceller = lambda: self._cancel(handle)
         with self._cond:
             # reserve a slot only; the admission itself runs outside
             # the service lock so the driver's scan (and completion
@@ -205,6 +208,36 @@ class WarehouseService:
         with self._cond:
             self._in_flight -= 1
             self._cond.notify_all()
+
+    def _cancel(self, handle: QueryHandle) -> bool:
+        """Cancel a submission that may still be waiting in the FIFO.
+
+        A queued submission is dropped in place (it never held a slot);
+        one that made it into the pipeline is delegated to the
+        manager's mid-scan deregistration.  Returns False on the narrow
+        race where the driver popped the query but has not registered
+        it yet — the caller may simply retry ``handle.cancel()``.
+        """
+        with self._cond:
+            dequeued = False
+            for position, entry in enumerate(self._queue):
+                if entry[1] is handle:
+                    del self._queue[position]
+                    handle.mark_cancelled()
+                    dequeued = True
+                    self._cond.notify_all()
+                    break
+        if dequeued:
+            handle.complete([])  # outside the lock: runs callbacks
+            return True
+        registration = handle.registration
+        if registration is None:
+            return False
+        # pass the registration so a recycled query id can never tear
+        # down a later query (manager.cancel verifies identity)
+        return self.operator.manager.cancel(
+            registration.query_id, registration
+        )
 
     def _pump_admissions(self) -> int:
         """Admit queued submissions while slots are free (FIFO).

@@ -1,0 +1,160 @@
+"""The unified submission lifecycle (DESIGN.md section 10).
+
+Every query entering the warehouse — whether it rides the always-on
+CJOIN service, waits for the next process-parallel shard drain, or
+falls back to the query-at-a-time baseline engine — is wrapped in one
+:class:`Submission` with the same lifecycle: *submitted* (handle
+created, timestamps running) → *admitted* (work started; queued
+submissions can be cancelled for free until here) → *completed* or
+*cancelled*.  Before this layer the three routes were three private
+code paths with divergent telemetry; now the warehouse keeps one
+submission log and every route reports the same
+:class:`~repro.cjoin.stats.QueryLatencyRecord` fields.
+
+:class:`SubmissionQueue` is the FIFO for the two offline routes
+(process, baseline), which admit work at drain boundaries only.  It is
+a first-class citizen of the cancellation protocol: a queued
+submission's handle carries a canceller that drops the entry in place,
+mirroring what the service's admission FIFO does for mid-scan routes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.cjoin.registry import QueryHandle
+from repro.query.star import StarQuery
+
+#: The three submission routes a warehouse query can take.
+ROUTE_SERVICE = "service"
+ROUTE_PROCESS = "process"
+ROUTE_BASELINE = "baseline"
+
+
+@dataclass
+class Submission:
+    """One query's trip through the warehouse, on any route.
+
+    Attributes:
+        query: the validated star query.
+        handle: the caller's handle; its timestamps (``submitted_at``,
+            ``admitted_at``, ``completed_at``) are the single source of
+            truth for this submission's latency telemetry.
+        route: ``'service'``, ``'process'``, or ``'baseline'``.
+        label: the query's label (telemetry convenience).
+    """
+
+    query: StarQuery
+    handle: QueryHandle
+    route: str
+    label: str | None = field(default=None)
+    #: concurrent submissions in the same drain batch (offline routes)
+    admitted_with_in_flight: int = 0
+
+    def __post_init__(self) -> None:
+        if self.label is None:
+            self.label = self.query.label
+
+    @property
+    def done(self) -> bool:
+        """True once the handle completed (including cancellations)."""
+        return self.handle.done
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the submission was cancelled."""
+        return self.handle.cancelled
+
+    @property
+    def admitted(self) -> bool:
+        """True once work started (the handle was stamped)."""
+        return self.handle.admitted_at is not None
+
+    def mark_admitted(self, in_flight: int = 0) -> None:
+        """Stamp admission time for an offline drain (telemetry)."""
+        self.handle.admitted_at = time.perf_counter()
+        self.admitted_with_in_flight = in_flight
+
+    def __repr__(self) -> str:
+        state = (
+            "cancelled"
+            if self.cancelled
+            else "done"
+            if self.done
+            else "admitted"
+            if self.admitted
+            else "queued"
+        )
+        return (
+            f"Submission(route={self.route!r}, label={self.label!r}, "
+            f"{state})"
+        )
+
+
+class SubmissionQueue:
+    """FIFO of offline submissions awaiting the next drain boundary.
+
+    Thread-safe; used by the warehouse for the process and baseline
+    routes.  Cancellation drops a queued entry in place and completes
+    its handle as cancelled — identical semantics to the service's
+    admission FIFO, just at drain granularity.
+    """
+
+    def __init__(self, route: str) -> None:
+        self.route = route
+        self._lock = threading.Lock()
+        self._entries: list[Submission] = []
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def add(self, submission: Submission) -> None:
+        """Enqueue and take cancellation ownership of the handle."""
+        submission.handle._canceller = lambda: self.cancel(submission)
+        with self._lock:
+            self._entries.append(submission)
+
+    def cancel(self, submission: Submission) -> bool:
+        """Drop a queued submission; no-op once a drain claimed it."""
+        with self._lock:
+            try:
+                self._entries.remove(submission)
+            except ValueError:
+                return False
+            submission.handle.mark_cancelled()
+        submission.handle.complete([])  # outside the lock: callbacks
+        return True
+
+    def cancel_all(self) -> int:
+        """Cancel every queued submission (warehouse shutdown).
+
+        Blocked waiters on the dropped handles wake with
+        ``CancelledError`` instead of hanging forever.  Returns the
+        number cancelled.
+        """
+        with self._lock:
+            batch, self._entries = self._entries, []
+        for submission in batch:
+            submission.handle.mark_cancelled()
+            submission.handle.complete([])
+        return len(batch)
+
+    def take(self) -> list[Submission]:
+        """Claim every pending submission for a drain (FIFO order)."""
+        with self._lock:
+            batch, self._entries = self._entries, []
+        return batch
+
+    def restore(self, batch: list[Submission]) -> None:
+        """Return a claimed batch after a failed drain (retryable).
+
+        The handles' cancellers still point at this queue (``take()``
+        never detaches them; a cancel during the failed drain was just
+        a no-op), so re-queueing the entries makes them cancellable
+        again with no further wiring.
+        """
+        with self._lock:
+            self._entries = [*batch, *self._entries]

@@ -19,6 +19,7 @@ Typical use::
 from __future__ import annotations
 
 import dataclasses
+from collections import deque
 
 from repro.baseline.engine import EngineProfile, QueryAtATimeEngine
 from repro.catalog.catalog import Catalog
@@ -31,10 +32,18 @@ from repro.cjoin.executor import (
 )
 from repro.cjoin.operator import CJoinOperator
 from repro.cjoin.registry import QueryHandle
+from repro.cjoin.stats import QueryLatencyRecord
 from repro.engine.router import QueryRouter, RoutingDecision
 from repro.engine.service import (
     DEFAULT_ADMISSION_QUEUE_DEPTH,
     WarehouseService,
+)
+from repro.engine.submission import (
+    ROUTE_BASELINE,
+    ROUTE_PROCESS,
+    ROUTE_SERVICE,
+    Submission,
+    SubmissionQueue,
 )
 from repro.errors import ConfigError, QueryError
 from repro.query.star import StarQuery
@@ -44,6 +53,10 @@ from repro.storage.mvcc import TransactionManager, VersionedTable
 
 #: Default buffer pool size for a warehouse instance.
 DEFAULT_POOL_PAGES = 2048
+
+#: Submissions retained for introspection; older entries fall off so a
+#: long-running service does not leak handles (and their result rows).
+SUBMISSION_LOG_LIMIT = 4096
 
 
 class Warehouse:
@@ -135,10 +148,19 @@ class Warehouse:
             idle_sleep=idle_sleep,
             admission_queue_depth=admission_queue_depth,
         )
-        self._pending_baseline: list[tuple[StarQuery, QueryHandle]] = []
-        #: CJOIN-routed queries awaiting the next process-parallel
-        #: drain (backend='process' admits at drain boundaries only)
-        self._pending_parallel: list[tuple[StarQuery, QueryHandle]] = []
+        #: offline-route FIFOs: submissions waiting for the next drain
+        #: boundary, with the same cancellation semantics as the
+        #: service's admission queue (DESIGN.md section 10)
+        self._offline_queues = {
+            ROUTE_PROCESS: SubmissionQueue(ROUTE_PROCESS),
+            ROUTE_BASELINE: SubmissionQueue(ROUTE_BASELINE),
+        }
+        #: recent submissions in arrival order, bounded so an always-on
+        #: service does not pin every query's results forever
+        self._submission_log: deque[Submission] = deque(
+            maxlen=SUBMISSION_LOG_LIMIT
+        )
+        self._closed = False
 
     @classmethod
     def from_ssb(
@@ -163,36 +185,75 @@ class Warehouse:
     ) -> QueryHandle:
         """Submit a star query; returns a handle for its results.
 
-        CJOIN-routed queries go to the always-on service: admitted
-        mid-scan immediately when an in-flight slot is free, queued
-        FIFO otherwise — callers see one uniform handle API whether
-        the service driver is running in the background or the queries
-        drain later inside :meth:`run`.
+        Every route flows through one :class:`Submission` lifecycle
+        (DESIGN.md section 10).  CJOIN-routed queries go to the
+        always-on service: admitted mid-scan immediately when an
+        in-flight slot is free, queued FIFO otherwise.  Process- and
+        baseline-routed queries join their offline FIFO and admit at
+        the next :meth:`run` drain boundary.  Either way the caller
+        holds one uniform handle — blocking results, streaming,
+        ``cancel()``, and latency telemetry behave the same.
+
+        Raises:
+            QueryError: when the warehouse has been closed.
         """
+        self._require_open()
         query = self._stamp_snapshot(query)
         decision = self.router.route(query, force)
         if decision is RoutingDecision.CJOIN:
             if self.executor_config.backend == "process":
-                query.validate(self.star)
-                handle = QueryHandle(query)
-                self._pending_parallel.append((query, handle))
-                return handle
-            return self.service.submit(query)
-        handle = QueryHandle(query)
-        self._pending_baseline.append((query, handle))
-        return handle
+                submission = self._enqueue_offline(ROUTE_PROCESS, query)
+            else:
+                handle = self.service.submit(query)
+                submission = Submission(query, handle, ROUTE_SERVICE)
+                self._submission_log.append(submission)
+        else:
+            submission = self._enqueue_offline(ROUTE_BASELINE, query)
+        return submission.handle
+
+    def _enqueue_offline(self, route: str, query: StarQuery) -> Submission:
+        """Queue a submission for the next drain of an offline route."""
+        query.validate(self.star)
+        submission = Submission(query, QueryHandle(query), route)
+        self._offline_queues[route].add(submission)
+        self._submission_log.append(submission)
+        return submission
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise QueryError(
+                "warehouse is closed; create a new Warehouse (or use "
+                "'with Warehouse(...) as warehouse:' scoping)"
+            )
 
     def submit_sql(
-        self, sql: str, force: RoutingDecision | None = None
+        self,
+        sql: str,
+        force: RoutingDecision | None = None,
+        params=None,
     ) -> QueryHandle:
-        """Parse and submit a star query written in SQL."""
+        """Parse and submit a star query written in SQL.
+
+        ``params`` binds ``?`` / ``:name`` placeholders (a sequence or
+        mapping respectively); parsing and binding both complete before
+        the pipeline is touched, so a malformed statement or mismatched
+        parameters leave no state behind.
+        """
         from repro.sql.parser import parse_star_query
 
-        return self.submit(parse_star_query(sql, self.star), force)
+        query = parse_star_query(sql, self.star, params)
+        return self.submit(query, force)
 
-    def execute_sql(self, sql: str) -> list[tuple]:
-        """Convenience: parse, submit, run, return rows."""
-        handle = self.submit_sql(sql)
+    def execute_sql(self, sql: str, params=None) -> list[tuple]:
+        """Convenience: parse, submit, run, return rows.
+
+        Parse/bind errors raise before anything is submitted — a bad
+        statement never strands a queued query in the pipeline.
+        """
+        from repro.sql.parser import parse_star_query
+
+        query = parse_star_query(sql, self.star, params)
+        handle = self.submit(query)
         self.run()
         return handle.results()
 
@@ -261,35 +322,141 @@ class Warehouse:
 
         Compatibility wrapper over the service: without a running
         driver this drives the pipeline on the calling thread exactly
-        as before; with one, it blocks until the service drains.
-        """
-        if self._pending_parallel:
-            from repro.cjoin.parallel import execute_process_parallel
+        as before; with one, it blocks until the service drains.  The
+        offline routes (process shards, baseline engine) drain here at
+        their batch boundaries, with the same admission/latency
+        telemetry the service records (DESIGN.md section 10).
 
-            pending = self._pending_parallel
-            results = execute_process_parallel(
-                self.catalog,
-                self.star,
-                [query for query, _ in pending],
-                workers=self.executor_config.workers,
-                batch_size=self.executor_config.batch_size,
-                max_concurrent=self.max_concurrent,
-            )
-            # clear only after the drain succeeds so a failed/interrupted
-            # run() can simply be retried with the queries still queued
-            self._pending_parallel = []
-            for (_, handle), rows in zip(pending, results):
-                handle.complete(rows)
+        Raises:
+            QueryError: when the warehouse has been closed (close()
+                guarantees queued offline submissions never complete).
+        """
+        self._require_open()
+        self._drain_offline(
+            ROUTE_PROCESS,
+            lambda queries: self._execute_process(queries),
+        )
         self.service.drain()
-        if self._pending_baseline:
-            queries = [query for query, _ in self._pending_baseline]
-            handles = [handle for _, handle in self._pending_baseline]
-            self._pending_baseline = []
-            results = self.baseline.execute_concurrent(
+        self._drain_offline(
+            ROUTE_BASELINE,
+            lambda queries: self.baseline.execute_concurrent(
                 queries, max_in_flight_baseline
+            ),
+        )
+
+    def _execute_process(self, queries: list[StarQuery]) -> list[list[tuple]]:
+        from repro.cjoin.parallel import execute_process_parallel
+
+        return execute_process_parallel(
+            self.catalog,
+            self.star,
+            queries,
+            workers=self.executor_config.workers,
+            batch_size=self.executor_config.batch_size,
+            max_concurrent=self.max_concurrent,
+        )
+
+    def _drain_offline(self, route: str, executor) -> None:
+        """Drain one offline FIFO through ``executor`` with telemetry.
+
+        The batch is claimed up front (cancelled entries are already
+        gone); on failure it is restored intact, so an interrupted
+        :meth:`run` can simply be retried with the queries still
+        queued.  Each completed submission is stamped and reported as a
+        :class:`~repro.cjoin.stats.QueryLatencyRecord` on the shared
+        pipeline stats, so :meth:`latency_summary` covers every route.
+        """
+        queue = self._offline_queues[route]
+        batch = queue.take()
+        if not batch:
+            return
+        try:
+            for submission in batch:
+                submission.mark_admitted(in_flight=len(batch) - 1)
+            results = executor([submission.query for submission in batch])
+        except BaseException:
+            queue.restore(batch)
+            raise
+        for submission, rows in zip(batch, results):
+            submission.handle.complete(rows)
+            self._record_offline_latency(submission)
+
+    def _record_offline_latency(self, submission: Submission) -> None:
+        """Report an offline completion like a service completion.
+
+        ``query_id`` is 0 (never pipeline-registered) and
+        ``scan_cycles`` is 1.0 for the process route (one sharded pass
+        over the fact table) or 0.0 for the baseline engine (private
+        plans, not the continuous scan).
+        """
+        handle = submission.handle
+        if handle.cancelled or handle.admitted_at is None:
+            return
+        self.cjoin.stats.record_latency(
+            QueryLatencyRecord(
+                query_id=0,
+                label=submission.label,
+                wait_seconds=handle.admitted_at - handle.submitted_at,
+                scan_cycles=1.0 if submission.route == ROUTE_PROCESS else 0.0,
+                latency_seconds=handle.completed_at - handle.submitted_at,
+                admitted_with_in_flight=submission.admitted_with_in_flight,
+                scan_position_at_admission=0,
+                route=submission.route,
             )
-            for handle, rows in zip(handles, results):
-                handle.complete(rows)
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle and telemetry introspection
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the warehouse down (idempotent).
+
+        Stops the service driver, joins its threads, rejects further
+        submissions, and cancels queued offline submissions — so a
+        thread blocked iterating one of their handles wakes with
+        :class:`~repro.errors.CancelledError` instead of hanging.
+        In-flight CJOIN state is preserved exactly as
+        :meth:`stop_service` leaves it.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.service.stop()
+        for queue in self._offline_queues.values():
+            queue.cancel_all()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran."""
+        return self._closed
+
+    def __enter__(self) -> "Warehouse":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    @property
+    def submissions(self) -> list[Submission]:
+        """Recent accepted submissions, in arrival order (all routes).
+
+        Bounded to the last ``SUBMISSION_LOG_LIMIT`` entries so the
+        always-on service never pins unbounded history.
+        """
+        return list(self._submission_log)
+
+    def pending_submissions(self, route: str) -> int:
+        """Queued-but-undrained submissions on an offline route."""
+        return len(self._offline_queues[route])
+
+    def latency_summary(self) -> dict[str, float]:
+        """p50/p95/p99 latency over completions on *all* routes."""
+        return self.cjoin.stats.latency_summary()
+
+    @property
+    def latency_records(self):
+        """Per-query latency records (service, process, and baseline)."""
+        return list(self.cjoin.stats.latency_records)
 
     # ------------------------------------------------------------------
     # Updates (snapshot isolation, section 3.5)

@@ -51,6 +51,14 @@ class ParseError(QueryError):
         self.position = position
 
 
+class CancelledError(QueryError):
+    """The query was cancelled before it produced results.
+
+    Raised by result accessors (``QueryHandle.results()``, cursor
+    fetches, handle iteration) of a query whose ``cancel()`` succeeded.
+    """
+
+
 class AdmissionError(ReproError):
     """A query could not be registered with the CJOIN pipeline
 

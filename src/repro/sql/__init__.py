@@ -11,9 +11,26 @@ Supports exactly the query shape CJOIN hosts::
 Per-table predicates may use comparisons, BETWEEN, IN lists, and
 arbitrary AND/OR/NOT nesting, as long as each sub-expression touches a
 single table (the paper's single-tuple-variable requirement).
+
+Literal positions also accept ``?`` (qmark) and ``:name`` (named)
+parameter placeholders; see :func:`~repro.sql.parser.bind_parameters`
+and DESIGN.md section 10.
 """
 
-from repro.sql.parser import parse_star_query
 from repro.sql.lexer import tokenize
+from repro.sql.parser import (
+    bind_parameters,
+    bind_star_query,
+    parse_select,
+    parse_star_query,
+    statement_parameters,
+)
 
-__all__ = ["parse_star_query", "tokenize"]
+__all__ = [
+    "bind_parameters",
+    "bind_star_query",
+    "parse_select",
+    "parse_star_query",
+    "statement_parameters",
+    "tokenize",
+]

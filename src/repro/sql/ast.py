@@ -46,6 +46,26 @@ class SelectColumn:
     alias: str | None = None
 
 
+@dataclass(frozen=True)
+class Parameter:
+    """An unbound placeholder in a literal position.
+
+    Exactly one of :attr:`index` (qmark style, ``?``, zero-based in
+    source order) or :attr:`name` (named style, ``:name``) is set.
+    Binding (:func:`repro.sql.parser.bind_parameters`) replaces every
+    Parameter with the caller-supplied value before the statement
+    reaches the binder, so predicates never see placeholders.
+    """
+
+    index: int | None = None
+    name: str | None = None
+
+    def __str__(self) -> str:
+        if self.name is not None:
+            return f":{self.name}"
+        return "?"
+
+
 # ----------------------------------------------------------------------
 # WHERE-clause expressions
 # ----------------------------------------------------------------------

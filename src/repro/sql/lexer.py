@@ -31,9 +31,11 @@ class Token:
 
     Attributes:
         kind: 'keyword', 'ident', 'number', 'string', 'op', 'punct',
-            or 'eof'.
+            'param', or 'eof'.
         value: normalized token text (keywords uppercased); numbers
-            carry their parsed value in :attr:`literal`.
+            carry their parsed value in :attr:`literal`; 'param'
+            tokens are ``'?'`` (positional) or ``':name'`` (named,
+            with the bare name in :attr:`literal`).
         position: character offset in the source.
     """
 
@@ -74,6 +76,24 @@ def tokenize(sql: str) -> list[Token]:
             token = _read_word(sql, index)
             tokens.append(token)
             index += len(token.value)
+            continue
+        if char == "?":
+            tokens.append(Token("param", "?", index))
+            index += 1
+            continue
+        if char == ":":
+            if index + 1 >= length or not (
+                sql[index + 1].isalpha() or sql[index + 1] == "_"
+            ):
+                raise ParseError(
+                    "':' must introduce a named parameter like :name", index
+                )
+            end = index + 1
+            while end < length and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            name = sql[index + 1:end]
+            tokens.append(Token("param", f":{name}", index, literal=name))
+            index = end
             continue
         matched_op = next(
             (op for op in OPERATORS if sql.startswith(op, index)), None

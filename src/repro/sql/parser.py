@@ -5,12 +5,21 @@ binding resolves names against a :class:`~repro.catalog.schema.StarSchema`,
 checks that the WHERE clause decomposes into the paper's template
 (fact-to-dimension equi-joins + single-table predicates), and emits a
 :class:`~repro.query.star.StarQuery`.
+
+Parameterized SQL (DESIGN.md section 10): literal positions accept
+``?`` (qmark) or ``:name`` (named) placeholders, never both in one
+statement.  :func:`bind_parameters` substitutes caller-supplied values
+into the parse tree *before* name binding, so placeholder values are
+data by construction — a string parameter containing quotes or SQL
+fragments can never re-enter the token stream.
 """
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.catalog.schema import StarSchema
-from repro.errors import ParseError
+from repro.errors import ParseError, QueryError
 from repro.query.aggregates import AggregateSpec
 from repro.query.predicate import (
     And,
@@ -34,6 +43,10 @@ class _Parser:
     def __init__(self, tokens: list[Token]) -> None:
         self.tokens = tokens
         self.index = 0
+        #: count of qmark placeholders seen (assigns their indexes)
+        self._positional_params = 0
+        #: 'qmark' or 'named' once the first placeholder is seen
+        self._param_style: str | None = None
 
     # ------------------------------------------------------------------
     # Cursor helpers
@@ -235,6 +248,8 @@ class _Parser:
 
     def _literal(self):
         token = self.current
+        if token.kind == "param":
+            return self._parameter()
         if token.kind == "op" and token.value == "-":
             self.advance()
             number = self.expect("number")
@@ -245,6 +260,23 @@ class _Parser:
         raise ParseError(
             f"expected a literal, found {token.value!r}", token.position
         )
+
+    def _parameter(self) -> ast.Parameter:
+        token = self.advance()
+        style = "qmark" if token.value == "?" else "named"
+        if self._param_style is None:
+            self._param_style = style
+        elif self._param_style != style:
+            raise ParseError(
+                "cannot mix qmark (?) and named (:name) parameters in "
+                "one statement",
+                token.position,
+            )
+        if style == "qmark":
+            index = self._positional_params
+            self._positional_params += 1
+            return ast.Parameter(index=index)
+        return ast.Parameter(name=token.literal)
 
 
 # ----------------------------------------------------------------------
@@ -457,11 +489,212 @@ class _Binder:
         raise ParseError(f"unsupported WHERE construct {node!r}")
 
 
-def parse_star_query(sql: str, star: StarSchema) -> StarQuery:
-    """Parse ``sql`` and bind it against ``star``.
+# ----------------------------------------------------------------------
+# Parameter binding: Parameter placeholders -> literal values
+# ----------------------------------------------------------------------
+def _literal_slots(node: ast.WhereNode | None):
+    """Yield every literal-position value in a WHERE subtree."""
+    if node is None:
+        return
+    if isinstance(node, ast.ComparisonNode):
+        yield node.value
+    elif isinstance(node, ast.BetweenNode):
+        yield node.low
+        yield node.high
+    elif isinstance(node, ast.InListNode):
+        yield from node.values
+    elif isinstance(node, (ast.AndNode, ast.OrNode)):
+        for child in node.children:
+            yield from _literal_slots(child)
+    elif isinstance(node, ast.NotNode):
+        yield from _literal_slots(node.child)
+
+
+def statement_parameters(
+    statement: ast.SelectStatement,
+) -> list[ast.Parameter]:
+    """The placeholders of ``statement``, in source order."""
+    return [
+        value
+        for value in _literal_slots(statement.where)
+        if isinstance(value, ast.Parameter)
+    ]
+
+
+def _substitute(node: ast.WhereNode | None, resolve):
+    """Rebuild a WHERE subtree with every literal run through ``resolve``."""
+    if node is None:
+        return None
+    if isinstance(node, ast.ComparisonNode):
+        return ast.ComparisonNode(node.column, node.op, resolve(node.value))
+    if isinstance(node, ast.BetweenNode):
+        return ast.BetweenNode(
+            node.column, resolve(node.low), resolve(node.high)
+        )
+    if isinstance(node, ast.InListNode):
+        return ast.InListNode(
+            node.column, tuple(resolve(value) for value in node.values)
+        )
+    if isinstance(node, ast.AndNode):
+        return ast.AndNode(
+            tuple(_substitute(child, resolve) for child in node.children)
+        )
+    if isinstance(node, ast.OrNode):
+        return ast.OrNode(
+            tuple(_substitute(child, resolve) for child in node.children)
+        )
+    if isinstance(node, ast.NotNode):
+        return ast.NotNode(_substitute(node.child, resolve))
+    return node  # JoinNode: no literal positions
+
+
+def _check_bindable(value, where: str):
+    """Accept only the dialect's literal types as parameter values."""
+    if value is None:
+        raise QueryError(
+            f"cannot bind None for {where}: the star dialect has no NULL; "
+            f"filter with an explicit predicate instead"
+        )
+    if not isinstance(value, (int, float, str)):
+        raise QueryError(
+            f"cannot bind {type(value).__name__} for {where}: parameter "
+            f"values must be int, float, or str"
+        )
+    return value
+
+
+def bind_parameters(
+    statement: ast.SelectStatement, params=None
+) -> ast.SelectStatement:
+    """Substitute ``params`` into ``statement``'s placeholders.
+
+    ``params`` is a sequence for qmark (``?``) statements or a mapping
+    for named (``:name``) statements.  Returns a new statement with no
+    :class:`~repro.sql.ast.Parameter` nodes left.
+
+    Raises:
+        QueryError: on a placeholder-count mismatch, a missing/extra
+            named parameter, a non-bindable value (``None``, or any
+            type outside int/float/str), or parameters supplied to a
+            parameterless statement.
+    """
+    is_mapping = hasattr(params, "keys")
+    if (
+        params is not None
+        and not is_mapping
+        and not isinstance(params, (str, bytes))
+    ):
+        # materialize once so plain iterators/generators work and every
+        # mismatch below reports QueryError, never a stray TypeError
+        try:
+            params = list(params)
+        except TypeError as error:
+            raise QueryError(
+                f"parameters must be a sequence or mapping, got "
+                f"{type(params).__name__}"
+            ) from error
+    placeholders = statement_parameters(statement)
+    if not placeholders:
+        if params:
+            raise QueryError(
+                f"statement has no parameter placeholders but "
+                f"{len(params)} parameter(s) were supplied"
+            )
+        return statement
+    if params is None:
+        raise QueryError(
+            f"statement has {len(placeholders)} parameter placeholder(s) "
+            f"but no parameters were supplied"
+        )
+    named = placeholders[0].name is not None
+    if named:
+        if not is_mapping:
+            raise QueryError(
+                "named (:name) placeholders require a mapping of "
+                "parameters, e.g. {'city': 'lyon'}"
+            )
+        wanted = {placeholder.name for placeholder in placeholders}
+        missing = sorted(wanted - set(params.keys()))
+        extra = sorted(set(params.keys()) - wanted)
+        if missing or extra:
+            raise QueryError(
+                f"named parameters do not match the statement's "
+                f"placeholders (missing: {missing or 'none'}, "
+                f"unused: {extra or 'none'})"
+            )
+
+        def resolve_placeholder(placeholder: ast.Parameter):
+            return _check_bindable(
+                params[placeholder.name], f":{placeholder.name}"
+            )
+    else:
+        if is_mapping or isinstance(params, (str, bytes)):
+            raise QueryError(
+                "qmark (?) placeholders require a sequence of "
+                "parameters, e.g. ('lyon', 1995)"
+            )
+        values = list(params)
+        if len(values) != len(placeholders):
+            raise QueryError(
+                f"statement has {len(placeholders)} '?' placeholder(s) "
+                f"but {len(values)} parameter(s) were supplied"
+            )
+
+        def resolve_placeholder(placeholder: ast.Parameter):
+            return _check_bindable(
+                values[placeholder.index],
+                f"parameter {placeholder.index + 1}",
+            )
+
+    def resolve(value):
+        if isinstance(value, ast.Parameter):
+            return resolve_placeholder(value)
+        return value
+
+    return dataclasses.replace(
+        statement, where=_substitute(statement.where, resolve)
+    )
+
+
+def parse_select(sql: str) -> ast.SelectStatement:
+    """Parse ``sql`` into an unbound select statement.
+
+    The statement may still contain parameter placeholders; run it
+    through :func:`bind_parameters` before binding against a schema.
+
+    Raises:
+        ParseError: on lexical or grammatical errors.
+    """
+    return _Parser(tokenize(sql)).parse_statement()
+
+
+def bind_star_query(
+    statement: ast.SelectStatement, star: StarSchema
+) -> StarQuery:
+    """Bind a (fully parameter-substituted) statement against ``star``.
+
+    Raises:
+        ParseError: on name-resolution or star-template errors, or if
+            an unbound parameter placeholder is still present.
+    """
+    remaining = statement_parameters(statement)
+    if remaining:
+        raise ParseError(
+            f"statement still has {len(remaining)} unbound parameter "
+            f"placeholder(s); pass params= to bind them"
+        )
+    return _Binder(statement, star).bind()
+
+
+def parse_star_query(
+    sql: str, star: StarSchema, params=None
+) -> StarQuery:
+    """Parse ``sql``, bind ``params`` into its placeholders, then bind
+    names against ``star``.
 
     Raises:
         ParseError: on lexical, grammatical, or binding errors.
+        QueryError: on a parameter/placeholder mismatch.
     """
-    statement = _Parser(tokenize(sql)).parse_statement()
-    return _Binder(statement, star).bind()
+    statement = bind_parameters(parse_select(sql), params)
+    return bind_star_query(statement, star)

@@ -1,0 +1,465 @@
+"""The client session layer (DESIGN.md section 10).
+
+Covers connect()/Connection/Cursor end to end: lifecycle and context
+management, parameterized execution, fetch semantics, iteration,
+description metadata, executemany fan-out, error mapping, streaming
+equivalence on both backends, and the unified submission telemetry
+(process and baseline routes now report latency records too).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro
+from repro.client import (
+    NUMBER,
+    STRING,
+    InterfaceError,
+    NotSupportedError,
+    OperationalError,
+    ProgrammingError,
+)
+from repro.engine import Warehouse
+from repro.engine.router import RoutingDecision
+from repro.engine.submission import (
+    ROUTE_BASELINE,
+    ROUTE_PROCESS,
+    ROUTE_SERVICE,
+)
+from repro.query.aggregates import AggregateSpec
+from repro.query.predicate import Comparison
+from repro.query.reference import evaluate_star_query
+from repro.query.star import StarQuery
+from repro.sql.render import render_star_query
+
+CITY_COUNT_SQL = (
+    "SELECT COUNT(*) FROM sales, store "
+    "WHERE f_store = s_id AND s_city = ?"
+)
+GROUPED_SQL = (
+    "SELECT s_city, COUNT(*) AS orders, SUM(f_total) AS total "
+    "FROM sales, store WHERE f_store = s_id GROUP BY s_city"
+)
+
+
+def city_query(city: str) -> StarQuery:
+    return StarQuery.build(
+        "sales",
+        dimension_predicates={"store": Comparison("s_city", "=", city)},
+        aggregates=[AggregateSpec("count")],
+    )
+
+
+@pytest.fixture
+def connection(tiny_star):
+    catalog, star = tiny_star
+    with repro.connect(catalog=catalog, star=star) as conn:
+        yield conn
+
+
+class TestConnectionLifecycle:
+    def test_connect_starts_and_stops_the_service(self, tiny_star):
+        catalog, star = tiny_star
+        before = set(threading.enumerate())
+        conn = repro.connect(catalog=catalog, star=star)
+        assert conn.warehouse.service.running
+        conn.close()
+        assert not conn.warehouse.service.running
+        assert conn.closed
+        assert set(threading.enumerate()) == before
+        conn.close()  # idempotent
+
+    def test_connect_wraps_existing_warehouse_without_closing_it(
+        self, tiny_star
+    ):
+        catalog, star = tiny_star
+        warehouse = Warehouse(catalog, star)
+        with repro.connect(warehouse) as conn:
+            assert conn.warehouse is warehouse
+            assert warehouse.service.running
+        assert not warehouse.service.running
+        assert not warehouse.closed  # still usable
+        assert warehouse.execute_sql(
+            "SELECT COUNT(*) FROM sales, store WHERE f_store = s_id"
+        ) == [(12,)]
+
+    def test_connect_owns_built_warehouse(self, tiny_star):
+        catalog, star = tiny_star
+        conn = repro.connect(catalog=catalog, star=star)
+        warehouse = conn.warehouse
+        conn.close()
+        assert warehouse.closed
+
+    def test_warehouse_and_kwargs_are_mutually_exclusive(self, tiny_star):
+        catalog, star = tiny_star
+        warehouse = Warehouse(catalog, star)
+        with pytest.raises(InterfaceError, match="not both"):
+            repro.connect(warehouse, scale_factor=0.001)
+        warehouse.close()
+
+    def test_catalog_requires_star(self, tiny_star):
+        catalog, _ = tiny_star
+        with pytest.raises(InterfaceError, match="star"):
+            repro.connect(catalog=catalog)
+
+    def test_closed_connection_rejects_everything(self, tiny_star):
+        catalog, star = tiny_star
+        conn = repro.connect(catalog=catalog, star=star)
+        cursor = conn.cursor()
+        conn.close()
+        with pytest.raises(InterfaceError, match="closed"):
+            conn.cursor()
+        with pytest.raises(InterfaceError, match="closed"):
+            cursor.execute(GROUPED_SQL)
+
+    def test_no_service_connection_drains_on_fetch(self, tiny_star):
+        catalog, star = tiny_star
+        with repro.connect(
+            catalog=catalog, star=star, start_service=False
+        ) as conn:
+            assert not conn.warehouse.service.running
+            rows = conn.execute(CITY_COUNT_SQL, ("lyon",)).fetchall()
+            assert rows == [(5,)]
+
+    def test_transaction_surface(self, connection):
+        connection.commit()  # no-op
+        with pytest.raises(NotSupportedError):
+            connection.rollback()
+
+    def test_dbapi_module_globals(self):
+        from repro import client
+
+        assert client.apilevel == "2.0"
+        assert client.threadsafety == 2
+        assert client.paramstyle == "qmark"
+
+
+class TestCursorSemantics:
+    def test_execute_returns_self_and_fetchall(self, connection):
+        cursor = connection.cursor()
+        assert cursor.execute(CITY_COUNT_SQL, ("lyon",)) is cursor
+        assert cursor.fetchall() == [(5,)]
+        assert cursor.fetchall() == []  # exhausted
+
+    def test_fetchone_walks_then_returns_none(self, connection):
+        cursor = connection.execute(GROUPED_SQL)
+        seen = []
+        while (row := cursor.fetchone()) is not None:
+            seen.append(row)
+        assert seen == cursor._rows
+        assert len(seen) == 3  # lyon, nice, paris
+        assert cursor.fetchone() is None
+
+    def test_fetchmany_chunks_with_arraysize_default(self, connection):
+        cursor = connection.execute(GROUPED_SQL)
+        assert len(cursor.fetchmany()) == 1  # arraysize defaults to 1
+        cursor.arraysize = 2
+        assert len(cursor.fetchmany()) == 2
+        assert cursor.fetchmany() == []
+        with pytest.raises(InterfaceError, match=">= 0"):
+            cursor.fetchmany(-1)
+
+    def test_iteration_streams_all_rows(self, connection):
+        cursor = connection.execute(GROUPED_SQL)
+        rows = list(cursor)
+        assert rows == connection.execute(GROUPED_SQL).fetchall()
+
+    def test_rowcount_before_and_after_fetch(self, connection):
+        cursor = connection.execute(GROUPED_SQL)
+        assert cursor.rowcount == -1
+        cursor.fetchall()
+        assert cursor.rowcount == 3
+
+    def test_description_names_and_types(self, connection):
+        cursor = connection.execute(GROUPED_SQL)
+        names = [entry[0] for entry in cursor.description]
+        types = [entry[1] for entry in cursor.description]
+        assert names == ["s_city", "orders", "total"]
+        assert types[0] == STRING
+        assert types[1] == NUMBER and types[2] == NUMBER
+        # unaliased aggregates get canonical names
+        cursor = connection.execute(
+            "SELECT COUNT(*), SUM(f_total), AVG(f_qty) FROM sales"
+        )
+        assert [entry[0] for entry in cursor.description] == [
+            "count(*)", "sum(f_total)", "avg(f_qty)",
+        ]
+
+    def test_description_matches_row_layout(self, connection):
+        cursor = connection.execute(GROUPED_SQL)
+        row = cursor.fetchone()
+        assert len(row) == len(cursor.description)
+        assert isinstance(row[0], str) and isinstance(row[1], int)
+
+    def test_fetch_before_execute_raises(self, connection):
+        cursor = connection.cursor()
+        with pytest.raises(ProgrammingError, match="no statement"):
+            cursor.fetchall()
+        with pytest.raises(ProgrammingError, match="no statement"):
+            cursor.rows_so_far()
+        with pytest.raises(ProgrammingError, match="no statement"):
+            cursor.cancel()
+
+    def test_closed_cursor_raises(self, connection):
+        cursor = connection.execute(GROUPED_SQL)
+        cursor.close()
+        with pytest.raises(InterfaceError, match="cursor is closed"):
+            cursor.fetchall()
+        cursor.close()  # idempotent
+
+    def test_cursor_context_manager(self, connection):
+        with connection.cursor() as cursor:
+            cursor.execute(GROUPED_SQL)
+        with pytest.raises(InterfaceError):
+            cursor.fetchone()
+
+    def test_executemany_concatenates_in_submission_order(self, connection):
+        cursor = connection.executemany(
+            CITY_COUNT_SQL, [("lyon",), ("paris",), ("nice",)]
+        )
+        assert cursor.fetchall() == [(5,), (4,), (3,)]
+        assert cursor.description is not None
+
+    def test_executemany_is_atomic_over_bad_bindings(self, connection):
+        warehouse = connection.warehouse
+        submissions_before = len(warehouse.submissions)
+        with pytest.raises(ProgrammingError):
+            connection.executemany(
+                CITY_COUNT_SQL, [("lyon",), ("paris", "extra")]
+            )
+        # the good first binding was never submitted: no orphan queries
+        assert len(warehouse.submissions) == submissions_before
+
+    def test_executemany_with_no_bindings_is_an_empty_result_set(
+        self, connection
+    ):
+        cursor = connection.executemany(CITY_COUNT_SQL, [])
+        assert cursor.fetchall() == []
+        assert cursor.fetchone() is None
+        assert cursor.rowcount == 0
+        assert cursor.rows_so_far() == []
+        assert cursor.cancel() == 0
+
+    def test_named_parameters(self, connection):
+        cursor = connection.execute(
+            "SELECT COUNT(*) FROM sales, store "
+            "WHERE f_store = s_id AND s_city = :city",
+            {"city": "paris"},
+        )
+        assert cursor.fetchall() == [(4,)]
+
+
+class TestErrorMapping:
+    def test_parse_error_is_programming_error(self, connection):
+        with pytest.raises(ProgrammingError):
+            connection.execute("SELEC nonsense")
+
+    def test_unknown_column_is_programming_error(self, connection):
+        with pytest.raises(ProgrammingError):
+            connection.execute("SELECT nope FROM sales")
+
+    def test_param_mismatch_is_programming_error(self, connection):
+        with pytest.raises(ProgrammingError):
+            connection.execute(CITY_COUNT_SQL)  # no params given
+        with pytest.raises(ProgrammingError):
+            connection.execute(CITY_COUNT_SQL, ("lyon", "extra"))
+
+    def test_parse_errors_leave_no_state_behind(self, connection):
+        warehouse = connection.warehouse
+        submissions_before = len(warehouse.submissions)
+        with pytest.raises(ProgrammingError):
+            connection.execute(CITY_COUNT_SQL, (None,))
+        assert len(warehouse.submissions) == submissions_before
+        assert warehouse.cjoin.active_query_count == 0
+
+    def test_cancelled_fetch_is_operational_error(self, tiny_star):
+        catalog, star = tiny_star
+        # no driver: the query stays mid-scan until we cancel it
+        with repro.connect(
+            catalog=catalog, star=star, start_service=False
+        ) as conn:
+            cursor = conn.execute(GROUPED_SQL)
+            assert cursor.cancel() == 1
+            with pytest.raises(OperationalError, match="cancelled"):
+                cursor.fetchall()
+
+
+class TestStreamingEquivalence:
+    """ISSUE 4 acceptance: cursor-streamed rows == batch-drain results."""
+
+    def test_serial_backend_workload(self, ssb_small, ssb_workload):
+        catalog, star = ssb_small
+        sqls = [render_star_query(query, star) for query in ssb_workload]
+        # batch drain on a fresh warehouse, handle.results() reference
+        drain = Warehouse(catalog, star, execution="batched")
+        drained = [drain.submit(query) for query in ssb_workload]
+        drain.run()
+        expected = [handle.results() for handle in drained]
+        # live service + cursor iteration (mid-scan, incremental)
+        with repro.connect(
+            Warehouse(catalog, star, execution="batched")
+        ) as conn:
+            cursors = [conn.execute(sql) for sql in sqls]
+            streamed = [list(cursor) for cursor in cursors]
+        assert streamed == expected
+
+    def test_process_backend_workload(self, ssb_small, ssb_workload):
+        catalog, star = ssb_small
+        sqls = [render_star_query(query, star) for query in ssb_workload]
+        drain = Warehouse(catalog, star, execution="batched")
+        drained = [drain.submit(query) for query in ssb_workload]
+        drain.run()
+        expected = [handle.results() for handle in drained]
+        with repro.connect(
+            Warehouse(catalog, star, backend="process", workers=2)
+        ) as conn:
+            cursors = [conn.execute(sql) for sql in sqls]
+            streamed = [list(cursor) for cursor in cursors]
+        assert streamed == expected
+
+    def test_rows_so_far_converges_to_results(self, tiny_star):
+        catalog, star = tiny_star
+        from repro.cjoin import CJoinOperator, ExecutorConfig
+        from repro.engine import WarehouseService
+
+        operator = CJoinOperator(
+            catalog, star, executor_config=ExecutorConfig(batch_size=4)
+        )
+        operator.distributor.stream_interval = 2
+        service = WarehouseService(operator)
+        handle = service.submit(
+            StarQuery.build(
+                "sales",
+                dimension_predicates={},
+                group_by=[],
+                select=[],
+                aggregates=[AggregateSpec("sum", "sales", "f_total")],
+            )
+        )
+        assert handle.rows_so_far() == []  # opts into streaming
+        service.pump(batches=2)
+        partial = handle.rows_so_far()
+        assert partial and partial[0][0] > 0  # mid-scan partial sum
+        service.drain()
+        assert handle.rows_so_far() == handle.results()
+        assert list(handle) == handle.results()
+
+
+class TestRouteTelemetry:
+    """ISSUE 4 satellite: all three routes report latency records."""
+
+    def test_baseline_route_records_latency(self, tiny_star):
+        catalog, star = tiny_star
+        warehouse = Warehouse(catalog, star)
+        handle = warehouse.submit(
+            city_query("lyon"), force=RoutingDecision.BASELINE
+        )
+        warehouse.run()
+        assert handle.results() == evaluate_star_query(
+            city_query("lyon"), catalog
+        )
+        records = warehouse.latency_records
+        assert [record.route for record in records] == [ROUTE_BASELINE]
+        record = records[0]
+        assert record.latency_seconds >= record.wait_seconds >= 0.0
+        assert record.scan_cycles == 0.0  # private plans, not the scan
+        assert warehouse.latency_summary()["count"] == 1.0
+
+    def test_process_route_records_latency(self, tiny_star):
+        catalog, star = tiny_star
+        warehouse = Warehouse(catalog, star, backend="process", workers=2)
+        handles = [
+            warehouse.submit(city_query(city)) for city in ("lyon", "paris")
+        ]
+        warehouse.run()
+        for city, handle in zip(("lyon", "paris"), handles):
+            assert handle.results() == evaluate_star_query(
+                city_query(city), catalog
+            )
+        records = warehouse.latency_records
+        assert [record.route for record in records] == [ROUTE_PROCESS] * 2
+        assert all(
+            record.admitted_with_in_flight == 1 for record in records
+        )
+        assert all(record.scan_cycles == 1.0 for record in records)
+
+    def test_all_routes_in_one_summary(self, tiny_star):
+        catalog, star = tiny_star
+        warehouse = Warehouse(catalog, star)
+        warehouse.submit(city_query("lyon"))  # service route
+        warehouse.submit(
+            city_query("paris"), force=RoutingDecision.BASELINE
+        )
+        warehouse.run()
+        routes = sorted(record.route for record in warehouse.latency_records)
+        assert routes == [ROUTE_BASELINE, ROUTE_SERVICE]
+        assert warehouse.latency_summary()["count"] == 2.0
+        # one vocabulary: latency records join the submission log
+        assert {record.route for record in warehouse.latency_records} == {
+            submission.route for submission in warehouse.submissions
+        }
+
+    def test_submission_log_covers_all_routes(self, tiny_star):
+        catalog, star = tiny_star
+        warehouse = Warehouse(catalog, star)
+        warehouse.submit(city_query("lyon"))
+        warehouse.submit(
+            city_query("paris"), force=RoutingDecision.BASELINE
+        )
+        routes = [submission.route for submission in warehouse.submissions]
+        assert routes == ["service", ROUTE_BASELINE]
+        assert warehouse.pending_submissions(ROUTE_BASELINE) == 1
+        warehouse.run()
+        assert warehouse.pending_submissions(ROUTE_BASELINE) == 0
+        assert all(submission.done for submission in warehouse.submissions)
+
+
+class TestWarehouseContextManager:
+    """ISSUE 4 satellite: Warehouse.close() and with-scoping."""
+
+    def test_with_scope_stops_service_and_closes(self, tiny_star):
+        catalog, star = tiny_star
+        before = set(threading.enumerate())
+        with Warehouse(catalog, star) as warehouse:
+            warehouse.start_service()
+            handle = warehouse.submit(city_query("lyon"))
+            assert handle.results(timeout=10.0) == evaluate_star_query(
+                city_query("lyon"), catalog
+            )
+        assert warehouse.closed
+        assert not warehouse.service.running
+        assert set(threading.enumerate()) == before
+
+    def test_close_is_idempotent_and_rejects_submissions(self, tiny_star):
+        catalog, star = tiny_star
+        warehouse = Warehouse(catalog, star)
+        warehouse.close()
+        warehouse.close()
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError, match="closed"):
+            warehouse.submit(city_query("lyon"))
+        with pytest.raises(QueryError, match="closed"):
+            warehouse.submit_sql(
+                "SELECT COUNT(*) FROM sales, store WHERE f_store = s_id"
+            )
+
+    def test_close_cancels_pending_offline_submissions(self, tiny_star):
+        """close() cancels queued offline handles (waiters wake with
+        CancelledError) and a later run() refuses to drain them."""
+        from repro.errors import CancelledError, QueryError
+
+        catalog, star = tiny_star
+        warehouse = Warehouse(catalog, star)
+        pending = warehouse.submit(
+            city_query("lyon"), force=RoutingDecision.BASELINE
+        )
+        warehouse.close()
+        with pytest.raises(QueryError, match="closed"):
+            warehouse.run()
+        assert pending.done and pending.cancelled
+        with pytest.raises(CancelledError):
+            list(pending)  # a blocked iterator wakes instead of hanging

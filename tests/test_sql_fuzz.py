@@ -6,6 +6,7 @@ exception, never hang, never return a malformed query.
 """
 
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
 from repro.errors import QueryError
@@ -52,9 +53,162 @@ def test_arbitrary_text_never_crashes_the_lexer(text):
 
 
 @settings(max_examples=200, deadline=None)
-@given(st.text(alphabet="SELCTFROMWHE 'sales'()*=,.", max_size=60))
+@given(st.text(alphabet="SELCTFROMWHE 'sales'()*=,.?:", max_size=60))
 def test_sqlish_text_never_crashes_the_parser(text):
     try:
         parse_star_query(text, _STAR)
     except QueryError:
         pass
+
+
+# ----------------------------------------------------------------------
+# Parameter binding (DESIGN.md section 10)
+# ----------------------------------------------------------------------
+_QMARK_SQL = (
+    "SELECT COUNT(*) FROM sales, store "
+    "WHERE f_store = s_id AND s_city = ?"
+)
+_NAMED_SQL = (
+    "SELECT COUNT(*) FROM sales, store "
+    "WHERE f_store = s_id AND s_city = :city AND s_size BETWEEN :lo AND :hi"
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.text(max_size=40))
+def test_bound_string_equals_inline_quoted_literal(value):
+    """Binding is injection-proof: any text, including quotes and SQL
+    fragments, binds to exactly the query its escaped literal form
+    parses to — and never to anything else."""
+    bound = parse_star_query(_QMARK_SQL, _STAR, (value,))
+    escaped = value.replace("'", "''")
+    inline = parse_star_query(
+        f"SELECT COUNT(*) FROM sales, store "
+        f"WHERE f_store = s_id AND s_city = '{escaped}'",
+        _STAR,
+    )
+    assert bound == inline
+    evaluate_star_query(bound, _CATALOG)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.text(max_size=20),
+)
+def test_named_binding_matches_literals(low, high, city):
+    bound = parse_star_query(
+        _NAMED_SQL, _STAR, {"city": city, "lo": low, "hi": high}
+    )
+    escaped = city.replace("'", "''")
+    inline = parse_star_query(
+        f"SELECT COUNT(*) FROM sales, store WHERE f_store = s_id "
+        f"AND s_city = '{escaped}' AND s_size BETWEEN {low} AND {high}",
+        _STAR,
+    )
+    assert bound == inline
+    evaluate_star_query(bound, _CATALOG)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.text(max_size=8), min_size=0, max_size=5))
+def test_mismatched_qmark_count_raises(values):
+    """Anything but exactly one value for one placeholder is rejected."""
+    if len(values) == 1:
+        parse_star_query(_QMARK_SQL, _STAR, tuple(values))
+        return
+    with pytest.raises(QueryError):
+        parse_star_query(_QMARK_SQL, _STAR, tuple(values))
+
+
+def test_none_parameter_raises():
+    with pytest.raises(QueryError, match="None"):
+        parse_star_query(_QMARK_SQL, _STAR, (None,))
+    with pytest.raises(QueryError, match="None"):
+        parse_star_query(
+            _NAMED_SQL, _STAR, {"city": None, "lo": 1, "hi": 2}
+        )
+
+
+def test_unbindable_types_raise():
+    for value in ([1, 2], {"a": 1}, object(), b"bytes"):
+        with pytest.raises(QueryError, match="must be int, float, or str"):
+            parse_star_query(_QMARK_SQL, _STAR, (value,))
+
+
+def test_missing_and_extra_named_parameters_raise():
+    with pytest.raises(QueryError, match="missing"):
+        parse_star_query(_NAMED_SQL, _STAR, {"city": "lyon", "lo": 1})
+    with pytest.raises(QueryError, match="unused"):
+        parse_star_query(
+            _NAMED_SQL, _STAR,
+            {"city": "lyon", "lo": 1, "hi": 2, "bogus": 3},
+        )
+
+
+def test_params_to_parameterless_statement_raise():
+    with pytest.raises(QueryError, match="no parameter placeholders"):
+        parse_star_query(
+            "SELECT COUNT(*) FROM sales, store WHERE f_store = s_id",
+            _STAR,
+            ("stray",),
+        )
+
+
+def test_missing_params_raise():
+    with pytest.raises(QueryError, match="no parameters were supplied"):
+        parse_star_query(_QMARK_SQL, _STAR)
+
+
+def test_mixed_styles_raise():
+    with pytest.raises(QueryError, match="cannot mix"):
+        parse_star_query(
+            "SELECT COUNT(*) FROM sales, store "
+            "WHERE f_store = s_id AND s_city = ? AND s_size = :size",
+            _STAR,
+            ("lyon",),
+        )
+
+
+def test_generator_params_bind_like_sequences():
+    bound = parse_star_query(_QMARK_SQL, _STAR, (value for value in ["lyon"]))
+    inline = parse_star_query(
+        "SELECT COUNT(*) FROM sales, store "
+        "WHERE f_store = s_id AND s_city = 'lyon'",
+        _STAR,
+    )
+    assert bound == inline
+    # an exhausted/empty iterator counts as zero parameters everywhere
+    with pytest.raises(QueryError, match="0 parameter"):
+        parse_star_query(_QMARK_SQL, _STAR, iter(()))
+    parse_star_query(  # ... including for parameterless statements
+        "SELECT COUNT(*) FROM sales, store WHERE f_store = s_id",
+        _STAR,
+        iter(()),
+    )
+
+
+def test_non_iterable_params_raise_query_error():
+    with pytest.raises(QueryError, match="sequence or mapping"):
+        parse_star_query(_QMARK_SQL, _STAR, 42)
+    with pytest.raises(QueryError, match="sequence or mapping"):
+        parse_star_query(
+            "SELECT COUNT(*) FROM sales, store WHERE f_store = s_id",
+            _STAR,
+            42,
+        )
+
+
+def test_wrong_params_shape_raises():
+    with pytest.raises(QueryError, match="require a sequence"):
+        parse_star_query(_QMARK_SQL, _STAR, {"city": "lyon"})
+    with pytest.raises(QueryError, match="require a mapping"):
+        parse_star_query(_NAMED_SQL, _STAR, ("lyon", 1, 2))
+
+
+def test_bare_colon_is_a_parse_error():
+    with pytest.raises(QueryError, match="named parameter"):
+        parse_star_query(
+            "SELECT COUNT(*) FROM sales WHERE f_qty = : 1", _STAR
+        )

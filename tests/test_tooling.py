@@ -17,13 +17,17 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-def _load_check_docs_refs():
+def _load_script(name: str):
     spec = importlib.util.spec_from_file_location(
-        "check_docs_refs", REPO_ROOT / "scripts" / "check_docs_refs.py"
+        name, REPO_ROOT / "scripts" / f"{name}.py"
     )
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
+
+
+def _load_check_docs_refs():
+    return _load_script("check_docs_refs")
 
 
 def test_docs_exist():
@@ -52,6 +56,39 @@ def test_docs_refs_checker_flags_dangling_citation(tmp_path):
     )
     problems = checker.check(tmp_path)
     assert len(problems) == 1 and "missing file" in problems[0]
+
+
+def test_public_api_surface_matches_snapshot():
+    """The committed snapshot is current: API drift fails the gate."""
+    checker = _load_script("check_public_api")
+    problems = checker.check()
+    assert not problems, "\n".join(problems)
+
+
+def test_public_api_checker_flags_drift():
+    """The checker actually fails on removals, additions, and
+    signature changes."""
+    checker = _load_script("check_public_api")
+    observed = checker.current_surface()
+    snapshot = checker.current_surface()
+    del snapshot["repro"]["Warehouse"]          # addition vs snapshot
+    snapshot["repro"]["Ghost"] = {"kind": "class", "members": {}}
+    snapshot["repro.client"]["connect"] = {
+        "kind": "function",
+        "signature": "(somewhere_else)",
+    }
+    problems = checker.compare(snapshot, observed)
+    assert any("Warehouse: added" in problem for problem in problems)
+    assert any("Ghost: removed" in problem for problem in problems)
+    assert any(
+        "connect: signature changed" in problem for problem in problems
+    )
+
+
+def test_public_api_checker_reports_missing_snapshot(tmp_path):
+    checker = _load_script("check_public_api")
+    problems = checker.check(tmp_path / "nope.json")
+    assert len(problems) == 1 and "--update" in problems[0]
 
 
 def test_bench_smoke_passes(capsys):
