@@ -1,0 +1,261 @@
+"""Remote concurrency: N socket clients vs in-process (EXPERIMENTS.md section 8).
+
+The TCP service boundary (DESIGN.md section 11) is only worth its
+round trips if many independent clients actually share the continuous
+scan.  This benchmark drives the same query mix two ways over
+identically configured warehouses:
+
+* **remote** — one `WarehouseServer`, N concurrent socket clients
+  (each its own `repro.connect("tcp://...")` session and thread)
+  executing and fetching over the docs/PROTOCOL.md wire protocol;
+* **in-process** — the same N threads sharing one in-process
+  `repro.connect(warehouse)` session over a live service.
+
+Gates: every row set (both passes) equals the reference evaluator's,
+every client completes, and no threads leak after `server.stop()`.
+The wire-overhead ratio (remote wall / in-process wall) is reported
+for eyeballing, never asserted — EXPERIMENTS.md section 1's policy.
+
+Knobs::
+
+    PYTHONPATH=src python benchmarks/bench_remote_concurrency.py \
+        [--clients N] [--queries-per-client M] [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import threading
+import time
+
+import repro
+from repro.engine import Warehouse
+from repro.query.aggregates import AggregateSpec
+from repro.query.predicate import Between
+from repro.query.reference import evaluate_star_query
+from repro.query.star import ColumnRef, StarQuery
+from repro.server import WarehouseServer
+from repro.sql.render import render_star_query
+
+SCALE_FACTOR = 0.002
+DEFAULT_CLIENTS = 8
+DEFAULT_QUERIES_PER_CLIENT = 4
+RESULT_TIMEOUT = 120.0
+
+YEAR_WINDOWS = [
+    (1992, 1998), (1993, 1995), (1994, 1997), (1992, 1994),
+    (1995, 1998), (1993, 1997), (1992, 1996), (1996, 1998),
+]
+
+
+def workload(count: int) -> list[StarQuery]:
+    """Deterministic grouped star queries (the open-loop mix)."""
+    queries = []
+    for index in range(count):
+        first, last = YEAR_WINDOWS[index % len(YEAR_WINDOWS)]
+        queries.append(
+            StarQuery.build(
+                "lineorder",
+                dimension_predicates={"date": Between("d_year", first, last)},
+                group_by=[ColumnRef("date", "d_year")],
+                aggregates=[
+                    AggregateSpec("sum", "lineorder", "lo_revenue"),
+                    AggregateSpec("count"),
+                ],
+                label=f"remote-bench-{index}",
+            )
+        )
+    return queries
+
+
+def _run_clients(count, sqls_per_client, make_connection):
+    """Fan N clients out on threads; returns (rows, latencies, wall)."""
+    rows: dict[int, list[list[tuple]]] = {}
+    latencies: list[float] = []
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def client(index: int) -> None:
+        try:
+            with make_connection() as connection:
+                collected = []
+                for sql in sqls_per_client[index]:
+                    started = time.perf_counter()
+                    result = connection.execute(sql).fetchall()
+                    elapsed = time.perf_counter() - started
+                    collected.append(result)
+                    with lock:
+                        latencies.append(elapsed)
+                rows[index] = collected
+        except BaseException as error:
+            with lock:
+                errors.append(error)
+
+    threads = [
+        threading.Thread(target=client, args=(index,))
+        for index in range(count)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(RESULT_TIMEOUT)
+    wall = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return rows, latencies, wall
+
+
+def measure_remote_concurrency(
+    clients: int = DEFAULT_CLIENTS,
+    queries_per_client: int = DEFAULT_QUERIES_PER_CLIENT,
+    scale_factor: float = SCALE_FACTOR,
+) -> dict:
+    """One measured pass of both transports; returns rows and gates."""
+    queries = workload(clients * queries_per_client)
+    per_client = [
+        queries[index * queries_per_client:(index + 1) * queries_per_client]
+        for index in range(clients)
+    ]
+
+    def build() -> Warehouse:
+        return Warehouse.from_ssb(
+            scale_factor=scale_factor, seed=31, execution="batched"
+        )
+
+    reference_warehouse = build()
+    star = reference_warehouse.star
+    expected = {
+        query.label: evaluate_star_query(query, reference_warehouse.catalog)
+        for query in queries
+    }
+    sqls_per_client = [
+        [render_star_query(query, star) for query in chunk]
+        for chunk in per_client
+    ]
+    reference_warehouse.close()
+
+    threads_before = set(threading.enumerate())
+
+    # -- remote: one server, N socket clients -------------------------
+    server = WarehouseServer(build(), owns_warehouse=True)
+    server.start()
+    try:
+        remote_rows, remote_latencies, remote_wall = _run_clients(
+            clients,
+            sqls_per_client,
+            lambda: repro.connect(server.url, fetch_timeout=RESULT_TIMEOUT),
+        )
+    finally:
+        server.stop()
+    threads_clean = set(threading.enumerate()) == threads_before
+
+    # -- in-process: same threads over one shared session --------------
+    local_warehouse = build()
+    with repro.connect(
+        local_warehouse, fetch_timeout=RESULT_TIMEOUT
+    ) as connection:
+
+        class _SharedSession:
+            """Per-thread view of the one shared connection."""
+
+            def __enter__(self):
+                return connection
+
+            def __exit__(self, *exc_info):
+                pass  # the outer with owns the session
+
+        local_rows, local_latencies, local_wall = _run_clients(
+            clients, sqls_per_client, _SharedSession
+        )
+    local_warehouse.close()
+
+    def matches(rows: dict[int, list[list[tuple]]]) -> bool:
+        return all(
+            rows[index]
+            == [expected[query.label] for query in per_client[index]]
+            for index in range(clients)
+        )
+
+    def percentile(values: list[float], fraction: float) -> float:
+        from repro.cjoin.stats import percentile as pct
+
+        return pct(values, fraction)
+
+    return {
+        "clients": clients,
+        "queries": len(queries),
+        "remote_ok": matches(remote_rows),
+        "inprocess_ok": matches(local_rows),
+        "threads_clean": threads_clean,
+        "remote_wall": remote_wall,
+        "inprocess_wall": local_wall,
+        "wire_overhead": remote_wall / local_wall if local_wall else 0.0,
+        "remote_p95": percentile(remote_latencies, 0.95),
+        "inprocess_p95": percentile(local_latencies, 0.95),
+    }
+
+
+def _report(measured: dict) -> str:
+    return (
+        f"remote concurrency: {measured['clients']} clients x "
+        f"{measured['queries'] // measured['clients']} queries; "
+        f"remote wall {measured['remote_wall']:.2f}s "
+        f"(p95 {measured['remote_p95'] * 1e3:.1f} ms) vs in-process "
+        f"{measured['inprocess_wall']:.2f}s "
+        f"(p95 {measured['inprocess_p95'] * 1e3:.1f} ms); "
+        f"wire overhead x{measured['wire_overhead']:.2f}; "
+        f"remote ok: {measured['remote_ok']}, in-process ok: "
+        f"{measured['inprocess_ok']}, threads clean: "
+        f"{measured['threads_clean']}"
+    )
+
+
+def _gates_pass(measured: dict) -> bool:
+    return (
+        measured["remote_ok"]
+        and measured["inprocess_ok"]
+        and measured["threads_clean"]
+    )
+
+
+def test_remote_clients_match_in_process():
+    """N socket clients produce reference-equal rows, leak nothing."""
+    measured = measure_remote_concurrency(
+        clients=4, queries_per_client=2, scale_factor=0.001
+    )
+    print()
+    print(_report(measured))
+    assert measured["remote_ok"], "remote rows diverged from reference"
+    assert measured["inprocess_ok"], "in-process rows diverged"
+    assert measured["threads_clean"], "server left threads behind"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=DEFAULT_CLIENTS)
+    parser.add_argument(
+        "--queries-per-client",
+        type=int,
+        default=DEFAULT_QUERIES_PER_CLIENT,
+    )
+    parser.add_argument("--smoke", action="store_true")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        measured = measure_remote_concurrency(
+            clients=4, queries_per_client=2, scale_factor=0.001
+        )
+    else:
+        measured = measure_remote_concurrency(
+            clients=args.clients,
+            queries_per_client=args.queries_per_client,
+        )
+    print(_report(measured))
+    ok = _gates_pass(measured)
+    print("remote concurrency bench ok" if ok else
+          "remote concurrency bench FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

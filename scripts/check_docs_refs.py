@@ -1,13 +1,18 @@
 #!/usr/bin/env python3
-"""Fail when src/ cites a documentation file or section that is missing.
+"""Fail when src/ or docs/ cites a documentation file or section that is missing.
 
 Module docstrings across ``src/`` cite ``DESIGN.md section N``,
-``EXPERIMENTS.md`` and ``README.md``.  Those citations rot silently:
-nothing else checks that the file exists or that the numbered section
-is still there.  This script greps every ``src/**/*.py`` for doc
-citations, resolves each against the repository root, and exits
-non-zero listing every dangling reference.  Wired into the test suite
-via tests/test_tooling.py; also runnable standalone::
+``EXPERIMENTS.md``, ``README.md``, ``PAPER.md``, and the ``docs/``
+tree (``docs/ARCHITECTURE.md``, ``docs/PROTOCOL.md``); the documents
+under ``docs/`` cross-cite each other and the root documents.  Those
+citations rot silently: nothing else checks that the file exists or
+that the numbered section is still there.  This script greps every
+``src/**/*.py`` and ``docs/**/*.md`` for doc citations, resolves each
+against the repository (bare ``ARCHITECTURE.md`` / ``PROTOCOL.md``
+names resolve into ``docs/``), and exits non-zero listing every
+dangling reference.  Wired into the test suite via
+tests/test_tooling.py and the CI ``docs-refs`` and ``server-smoke``
+jobs; also runnable standalone::
 
     python scripts/check_docs_refs.py
 """
@@ -19,10 +24,18 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: DESIGN.md / EXPERIMENTS.md / README.md, optionally followed by
-#: "section N", "sections N-M" or "sections N and M"
+#: Documents living at the repository root.
+ROOT_DOCS = ("DESIGN", "EXPERIMENTS", "README", "PAPER")
+
+#: Documents living under docs/ (citable with or without the prefix).
+TREE_DOCS = ("ARCHITECTURE", "PROTOCOL")
+
+#: A recognized document name, optionally followed by "section N",
+#: "sections N-M" or "sections N and M"
 CITATION = re.compile(
-    r"(?P<doc>DESIGN|EXPERIMENTS|README)\.md"
+    r"(?P<doc>(?:docs/)?(?:"
+    + "|".join((*ROOT_DOCS, *TREE_DOCS))
+    + r")\.md)"
     r"(?:,?\s+sections?\s+(?P<first>\d+)"
     r"(?:\s*(?:-|and)\s*(?P<last>\d+))?)?"
 )
@@ -39,22 +52,39 @@ def doc_sections(doc_path: Path) -> set[int]:
     }
 
 
+def resolve_doc(root: Path, name: str) -> Path:
+    """Map a cited document name to its path in the repository."""
+    bare = name.removeprefix("docs/").removesuffix(".md")
+    if bare in TREE_DOCS:
+        return root / "docs" / f"{bare}.md"
+    return root / f"{bare}.md"
+
+
+def _sources(root: Path) -> list[Path]:
+    sources = sorted((root / "src").rglob("*.py"))
+    docs_dir = root / "docs"
+    if docs_dir.is_dir():
+        sources.extend(sorted(docs_dir.rglob("*.md")))
+    return sources
+
+
 def check(root: Path = REPO_ROOT) -> list[str]:
     """Return a list of human-readable problems (empty = all good)."""
     problems: list[str] = []
     sections_by_doc: dict[str, set[int] | None] = {}
-    for source in sorted((root / "src").rglob("*.py")):
+    for source in _sources(root):
         text = source.read_text(encoding="utf-8")
         for match in CITATION.finditer(text):
-            doc_name = f"{match.group('doc')}.md"
+            doc_name = match.group("doc")
             line = text.count("\n", 0, match.start()) + 1
             where = f"{source.relative_to(root)}:{line}"
-            if doc_name not in sections_by_doc:
-                doc_path = root / doc_name
-                sections_by_doc[doc_name] = (
+            doc_path = resolve_doc(root, doc_name)
+            key = str(doc_path)
+            if key not in sections_by_doc:
+                sections_by_doc[key] = (
                     doc_sections(doc_path) if doc_path.is_file() else None
                 )
-            sections = sections_by_doc[doc_name]
+            sections = sections_by_doc[key]
             if sections is None:
                 problems.append(f"{where}: cites missing file {doc_name}")
                 continue
@@ -79,7 +109,7 @@ def main() -> int:
         for problem in problems:
             print(f"  {problem}")
         return 1
-    print("all documentation citations in src/ resolve")
+    print("all documentation citations in src/ and docs/ resolve")
     return 0
 
 

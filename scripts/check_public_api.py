@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Fail when the exported public API drifts from its snapshot.
 
-The client layer (DESIGN.md section 10) makes ``repro`` and
-``repro.client`` a compatibility surface real code depends on.  This
-script snapshots every ``__all__`` export of both modules — classes
+The client layer (DESIGN.md section 10) and the TCP service boundary
+(DESIGN.md section 11) make ``repro``, ``repro.client``, and
+``repro.server`` a compatibility surface real code depends on.  This
+script snapshots every ``__all__`` export of those modules — classes
 with their public method/property signatures, functions with their
 signatures — into ``scripts/api_surface.json`` and fails listing every
 difference, so signature breakage is always a reviewed decision, never
@@ -27,7 +28,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SNAPSHOT_PATH = REPO_ROOT / "scripts" / "api_surface.json"
 
 #: The modules whose exported surface is under contract.
-MODULES = ("repro", "repro.client")
+MODULES = ("repro", "repro.client", "repro.server")
 
 
 def _describe_callable(obj) -> str:

@@ -36,6 +36,7 @@ from repro.catalog import (
 from repro.cjoin import CJoinOperator, ExecutorConfig, QueryHandle
 from repro.client import Connection, Cursor, connect
 from repro.engine import Submission, Warehouse, WarehouseService
+from repro.server import WarehouseServer
 from repro.errors import ReproError
 from repro.query import (
     AggregateSpec,
@@ -80,6 +81,7 @@ __all__ = [
     "TableSchema",
     "TruePredicate",
     "Warehouse",
+    "WarehouseServer",
     "WarehouseService",
     "__version__",
     "connect",

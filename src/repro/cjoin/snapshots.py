@@ -1,6 +1,6 @@
 """Mixed query/update workloads under snapshot isolation
 
-(paper section 3.5).
+(paper section 3.5, summarized in PAPER.md section 3).
 
 Two adaptations, mirroring the paper's two cases:
 

@@ -7,7 +7,9 @@ driver's lifecycle; ``Connection.cursor()`` hands out
 ``fetchone``/``fetchmany``/``fetchall``/iteration family,
 ``description`` metadata, and the warehouse-native extensions
 ``rows_so_far()`` (incremental partials) and ``cancel()`` (mid-scan
-deregistration).
+deregistration).  ``connect("tcp://host:port")`` returns the same
+surface backed by the docs/PROTOCOL.md socket transport
+(:class:`RemoteConnection` / :class:`RemoteCursor`).
 
 Module globals follow PEP 249: ``apilevel``, ``threadsafety`` (2 —
 threads may share the module and connections), and ``paramstyle``
@@ -29,6 +31,7 @@ from repro.client.exceptions import (
     OperationalError,
     ProgrammingError,
 )
+from repro.client.remote import RemoteConnection, RemoteCursor
 
 #: PEP 249 module globals.
 apilevel = "2.0"
@@ -46,6 +49,8 @@ __all__ = [
     "NotSupportedError",
     "OperationalError",
     "ProgrammingError",
+    "RemoteConnection",
+    "RemoteCursor",
     "STRING",
     "apilevel",
     "connect",

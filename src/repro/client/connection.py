@@ -186,18 +186,24 @@ class Connection:
 
 
 def connect(
-    warehouse: Warehouse | None = None,
+    target: "Warehouse | str | None" = None,
     *,
+    warehouse: "Warehouse | None" = None,
     start_service: bool = True,
     fetch_timeout: float = DEFAULT_FETCH_TIMEOUT,
     catalog=None,
     star=None,
     **warehouse_kwargs,
-) -> Connection:
+) -> "Connection":
     """Open a client session; the library's front door.
 
-    Three ways in:
+    Four ways in:
 
+    * ``connect("tcp://host:port")`` — attach to a remote
+      :class:`~repro.server.tcp.WarehouseServer` over the
+      docs/PROTOCOL.md wire protocol; returns a
+      :class:`~repro.client.remote.RemoteConnection` with the same
+      cursor surface as the in-process paths below.
     * ``connect(warehouse)`` — serve an existing warehouse; the
       connection starts/stops the service driver but leaves the
       warehouse open when it closes.
@@ -206,18 +212,36 @@ def connect(
     * ``connect(scale_factor=..., **kwargs)`` — build an SSB-loaded
       warehouse (``Warehouse.from_ssb`` keywords).
 
+    ``warehouse=`` is accepted as a keyword alias of ``target`` (the
+    parameter's pre-URL name), so existing callers keep working.
+
     Raises:
-        InterfaceError: when both a warehouse and build kwargs are
-            given, or a catalog is given without its star schema.
+        InterfaceError: when both a target and build kwargs are given,
+            a catalog is given without its star schema, or the URL is
+            malformed.
+        OperationalError: when the remote server is unreachable or
+            version negotiation fails.
     """
     if warehouse is not None:
+        if target is not None:
+            raise InterfaceError(
+                "pass the warehouse positionally or as warehouse=..., "
+                "not both"
+            )
+        target = warehouse
+    if target is not None:
         if warehouse_kwargs or catalog is not None or star is not None:
             raise InterfaceError(
-                "pass either an existing warehouse or kwargs to build "
-                "one, not both"
+                "pass either a connection target (warehouse or URL) or "
+                "kwargs to build a warehouse, not both"
             )
+        if isinstance(target, str):
+            from repro.client.remote import RemoteConnection, parse_url
+
+            host, port = parse_url(target)
+            return RemoteConnection(host, port, fetch_timeout=fetch_timeout)
         return Connection(
-            warehouse,
+            target,
             owns_warehouse=False,
             start_service=start_service,
             fetch_timeout=fetch_timeout,

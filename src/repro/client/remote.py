@@ -1,0 +1,431 @@
+"""The socket-backed client: ``repro.connect("tcp://host:port")``.
+
+Same surface, different transport (DESIGN.md section 11):
+:class:`RemoteConnection` / :class:`RemoteCursor` expose exactly the
+PEP-249 API of :class:`~repro.client.connection.Connection` and
+:class:`~repro.client.cursor.Cursor`, but every statement travels the
+docs/PROTOCOL.md wire protocol to a
+:class:`~repro.server.tcp.WarehouseServer` instead of touching a
+warehouse in-process.  Parsing, binding, admission, and execution all
+happen server-side; the client ships SQL text plus parameter values
+and receives description 7-tuples, streamed row pages, and mapped
+PEP-249 exceptions back.
+
+The fetch family materializes a statement's rows by draining FETCH
+pages (bounded frames, docs/PROTOCOL.md section 6) — semantics
+identical to the in-process cursor, which also materializes on first
+fetch.  ``rows_so_far()`` round-trips a partial-mode FETCH to the
+server handle's Distributor-fed snapshot, and ``cancel()`` round-trips
+to ``QueryHandle.cancel()`` so an abandoned remote query frees its
+in-flight slot within one scan cycle.
+
+A connection serializes its requests on one lock, so threads may
+share it (PEP 249 threadsafety 2) — concurrent statements interleave
+at frame granularity while their queries run concurrently server-side.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.client.cursor import Cursor
+from repro.client.exceptions import (
+    DatabaseError,
+    Error,
+    InterfaceError,
+    NotSupportedError,
+    OperationalError,
+    ProgrammingError,
+)
+from repro.server import protocol
+from repro.server.protocol import ProtocolError
+
+#: ERROR-frame class names → client exceptions (the client half of the
+#: docs/PROTOCOL.md section 5 mapping table; unknown names degrade to
+#: DatabaseError so the table can grow server-side first).
+_ERROR_CLASSES = {
+    "Error": Error,
+    "InterfaceError": InterfaceError,
+    "DatabaseError": DatabaseError,
+    "ProgrammingError": ProgrammingError,
+    "OperationalError": OperationalError,
+    "NotSupportedError": NotSupportedError,
+}
+
+#: Default seconds to wait for the TCP connect and the HELLO reply.
+DEFAULT_CONNECT_TIMEOUT = 10.0
+
+
+def parse_url(url: str) -> tuple[str, int]:
+    """Split ``tcp://host:port`` into ``(host, port)``.
+
+    Raises:
+        InterfaceError: on any other shape.
+    """
+    if not url.startswith("tcp://"):
+        raise InterfaceError(
+            f"unsupported connection URL {url!r}: expected tcp://host:port"
+        )
+    rest = url[len("tcp://"):]
+    host, separator, port_text = rest.rpartition(":")
+    if not separator or not host or not port_text.isdigit():
+        raise InterfaceError(
+            f"malformed connection URL {url!r}: expected tcp://host:port"
+        )
+    return host, int(port_text)
+
+
+class RemoteConnection:
+    """One client session over a TCP warehouse server (PEP 249 shaped).
+
+    Args:
+        host: server host.
+        port: server port.
+        fetch_timeout: seconds a fetch may block server-side waiting
+            for a query's scan cycle to wrap.
+        page_rows: rows per FETCH page (frame-size bound, not a
+            semantic knob).
+        connect_timeout: seconds for the TCP connect + HELLO handshake.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        fetch_timeout: float = 60.0,
+        page_rows: int = protocol.DEFAULT_PAGE_ROWS,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+    ) -> None:
+        self.fetch_timeout = fetch_timeout
+        self.page_rows = page_rows
+        self._closed = False
+        self._lock = threading.Lock()
+        self._cursors: "set[RemoteCursor]" = set()
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except OSError as error:
+            raise OperationalError(
+                f"could not connect to tcp://{host}:{port}: {error}"
+            ) from error
+        self._reader = self._sock.makefile("rb")
+        try:
+            reply = self._request(
+                {"type": protocol.HELLO, "version": protocol.PROTOCOL_VERSION}
+            )
+            if reply.get("version") != protocol.PROTOCOL_VERSION:
+                raise OperationalError(
+                    f"server negotiated unsupported protocol version "
+                    f"{reply.get('version')!r}"
+                )
+            self.server_info = reply.get("server", "")
+            # the handshake timeout guarded connect; fetches block for
+            # their own (server-enforced) timeout plus a grace margin
+            self._sock.settimeout(fetch_timeout + 30.0)
+        except BaseException:
+            self._abandon_socket()
+            raise
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, payload: dict) -> dict:
+        """One round trip: send a frame, read the reply, map errors."""
+        with self._lock:
+            try:
+                self._sock.sendall(protocol.encode_frame(payload))
+                reply = protocol.read_frame(self._reader)
+            except socket.timeout as error:
+                raise OperationalError(
+                    "timed out waiting for the server's reply"
+                ) from error
+            except (OSError, ProtocolError) as error:
+                raise OperationalError(
+                    f"connection to the server failed: {error}"
+                ) from error
+        if reply is None:
+            raise OperationalError("server closed the connection")
+        if reply.get("type") == protocol.ERROR:
+            detail = reply.get("error") or {}
+            exc_class = _ERROR_CLASSES.get(
+                detail.get("class"), DatabaseError
+            )
+            raise exc_class(detail.get("message", "server reported an error"))
+        return reply
+
+    def _abandon_socket(self) -> None:
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran."""
+        return self._closed
+
+    def close(self) -> None:
+        """Close the session (idempotent).
+
+        Closes every cursor (releasing its server-side statements),
+        sends the connection-level CLOSE — the server cancels anything
+        still in flight for this session — and closes the socket.
+        """
+        if self._closed:
+            return
+        for cursor in list(self._cursors):
+            cursor.close()
+        self._closed = True
+        try:
+            self._request({"type": protocol.CLOSE})
+        except Error:
+            pass  # already closing; the socket teardown is what matters
+        self._abandon_socket()
+
+    def __enter__(self) -> "RemoteConnection":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+
+    def _forget(self, cursor: "RemoteCursor") -> None:
+        self._cursors.discard(cursor)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def cursor(self) -> "RemoteCursor":
+        """A new cursor over this connection."""
+        self._check_open()
+        cursor = RemoteCursor(self)
+        self._cursors.add(cursor)
+        return cursor
+
+    def execute(self, sql: str, params=None) -> "RemoteCursor":
+        """Convenience: new cursor, execute, return it (sqlite3 style)."""
+        return self.cursor().execute(sql, params)
+
+    def executemany(self, sql: str, seq_of_params) -> "RemoteCursor":
+        """Convenience: new cursor, executemany, return it."""
+        return self.cursor().executemany(sql, seq_of_params)
+
+    # ------------------------------------------------------------------
+    # Transactions (PEP 249 surface)
+    # ------------------------------------------------------------------
+    def commit(self) -> None:
+        """No-op: warehouse reads are snapshot-isolated, auto-committed."""
+        self._check_open()
+
+    def rollback(self) -> None:
+        """Unsupported: there is no open transaction to roll back.
+
+        Raises:
+            NotSupportedError: always.
+        """
+        self._check_open()
+        raise NotSupportedError(
+            "the warehouse auto-commits; there is no transaction to "
+            "roll back"
+        )
+
+
+def _check_bindable(value) -> None:
+    """Reject values the binder could never accept, client-side.
+
+    Mirrors the server-side binder's rule (int/float/str only; None is
+    shipped so the server reports its canonical no-NULL error), so a
+    date or Decimal raises the same ``ProgrammingError`` on both
+    transports instead of an unserializable-frame ``TypeError``.
+    """
+    if value is not None and not isinstance(value, (int, float, str)):
+        raise ProgrammingError(
+            f"cannot bind {type(value).__name__}: parameter values "
+            f"must be int, float, or str"
+        )
+
+
+def _jsonable_params(params):
+    """Coerce one parameter set to its wire shape (list or dict)."""
+    if params is None:
+        return None
+    if isinstance(params, (str, bytes)):
+        return params  # let the server's binder report the type error
+    if hasattr(params, "keys"):
+        mapping = dict(params)
+        for value in mapping.values():
+            _check_bindable(value)
+        return mapping
+    try:
+        values = list(params)
+    except TypeError:
+        return params
+    for value in values:
+        _check_bindable(value)
+    return values
+
+
+class RemoteCursor(Cursor):
+    """A :class:`~repro.client.cursor.Cursor` over the wire protocol.
+
+    Inherits the whole fetch/iteration/description surface; only the
+    execution, materialization, streaming, and cancellation paths are
+    rerouted through EXECUTE / FETCH / CANCEL / CLOSE frames.  Each
+    statement maps to server-side query ids that live until the cursor
+    (or its connection) is closed.
+    """
+
+    def __init__(self, connection: RemoteConnection) -> None:
+        super().__init__(connection)
+        self._query_ids: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _release_queries(self) -> None:
+        """Free the server-side statement state (best effort)."""
+        ids, self._query_ids = self._query_ids, []
+        for query_id in ids:
+            try:
+                self.connection._request(
+                    {"type": protocol.CLOSE, "query_id": query_id}
+                )
+            except Error:
+                break  # transport gone; server teardown reclaims state
+
+    def close(self) -> None:
+        """Close the cursor (idempotent); releases server-side state."""
+        if not self._closed and not self.connection.closed:
+            self._release_queries()
+        super().close()
+
+    def execute(self, sql: str, params=None) -> "RemoteCursor":
+        """Ship one statement; the server parses, binds, and submits.
+
+        A malformed statement or binding raises (mapped from the ERROR
+        frame) with no query left behind server-side.
+        """
+        self._check_open()
+        reply = self.connection._request(
+            {
+                "type": protocol.EXECUTE,
+                "sql": sql,
+                "params": _jsonable_params(params),
+            }
+        )
+        self._install(reply)
+        return self
+
+    def executemany(self, sql: str, seq_of_params) -> "RemoteCursor":
+        """Ship one statement with many parameter sets (one frame).
+
+        The server binds every set before submitting anything, so a
+        bad binding is atomic — no orphan queries — exactly like the
+        in-process ``executemany``.
+        """
+        self._check_open()
+        reply = self.connection._request(
+            {
+                "type": protocol.EXECUTE,
+                "sql": sql,
+                "param_sets": [
+                    _jsonable_params(params) for params in seq_of_params
+                ],
+            }
+        )
+        self._install(reply)
+        return self
+
+    def _install(self, reply: dict) -> None:
+        self._release_queries()
+        query_ids = reply.get("query_ids")
+        if not isinstance(query_ids, list):
+            raise OperationalError(
+                "malformed execute_ok frame: missing query_ids"
+            )
+        self._query_ids = query_ids
+        self._description = protocol.decode_description(
+            reply.get("description")
+        )
+        # zero bindings executed the statement zero times: an empty
+        # result set, not 'never executed' (same as the local cursor)
+        self._rows = None if query_ids else []
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def _check_executed(self) -> None:
+        if not self._query_ids and self._rows is None:
+            raise ProgrammingError(
+                "no statement executed yet; call execute() first"
+            )
+
+    def _ensure_rows(self) -> list[tuple]:
+        if self._rows is None:
+            self._check_executed()
+            rows: list[tuple] = []
+            for query_id in self._query_ids:
+                more = True
+                while more:
+                    reply = self.connection._request(
+                        {
+                            "type": protocol.FETCH,
+                            "query_id": query_id,
+                            "max_rows": self.connection.page_rows,
+                            "timeout": self.connection.fetch_timeout,
+                        }
+                    )
+                    rows.extend(protocol.decode_rows(reply.get("rows")))
+                    more = bool(reply.get("more"))
+            self._rows = rows
+        return self._rows
+
+    # ------------------------------------------------------------------
+    # Warehouse-native extensions
+    # ------------------------------------------------------------------
+    def rows_so_far(self) -> list[tuple]:
+        """Live partial results, via a non-blocking partial-mode FETCH."""
+        self._check_open()
+        self._check_executed()
+        rows: list[tuple] = []
+        for query_id in self._query_ids:
+            reply = self.connection._request(
+                {
+                    "type": protocol.FETCH,
+                    "query_id": query_id,
+                    "mode": "partial",
+                }
+            )
+            rows.extend(protocol.decode_rows(reply.get("rows")))
+        return rows
+
+    def cancel(self) -> int:
+        """Cancel the statement's queries server-side.
+
+        Round-trips to ``QueryHandle.cancel()`` on the server: queued
+        statements (per-connection or service FIFO) are dropped in
+        place, registered ones are deregistered mid-scan.  Returns how
+        many queries were cancelled.
+        """
+        self._check_open()
+        self._check_executed()
+        cancelled = 0
+        for query_id in self._query_ids:
+            reply = self.connection._request(
+                {"type": protocol.CANCEL, "query_id": query_id}
+            )
+            cancelled += bool(reply.get("cancelled"))
+        return cancelled

@@ -182,6 +182,7 @@ class Warehouse:
         self,
         query: StarQuery,
         force: RoutingDecision | None = None,
+        handle: QueryHandle | None = None,
     ) -> QueryHandle:
         """Submit a star query; returns a handle for its results.
 
@@ -194,6 +195,12 @@ class Warehouse:
         holds one uniform handle — blocking results, streaming,
         ``cancel()``, and latency telemetry behave the same.
 
+        ``handle`` lets a layer that queued the query *before* the
+        warehouse (the TCP server's per-connection admission queue,
+        docs/ARCHITECTURE.md section 4) keep the handle it already
+        gave its caller: submission timestamps survive the wait and
+        cancellation follows the handle across layers.
+
         Raises:
             QueryError: when the warehouse has been closed.
         """
@@ -202,19 +209,24 @@ class Warehouse:
         decision = self.router.route(query, force)
         if decision is RoutingDecision.CJOIN:
             if self.executor_config.backend == "process":
-                submission = self._enqueue_offline(ROUTE_PROCESS, query)
+                submission = self._enqueue_offline(ROUTE_PROCESS, query, handle)
             else:
-                handle = self.service.submit(query)
+                handle = self.service.submit(query, handle)
                 submission = Submission(query, handle, ROUTE_SERVICE)
                 self._submission_log.append(submission)
         else:
-            submission = self._enqueue_offline(ROUTE_BASELINE, query)
+            submission = self._enqueue_offline(ROUTE_BASELINE, query, handle)
         return submission.handle
 
-    def _enqueue_offline(self, route: str, query: StarQuery) -> Submission:
+    def _enqueue_offline(
+        self,
+        route: str,
+        query: StarQuery,
+        handle: QueryHandle | None = None,
+    ) -> Submission:
         """Queue a submission for the next drain of an offline route."""
         query.validate(self.star)
-        submission = Submission(query, QueryHandle(query), route)
+        submission = Submission(query, handle or QueryHandle(query), route)
         self._offline_queues[route].add(submission)
         self._submission_log.append(submission)
         return submission

@@ -1,0 +1,37 @@
+"""The TCP service boundary (DESIGN.md section 11).
+
+The paper frames CJOIN as the join operator inside an always-on
+warehouse serving hundreds of concurrent clients (paper section 2.1);
+this package is that service boundary.  :class:`WarehouseServer` owns
+one warehouse — one continuous scan — and serves many concurrent
+socket connections; :mod:`repro.server.protocol` implements the
+length-prefixed JSON wire protocol both endpoints speak, specified
+normatively in docs/PROTOCOL.md.  The client side lives in
+:mod:`repro.client.remote`, behind ``repro.connect("tcp://host:port")``.
+
+Runnable entry point::
+
+    PYTHONPATH=src python -m repro.server --scale-factor 0.001
+"""
+
+from repro.server.protocol import (
+    DEFAULT_PAGE_ROWS,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
+from repro.server.tcp import (
+    DEFAULT_MAX_IN_FLIGHT_PER_CONNECTION,
+    DEFAULT_PORT,
+    WarehouseServer,
+)
+
+__all__ = [
+    "DEFAULT_MAX_IN_FLIGHT_PER_CONNECTION",
+    "DEFAULT_PAGE_ROWS",
+    "DEFAULT_PORT",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "WarehouseServer",
+]

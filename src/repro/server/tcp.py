@@ -1,0 +1,619 @@
+"""The threaded TCP warehouse server (docs/ARCHITECTURE.md section 4).
+
+:class:`WarehouseServer` puts the always-on warehouse behind a network
+boundary: one process owns one
+:class:`~repro.engine.warehouse.Warehouse` (and therefore one
+continuous scan) and serves many concurrent client connections, each
+speaking the length-prefixed JSON protocol of docs/PROTOCOL.md.  The
+remote peer is :class:`~repro.client.remote.RemoteConnection`, reached
+through ``repro.connect("tcp://host:port")``.
+
+Threading model: an accept-loop thread plus one handler thread per
+connection.  Handler threads only parse frames, submit queries, and
+block on handles — the actual query work happens on the warehouse
+service's driver thread, so a connection that stalls mid-fetch holds
+nothing but its own socket.
+
+Per-connection admission (the fairness layer): each connection may
+hold at most ``max_in_flight_per_connection`` queries inside the
+warehouse at once.  Further EXECUTEs wait in a per-connection
+:class:`~repro.engine.submission.SubmissionQueue` — the same FIFO (and
+the same cancellation semantics) the offline routes use — and are
+pumped into :meth:`Warehouse.submit` as earlier queries complete.  One
+client fanning out hundreds of statements therefore cannot occupy
+every in-flight slot of the shared scan; other connections keep
+admitting mid-scan.  A torn-down connection cancels everything it
+still owns, so a vanished client's slots free within one scan cycle.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from repro.client.cursor import describe
+from repro.client.exceptions import (
+    Error,
+    InterfaceError,
+    OperationalError,
+    translated,
+)
+from repro.cjoin.registry import QueryHandle
+from repro.engine.submission import (
+    ROUTE_BASELINE,
+    ROUTE_PROCESS,
+    Submission,
+    SubmissionQueue,
+)
+from repro.engine.warehouse import Warehouse
+from repro.errors import AdmissionError, ReproError
+from repro.server import protocol
+from repro.server.protocol import ProtocolError
+from repro.sql.parser import bind_parameters, bind_star_query, parse_select
+
+#: Default TCP port of ``python -m repro.server``.
+DEFAULT_PORT = 5477
+
+#: Default bound on one connection's queries inside the warehouse.
+DEFAULT_MAX_IN_FLIGHT_PER_CONNECTION = 16
+
+#: Handler threads poll completion/shutdown at this cadence while a
+#: FETCH blocks, so ``stop()`` never waits for a client timeout.
+_FETCH_POLL_SECONDS = 0.02
+
+#: The accept loop wakes at this cadence to notice ``stop()``.
+_ACCEPT_POLL_SECONDS = 0.1
+
+#: Upper bound a FETCH frame may request for one page.
+_MAX_PAGE_ROWS = 65536
+
+
+class _ServerQuery:
+    """One statement's server-side state on one connection."""
+
+    __slots__ = ("handle", "rows", "offset", "queued")
+
+    def __init__(self, handle: QueryHandle, queued: bool) -> None:
+        self.handle = handle
+        #: canonical rows, cached after the first completed FETCH
+        self.rows: list[tuple] | None = None
+        self.offset = 0
+        #: True while waiting in the connection's admission queue
+        self.queued = queued
+
+
+class _CloseConnection(Exception):
+    """Internal: the client sent a connection-level CLOSE."""
+
+
+class _Connection:
+    """One client connection: socket, handler thread, query registry."""
+
+    def __init__(self, server: "WarehouseServer", sock: socket.socket) -> None:
+        self.server = server
+        self.sock = sock
+        self.thread = threading.Thread(
+            target=self._serve,
+            name=f"warehouse-conn-{sock.fileno()}",
+            daemon=True,
+        )
+        self._reader = sock.makefile("rb")
+        #: EXECUTEs waiting for a per-connection slot; entries carry
+        #: the caller-visible handle so queued statements stay
+        #: cancellable in place (DESIGN.md section 10 semantics)
+        self._pending = SubmissionQueue("remote")
+        self._queries: dict[int, _ServerQuery] = {}
+        self._next_query_id = 1
+        self._greeted = False
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        self.thread.start()
+
+    def shut_down(self) -> None:
+        """Unblock the handler thread (called from ``server.stop()``)."""
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+
+    def _serve(self) -> None:
+        try:
+            while True:
+                frame = protocol.read_frame(self._reader)
+                if frame is None:
+                    break
+                try:
+                    response = self._dispatch(frame)
+                except _CloseConnection:
+                    self._send({"type": protocol.CLOSE_OK})
+                    break
+                except Error as error:
+                    # statement-level failure: report it, keep serving
+                    self._send_error(error)
+                    continue
+                self.sock.sendall(protocol.encode_frame(response))
+        except ProtocolError as error:
+            # framing violations are fatal: report best-effort, close
+            self._send_error(InterfaceError(str(error)))
+        except OSError:
+            pass  # peer vanished / server shutting down
+        finally:
+            self._teardown()
+
+    def _send(self, payload: dict) -> None:
+        try:
+            self.sock.sendall(protocol.encode_frame(payload))
+        except OSError:
+            pass
+
+    def _send_error(self, error: Exception) -> None:
+        self._send(
+            protocol.error_payload(type(error).__name__, str(error))
+        )
+
+    def _teardown(self) -> None:
+        """Cancel everything this connection still owns, then close.
+
+        This is the slow-client guarantee: a vanished or misbehaving
+        client's queued statements are dropped in place and its
+        in-flight queries are deregistered mid-scan, so its slots free
+        within one scan cycle instead of pinning the shared pipeline.
+        """
+        self._pending.cancel_all()
+        for state in self._queries.values():
+            if not state.handle.done:
+                state.handle.cancel()
+        self._queries.clear()
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        self.server._forget(self)
+
+    # -- dispatch ------------------------------------------------------
+    def _dispatch(self, frame: dict) -> dict:
+        kind = frame["type"]
+        if not self._greeted:
+            if kind != protocol.HELLO:
+                raise ProtocolError(
+                    f"expected a hello frame first, got {kind!r}"
+                )
+            return self._handle_hello(frame)
+        # every frame is a pump opportunity: a client that only polls
+        # partial-mode FETCH (or cancels) must still see its queued
+        # statements admitted as completions free connection slots
+        self._pump()
+        if kind == protocol.EXECUTE:
+            return self._handle_execute(frame)
+        if kind == protocol.FETCH:
+            return self._handle_fetch(frame)
+        if kind == protocol.CANCEL:
+            return self._handle_cancel(frame)
+        if kind == protocol.CLOSE:
+            return self._handle_close(frame)
+        raise ProtocolError(f"unknown frame type {kind!r}")
+
+    def _handle_hello(self, frame: dict) -> dict:
+        version = frame.get("version")
+        if version != protocol.PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"unsupported protocol version {version!r}; this server "
+                f"speaks version {protocol.PROTOCOL_VERSION}"
+            )
+        self._greeted = True
+        from repro import __version__
+
+        return {
+            "type": protocol.HELLO_OK,
+            "version": protocol.PROTOCOL_VERSION,
+            "server": f"repro/{__version__}",
+            "page_rows": protocol.DEFAULT_PAGE_ROWS,
+        }
+
+    # -- EXECUTE -------------------------------------------------------
+    def _handle_execute(self, frame: dict) -> dict:
+        sql = frame.get("sql")
+        if not isinstance(sql, str):
+            raise ProtocolError("execute frame requires a string 'sql'")
+        if "param_sets" in frame:
+            param_sets = frame["param_sets"]
+            if not isinstance(param_sets, list):
+                raise ProtocolError(
+                    "execute frame 'param_sets' must be a list"
+                )
+        else:
+            param_sets = [frame.get("params")]
+        warehouse = self.server.warehouse
+        # parse and bind every set before anything is submitted, so a
+        # bad statement or binding leaves no query behind — the same
+        # atomicity contract as Cursor.executemany
+        with translated():
+            statement = parse_select(sql)
+            star = warehouse.star
+            queries = [
+                bind_star_query(bind_parameters(statement, params), star)
+                for params in param_sets
+            ]
+            description = (
+                describe(statement, queries[0], star) if queries else None
+            )
+        query_ids: list[int] = []
+        try:
+            for query in queries:
+                handle = QueryHandle(query)
+                queued = self._submit(query, handle)
+                query_id = self._next_query_id
+                self._next_query_id += 1
+                self._queries[query_id] = _ServerQuery(handle, queued)
+                query_ids.append(query_id)
+        except BaseException:
+            # a submission failure mid-fan-out cancels this frame's
+            # earlier queries, mirroring Cursor.executemany
+            for query_id in query_ids:
+                state = self._queries.pop(query_id)
+                if not state.handle.done:
+                    state.handle.cancel()
+            raise
+        return {
+            "type": protocol.EXECUTE_OK,
+            "query_ids": query_ids,
+            "description": protocol.encode_description(description),
+        }
+
+    def _submit(self, query, handle: QueryHandle) -> bool:
+        """Submit now if a per-connection slot is free, else queue.
+
+        Returns True when the query was parked in the connection's
+        admission FIFO (``_pump`` moves it into the warehouse later).
+        """
+        with translated():
+            if len(self._pending) or (
+                self._active_count() >= self.server.max_in_flight_per_connection
+            ):
+                self._pending.add(Submission(query, handle, "remote"))
+                return True
+            self.server.warehouse.submit(query, handle=handle)
+            return False
+
+    def _active_count(self) -> int:
+        return sum(
+            1
+            for state in self._queries.values()
+            if not state.queued and not state.handle.done
+        )
+
+    def _pump(self) -> None:
+        """Move queued statements into the warehouse as slots free.
+
+        Runs only on this connection's handler thread, so it never
+        races itself; cancellation of still-queued entries happens on
+        the same thread (CANCEL frames) or during teardown.  A full
+        service queue puts the statement back for a later pump; any
+        other submission failure completes its handle as cancelled so
+        a blocked fetch wakes instead of hanging.
+        """
+        while len(self._pending):
+            if self._active_count() >= self.server.max_in_flight_per_connection:
+                return
+            batch = self._pending.take()
+            if not batch:
+                return
+            head, rest = batch[0], batch[1:]
+            if rest:
+                self._pending.restore(rest)
+            if head.handle.cancelled:
+                continue
+            try:
+                self.server.warehouse.submit(head.query, handle=head.handle)
+            except AdmissionError:
+                self._pending.restore([head])  # back-pressure: retry later
+                return
+            except ReproError:
+                head.handle.mark_cancelled()
+                head.handle.complete([])
+                continue
+            for state in self._queries.values():
+                if state.handle is head.handle:
+                    state.queued = False
+                    break
+
+    # -- FETCH ---------------------------------------------------------
+    def _lookup(self, frame: dict) -> tuple[int, _ServerQuery]:
+        query_id = frame.get("query_id")
+        state = (
+            self._queries.get(query_id)
+            if isinstance(query_id, int)
+            else None
+        )
+        if state is None:
+            raise InterfaceError(f"unknown query id {query_id!r}")
+        return query_id, state
+
+    def _handle_fetch(self, frame: dict) -> dict:
+        query_id, state = self._lookup(frame)
+        if frame.get("mode") == "partial":
+            with translated():
+                rows = state.handle.rows_so_far()
+            # partial snapshots are advisory and replaced wholesale, so
+            # a bounded prefix keeps the frame under MAX_FRAME_BYTES
+            # instead of killing the connection on a huge mid-scan
+            # state (docs/PROTOCOL.md section 6)
+            return {
+                "type": protocol.ROWS,
+                "query_id": query_id,
+                "rows": rows[:_MAX_PAGE_ROWS],
+                "more": not state.handle.done,
+            }
+        max_rows = frame.get("max_rows", protocol.DEFAULT_PAGE_ROWS)
+        if not isinstance(max_rows, int) or not (
+            1 <= max_rows <= _MAX_PAGE_ROWS
+        ):
+            raise ProtocolError(
+                f"fetch max_rows must be an int in [1, {_MAX_PAGE_ROWS}], "
+                f"got {max_rows!r}"
+            )
+        timeout = frame.get("timeout")
+        if timeout is not None and not isinstance(timeout, (int, float)):
+            raise ProtocolError("fetch timeout must be a number or null")
+        if state.rows is None:
+            self._wait_done(state.handle, timeout)
+            with translated():
+                state.rows = state.handle.results()
+        page = state.rows[state.offset:state.offset + max_rows]
+        state.offset += len(page)
+        return {
+            "type": protocol.ROWS,
+            "query_id": query_id,
+            "rows": page,
+            "more": state.offset < len(state.rows),
+        }
+
+    def _wait_done(self, handle: QueryHandle, timeout: float | None) -> None:
+        """Block until the handle completes, pumping admissions.
+
+        The wait polls so it can (a) move this connection's queued
+        statements into slots freed by completions — a FETCH on a
+        still-queued statement must make progress — and (b) abort
+        promptly on server shutdown instead of stranding the handler
+        thread until the client timeout.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + float(timeout)
+        )
+        while not handle.done:
+            if self.server._closing.is_set():
+                raise OperationalError("server is shutting down")
+            self._pump()
+            self.server._drive(handle)
+            if deadline is not None and time.monotonic() >= deadline:
+                raise OperationalError(
+                    f"query did not complete within {timeout} seconds"
+                )
+            handle.wait(_FETCH_POLL_SECONDS)
+
+    # -- CANCEL / CLOSE ------------------------------------------------
+    def _handle_cancel(self, frame: dict) -> dict:
+        _, state = self._lookup(frame)
+        with translated():
+            cancelled = state.handle.cancel()
+        return {"type": protocol.CANCEL_OK, "cancelled": bool(cancelled)}
+
+    def _handle_close(self, frame: dict) -> dict:
+        if "query_id" not in frame:
+            raise _CloseConnection()
+        query_id, state = self._lookup(frame)
+        del self._queries[query_id]
+        if not state.handle.done:
+            state.handle.cancel()
+        return {"type": protocol.CLOSE_OK}
+
+
+class WarehouseServer:
+    """A threaded TCP server around one always-on warehouse.
+
+    Args:
+        warehouse: the warehouse to serve.
+        host: interface to bind (default loopback).
+        port: TCP port; 0 (the default) picks a free ephemeral port,
+            readable from :attr:`address` / :attr:`url` after
+            :meth:`start`.
+        owns_warehouse: close the warehouse on :meth:`stop` (True when
+            a launcher built it just for this server).
+        max_in_flight_per_connection: bound on one connection's
+            concurrently submitted queries; the per-connection
+            admission queue holds the rest (fairness across clients).
+
+    Usage::
+
+        server = WarehouseServer(warehouse).start()
+        ... # clients connect to repro.connect(server.url)
+        server.stop()
+    """
+
+    def __init__(
+        self,
+        warehouse: Warehouse,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        owns_warehouse: bool = False,
+        max_in_flight_per_connection: int = (
+            DEFAULT_MAX_IN_FLIGHT_PER_CONNECTION
+        ),
+    ) -> None:
+        if max_in_flight_per_connection < 1:
+            raise InterfaceError(
+                f"max_in_flight_per_connection must be >= 1, got "
+                f"{max_in_flight_per_connection}"
+            )
+        self.warehouse = warehouse
+        self.max_in_flight_per_connection = max_in_flight_per_connection
+        self._requested = (host, port)
+        self._owns_warehouse = owns_warehouse
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._connections: set[_Connection] = set()
+        self._conn_lock = threading.Lock()
+        #: serializes Warehouse.run() drains for offline-routed handles
+        self._run_lock = threading.Lock()
+        self._closing = threading.Event()
+        self._started_service = False
+        self._address: tuple[str, int] | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """True while the accept loop is alive."""
+        thread = self._accept_thread
+        return thread is not None and thread.is_alive()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``.
+
+        Raises:
+            InterfaceError: before :meth:`start`.
+        """
+        if self._address is None:
+            raise InterfaceError("server is not started")
+        return self._address
+
+    @property
+    def url(self) -> str:
+        """The ``tcp://host:port`` URL clients pass to ``repro.connect``."""
+        host, port = self.address
+        return f"tcp://{host}:{port}"
+
+    def start(self) -> "WarehouseServer":
+        """Bind, start the accept loop, and start the warehouse service.
+
+        Returns self, so ``server = WarehouseServer(w).start()`` reads
+        naturally.
+
+        Raises:
+            InterfaceError: when already running.
+        """
+        if self.running:
+            raise InterfaceError("server is already running")
+        self._closing.clear()
+        # serial backends serve live (mid-scan admission); the process
+        # backend admits at drain boundaries, driven from _drive()
+        if (
+            self.warehouse.executor_config.backend == "serial"
+            and not self.warehouse.service.running
+        ):
+            with translated():
+                self.warehouse.start_service()
+            self._started_service = True
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind(self._requested)
+            listener.listen(128)
+            # closing a socket does not wake a thread blocked in
+            # accept() on every platform; poll so stop() always joins
+            listener.settimeout(_ACCEPT_POLL_SECONDS)
+        except OSError:
+            listener.close()
+            if self._started_service:
+                self.warehouse.stop_service()
+                self._started_service = False
+            raise
+        self._listener = listener
+        self._address = listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            args=(listener,),  # stop() nulls self._listener concurrently
+            name="warehouse-accept",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self, listener: socket.socket) -> None:
+        while not self._closing.is_set():
+            try:
+                sock, _ = listener.accept()
+            except socket.timeout:
+                continue  # poll the closing flag
+            except OSError:
+                return  # listener closed by stop()
+            sock.settimeout(None)  # handlers block on frames
+            connection = _Connection(self, sock)
+            with self._conn_lock:
+                if self._closing.is_set():
+                    sock.close()
+                    return
+                self._connections.add(connection)
+            connection.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Shut down cleanly (idempotent): no leaked threads or sockets.
+
+        Closes the listener, unblocks and joins every handler thread
+        (their teardown cancels the queries their clients abandoned),
+        stops the service driver this server started, and closes the
+        warehouse when it owns it.
+        """
+        self._closing.set()
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        thread, self._accept_thread = self._accept_thread, None
+        if thread is not None:
+            thread.join(timeout)
+        with self._conn_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            connection.shut_down()
+        for connection in connections:
+            connection.thread.join(timeout)
+        if self._started_service:
+            self.warehouse.stop_service()
+            self._started_service = False
+        if self._owns_warehouse and not self.warehouse.closed:
+            self.warehouse.close()
+
+    def __enter__(self) -> "WarehouseServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()
+
+    @property
+    def connection_count(self) -> int:
+        """Currently attached client connections."""
+        with self._conn_lock:
+            return len(self._connections)
+
+    def _forget(self, connection: _Connection) -> None:
+        with self._conn_lock:
+            self._connections.discard(connection)
+
+    def _drive(self, handle: QueryHandle) -> None:
+        """Let an offline-routed handle finish (Connection._complete's
+
+        server-side twin): with the background driver running and no
+        offline submissions pending there is nothing to do; otherwise
+        drain the warehouse on this handler thread, serialized so
+        concurrent connections do not double-drive the offline routes.
+        """
+        if handle.done:
+            return
+        warehouse = self.warehouse
+        offline_pending = warehouse.pending_submissions(
+            ROUTE_PROCESS
+        ) or warehouse.pending_submissions(ROUTE_BASELINE)
+        if offline_pending or not warehouse.service.running:
+            with self._run_lock:
+                if not handle.done:
+                    with translated():
+                        warehouse.run()

@@ -53,8 +53,29 @@ def city_query(city: str) -> StarQuery:
     )
 
 
+@pytest.fixture(params=["local", "remote"])
+def connection(request, tiny_star):
+    """One client session per transport: every test using this fixture
+    runs twice — in-process and over a TCP server speaking the
+    docs/PROTOCOL.md wire protocol (the ISSUE 5 acceptance criterion:
+    the remote path passes the same cursor-semantics tests)."""
+    catalog, star = tiny_star
+    if request.param == "local":
+        with repro.connect(catalog=catalog, star=star) as conn:
+            yield conn
+    else:
+        from repro.server import WarehouseServer
+
+        with WarehouseServer(
+            Warehouse(catalog, star), owns_warehouse=True
+        ) as server:
+            with repro.connect(server.url) as conn:
+                yield conn
+
+
 @pytest.fixture
-def connection(tiny_star):
+def local_connection(tiny_star):
+    """In-process session, for tests that introspect the warehouse."""
     catalog, star = tiny_star
     with repro.connect(catalog=catalog, star=star) as conn:
         yield conn
@@ -71,6 +92,16 @@ class TestConnectionLifecycle:
         assert conn.closed
         assert set(threading.enumerate()) == before
         conn.close()  # idempotent
+
+    def test_connect_accepts_warehouse_keyword_alias(self, tiny_star):
+        """The pre-URL parameter name keeps working as a keyword."""
+        catalog, star = tiny_star
+        warehouse = Warehouse(catalog, star)
+        with repro.connect(warehouse=warehouse) as conn:
+            assert conn.warehouse is warehouse
+        with pytest.raises(InterfaceError, match="not both"):
+            repro.connect(warehouse, warehouse=warehouse)
+        warehouse.close()
 
     def test_connect_wraps_existing_warehouse_without_closing_it(
         self, tiny_star
@@ -223,11 +254,11 @@ class TestCursorSemantics:
         assert cursor.fetchall() == [(5,), (4,), (3,)]
         assert cursor.description is not None
 
-    def test_executemany_is_atomic_over_bad_bindings(self, connection):
-        warehouse = connection.warehouse
+    def test_executemany_is_atomic_over_bad_bindings(self, local_connection):
+        warehouse = local_connection.warehouse
         submissions_before = len(warehouse.submissions)
         with pytest.raises(ProgrammingError):
-            connection.executemany(
+            local_connection.executemany(
                 CITY_COUNT_SQL, [("lyon",), ("paris", "extra")]
             )
         # the good first binding was never submitted: no orphan queries
@@ -267,11 +298,26 @@ class TestErrorMapping:
         with pytest.raises(ProgrammingError):
             connection.execute(CITY_COUNT_SQL, ("lyon", "extra"))
 
-    def test_parse_errors_leave_no_state_behind(self, connection):
-        warehouse = connection.warehouse
+    def test_unbindable_param_type_is_programming_error(self, connection):
+        """Both transports map a non-int/float/str parameter value to
+        ProgrammingError (never a raw serialization TypeError)."""
+        import datetime
+
+        for bad in (datetime.date(2020, 1, 1), object(), [1, 2]):
+            with pytest.raises(ProgrammingError, match="int, float, or str"):
+                connection.execute(CITY_COUNT_SQL, (bad,))
+            with pytest.raises(ProgrammingError, match="int, float, or str"):
+                connection.execute(
+                    "SELECT COUNT(*) FROM sales, store "
+                    "WHERE f_store = s_id AND s_city = :city",
+                    {"city": bad},
+                )
+
+    def test_parse_errors_leave_no_state_behind(self, local_connection):
+        warehouse = local_connection.warehouse
         submissions_before = len(warehouse.submissions)
         with pytest.raises(ProgrammingError):
-            connection.execute(CITY_COUNT_SQL, (None,))
+            local_connection.execute(CITY_COUNT_SQL, (None,))
         assert len(warehouse.submissions) == submissions_before
         assert warehouse.cjoin.active_query_count == 0
 

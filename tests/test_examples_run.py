@@ -14,13 +14,14 @@ EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
 
 
-def test_examples_directory_has_the_documented_six():
+def test_examples_directory_has_the_documented_seven():
     assert EXAMPLES == [
         "client_session.py",
         "concurrent_analytics.py",
         "galaxy_and_partitions.py",
         "live_dashboard.py",
         "quickstart.py",
+        "remote_client.py",
         "updates_and_snapshots.py",
     ]
 

@@ -1,0 +1,315 @@
+"""The wire protocol (docs/PROTOCOL.md): framing, codecs, violations.
+
+Unit tests for the transport layer in ``repro/server/protocol.py``
+(round trips, truncation, oversize, malformed JSON) plus live-server
+tests driving raw sockets through the normative violation handling of
+docs/PROTOCOL.md section 7: a server must answer protocol violations
+with an ERROR frame where the stream still permits one, and must close
+the connection afterwards — without disturbing other connections.
+"""
+
+from __future__ import annotations
+
+import io
+import socket
+import struct
+
+import pytest
+
+import repro
+from repro.catalog.schema import DataType
+from repro.engine import Warehouse
+from repro.server import WarehouseServer, protocol
+from repro.server.protocol import ProtocolError
+
+
+class TestFraming:
+    def test_round_trip(self):
+        payload = {"type": "execute", "sql": "SELECT 1", "params": [1, "a"]}
+        encoded = protocol.encode_frame(payload)
+        assert protocol.read_frame(io.BytesIO(encoded)) == payload
+
+    def test_many_frames_on_one_stream(self):
+        frames = [{"type": "hello", "n": index} for index in range(5)]
+        stream = io.BytesIO(
+            b"".join(protocol.encode_frame(frame) for frame in frames)
+        )
+        assert [protocol.read_frame(stream) for _ in frames] == frames
+        assert protocol.read_frame(stream) is None  # clean EOF
+
+    def test_clean_eof_returns_none(self):
+        assert protocol.read_frame(io.BytesIO(b"")) is None
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            protocol.read_frame(io.BytesIO(b"\x00\x00"))
+
+    def test_truncated_body_raises(self):
+        encoded = protocol.encode_frame({"type": "hello"})
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            protocol.read_frame(io.BytesIO(encoded[:-2]))
+
+    def test_oversized_length_prefix_raises(self):
+        header = struct.pack(">I", protocol.MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="limit"):
+            protocol.read_frame(io.BytesIO(header))
+
+    def test_invalid_json_body_raises(self):
+        body = b"not json at all"
+        stream = io.BytesIO(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError, match="JSON"):
+            protocol.read_frame(stream)
+
+    def test_non_object_body_raises(self):
+        body = b"[1, 2, 3]"
+        stream = io.BytesIO(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError, match="object"):
+            protocol.read_frame(stream)
+
+    def test_object_without_type_raises(self):
+        body = b'{"sql": "SELECT 1"}'
+        stream = io.BytesIO(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError, match="type"):
+            protocol.read_frame(stream)
+
+    def test_encode_rejects_untyped_payloads(self):
+        with pytest.raises(ProtocolError, match="type"):
+            protocol.encode_frame({"sql": "SELECT 1"})
+        with pytest.raises(ProtocolError, match="type"):
+            protocol.encode_frame(["hello"])
+
+
+class TestCodecs:
+    def test_description_round_trip(self):
+        description = (
+            ("s_city", DataType.STRING, None, None, None, None, False),
+            ("orders", DataType.INT, None, None, None, None, False),
+        )
+        encoded = protocol.encode_description(description)
+        assert encoded == [
+            ["s_city", "STRING", None, None, None, None, False],
+            ["orders", "INT", None, None, None, None, False],
+        ]
+        assert protocol.decode_description(encoded) == description
+        assert protocol.encode_description(None) is None
+        assert protocol.decode_description(None) is None
+
+    def test_description_unknown_type_code_raises(self):
+        with pytest.raises(ProtocolError, match="description"):
+            protocol.decode_description(
+                [["x", "NOPE", None, None, None, None, False]]
+            )
+
+    def test_rows_round_trip(self):
+        assert protocol.decode_rows([[1, "a"], [2, None]]) == [
+            (1, "a"),
+            (2, None),
+        ]
+        with pytest.raises(ProtocolError, match="rows"):
+            protocol.decode_rows("nope")
+
+    def test_error_payload_clamps_unknown_classes(self):
+        payload = protocol.error_payload("ProgrammingError", "bad sql")
+        assert payload["error"] == {
+            "class": "ProgrammingError",
+            "message": "bad sql",
+        }
+        clamped = protocol.error_payload("SecretInternalError", "boom")
+        assert clamped["error"]["class"] == "DatabaseError"
+
+
+@pytest.fixture
+def server(tiny_star):
+    catalog, star = tiny_star
+    with WarehouseServer(
+        Warehouse(catalog, star), owns_warehouse=True
+    ) as running:
+        yield running
+
+
+def raw_client(server: WarehouseServer) -> socket.socket:
+    sock = socket.create_connection(server.address, timeout=5.0)
+    sock.settimeout(5.0)
+    return sock
+
+
+def roundtrip(sock: socket.socket, payload: dict) -> dict | None:
+    sock.sendall(protocol.encode_frame(payload))
+    return protocol.read_frame(sock.makefile("rb"))
+
+
+class TestServerViolations:
+    """docs/PROTOCOL.md section 7: ERROR frame, then close."""
+
+    def test_execute_before_hello_is_fatal(self, server):
+        with raw_client(server) as sock:
+            reader = sock.makefile("rb")
+            sock.sendall(
+                protocol.encode_frame({"type": "execute", "sql": "SELECT 1"})
+            )
+            reply = protocol.read_frame(reader)
+            assert reply["type"] == "error"
+            assert "hello" in reply["error"]["message"]
+            assert protocol.read_frame(reader) is None  # closed
+
+    def test_version_mismatch_is_fatal(self, server):
+        with raw_client(server) as sock:
+            reader = sock.makefile("rb")
+            sock.sendall(
+                protocol.encode_frame({"type": "hello", "version": 999})
+            )
+            reply = protocol.read_frame(reader)
+            assert reply["type"] == "error"
+            assert "version" in reply["error"]["message"]
+            assert protocol.read_frame(reader) is None
+
+    def test_unknown_frame_type_is_fatal(self, server):
+        with raw_client(server) as sock:
+            reader = sock.makefile("rb")
+            sock.sendall(
+                protocol.encode_frame(
+                    {"type": "hello", "version": protocol.PROTOCOL_VERSION}
+                )
+            )
+            assert protocol.read_frame(reader)["type"] == "hello_ok"
+            sock.sendall(protocol.encode_frame({"type": "launch_missiles"}))
+            reply = protocol.read_frame(reader)
+            assert reply["type"] == "error"
+            assert "unknown frame type" in reply["error"]["message"]
+            assert protocol.read_frame(reader) is None
+
+    def test_garbage_bytes_close_the_connection(self, server):
+        with raw_client(server) as sock:
+            reader = sock.makefile("rb")
+            body = b"\xff\xfe not json"
+            sock.sendall(struct.pack(">I", len(body)) + body)
+            reply = protocol.read_frame(reader)  # best-effort error frame
+            if reply is not None:
+                assert reply["type"] == "error"
+                assert protocol.read_frame(reader) is None
+
+    def test_statement_errors_keep_the_connection_alive(self, server):
+        """Statement-level failures are NOT protocol violations: the
+        server reports them and keeps serving the same connection."""
+        with raw_client(server) as sock:
+            reader = sock.makefile("rb")
+            sock.sendall(
+                protocol.encode_frame(
+                    {"type": "hello", "version": protocol.PROTOCOL_VERSION}
+                )
+            )
+            assert protocol.read_frame(reader)["type"] == "hello_ok"
+            sock.sendall(
+                protocol.encode_frame({"type": "execute", "sql": "SELEC no"})
+            )
+            reply = protocol.read_frame(reader)
+            assert reply["type"] == "error"
+            assert reply["error"]["class"] == "ProgrammingError"
+            sock.sendall(
+                protocol.encode_frame({"type": "fetch", "query_id": 42})
+            )
+            reply = protocol.read_frame(reader)
+            assert reply["type"] == "error"
+            assert reply["error"]["class"] == "InterfaceError"
+            # still usable: a valid statement completes end to end
+            sock.sendall(
+                protocol.encode_frame(
+                    {
+                        "type": "execute",
+                        "sql": (
+                            "SELECT COUNT(*) FROM sales, store "
+                            "WHERE f_store = s_id"
+                        ),
+                    }
+                )
+            )
+            reply = protocol.read_frame(reader)
+            assert reply["type"] == "execute_ok"
+            (query_id,) = reply["query_ids"]
+            sock.sendall(
+                protocol.encode_frame(
+                    {"type": "fetch", "query_id": query_id, "timeout": 30}
+                )
+            )
+            reply = protocol.read_frame(reader)
+            assert reply["type"] == "rows"
+            assert reply["rows"] == [[12]]
+            assert reply["more"] is False
+
+    def test_fetch_rejects_bad_page_sizes(self, server):
+        with raw_client(server) as sock:
+            reader = sock.makefile("rb")
+            sock.sendall(
+                protocol.encode_frame(
+                    {"type": "hello", "version": protocol.PROTOCOL_VERSION}
+                )
+            )
+            assert protocol.read_frame(reader)["type"] == "hello_ok"
+            sock.sendall(
+                protocol.encode_frame(
+                    {
+                        "type": "execute",
+                        "sql": "SELECT COUNT(*) FROM sales",
+                    }
+                )
+            )
+            (query_id,) = protocol.read_frame(reader)["query_ids"]
+            sock.sendall(
+                protocol.encode_frame(
+                    {"type": "fetch", "query_id": query_id, "max_rows": 0}
+                )
+            )
+            reply = protocol.read_frame(reader)
+            assert reply["type"] == "error"
+            assert "max_rows" in reply["error"]["message"]
+
+    def test_row_paging_over_the_wire(self, server):
+        """A grouped result spread over max_rows=1 pages arrives whole
+        and in order, with more=False exactly on the last page."""
+        with repro.connect(server.url) as conn:
+            expected = conn.execute(
+                "SELECT s_city, COUNT(*) FROM sales, store "
+                "WHERE f_store = s_id GROUP BY s_city"
+            ).fetchall()
+        assert len(expected) == 3
+        with raw_client(server) as sock:
+            reader = sock.makefile("rb")
+            sock.sendall(
+                protocol.encode_frame(
+                    {"type": "hello", "version": protocol.PROTOCOL_VERSION}
+                )
+            )
+            assert protocol.read_frame(reader)["type"] == "hello_ok"
+            sock.sendall(
+                protocol.encode_frame(
+                    {
+                        "type": "execute",
+                        "sql": (
+                            "SELECT s_city, COUNT(*) FROM sales, store "
+                            "WHERE f_store = s_id GROUP BY s_city"
+                        ),
+                    }
+                )
+            )
+            (query_id,) = protocol.read_frame(reader)["query_ids"]
+            pages = []
+            more = True
+            while more:
+                sock.sendall(
+                    protocol.encode_frame(
+                        {
+                            "type": "fetch",
+                            "query_id": query_id,
+                            "max_rows": 1,
+                            "timeout": 30,
+                        }
+                    )
+                )
+                reply = protocol.read_frame(reader)
+                assert reply["type"] == "rows"
+                assert len(reply["rows"]) <= 1
+                pages.append(reply["rows"])
+                more = reply["more"]
+            rows = [tuple(row) for page in pages for row in page]
+            assert rows == expected
+            assert all(len(page) == 1 for page in pages)

@@ -3,8 +3,8 @@
 Wires two standalone entry points into the tier-1 suite:
 
 * ``scripts/check_docs_refs.py`` — every DESIGN.md / EXPERIMENTS.md /
-  README.md citation in ``src/`` must resolve to a real file and a
-  real numbered section;
+  README.md / PAPER.md / docs-tree citation in ``src/`` and ``docs/``
+  must resolve to a real file and a real numbered section;
 * ``python -m repro.bench --smoke`` — the fast experiment gate (all
   shape checks plus the tuple-vs-batched real-pipeline sanity pass).
 """
@@ -31,7 +31,14 @@ def _load_check_docs_refs():
 
 
 def test_docs_exist():
-    for name in ("DESIGN.md", "EXPERIMENTS.md", "README.md"):
+    for name in (
+        "DESIGN.md",
+        "EXPERIMENTS.md",
+        "README.md",
+        "PAPER.md",
+        "docs/ARCHITECTURE.md",
+        "docs/PROTOCOL.md",
+    ):
         assert (REPO_ROOT / name).is_file(), f"{name} is missing"
 
 
@@ -56,6 +63,43 @@ def test_docs_refs_checker_flags_dangling_citation(tmp_path):
     )
     problems = checker.check(tmp_path)
     assert len(problems) == 1 and "missing file" in problems[0]
+
+
+def test_docs_refs_checker_covers_the_docs_tree(tmp_path):
+    """Citations of and inside docs/ files are checked too: bare
+    ARCHITECTURE.md / PROTOCOL.md names resolve into docs/, and the
+    docs themselves are scanned as citation sources."""
+    checker = _load_check_docs_refs()
+    (tmp_path / "src").mkdir()
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "DESIGN.md").write_text("## 1. Intro\n", encoding="utf-8")
+    (tmp_path / "src" / "mod.py").write_text(
+        '"""See docs/PROTOCOL.md section 2 and ARCHITECTURE.md."""\n',
+        encoding="utf-8",
+    )
+    # docs/PROTOCOL.md missing entirely, ARCHITECTURE.md present but
+    # cited from within the docs tree with a dangling section number
+    (tmp_path / "docs" / "ARCHITECTURE.md").write_text(
+        "## 1. Map\nSee DESIGN.md section 7.\n", encoding="utf-8"
+    )
+    problems = checker.check(tmp_path)
+    assert len(problems) == 2
+    assert any(
+        "docs/PROTOCOL.md" in problem and "missing file" in problem
+        for problem in problems
+    )
+    assert any(
+        "ARCHITECTURE.md" in problem and "section 7" in problem
+        for problem in problems
+    )
+    # fixing both clears the report
+    (tmp_path / "docs" / "PROTOCOL.md").write_text(
+        "## 2. Version negotiation\n", encoding="utf-8"
+    )
+    (tmp_path / "docs" / "ARCHITECTURE.md").write_text(
+        "## 1. Map\nSee DESIGN.md section 1.\n", encoding="utf-8"
+    )
+    assert checker.check(tmp_path) == []
 
 
 def test_public_api_surface_matches_snapshot():
