@@ -12,7 +12,12 @@ is meaningful across machines of different speeds):
 * ``open_loop_flatness`` — p95 latency at a low Poisson arrival rate
   over p95 at 8x that rate against the always-on service
   (benchmarks/bench_open_loop_latency.py; 1.0 = perfectly flat, the
-  paper's predictability claim).
+  paper's predictability claim);
+* ``async_session_flatness`` — probe-statement p95 with 64 concurrent
+  remote sessions held open over probe p95 with 1024 held, multiplexed
+  over 4 sockets against the asyncio server
+  (benchmarks/bench_remote_concurrency.py; 1.0 = session count does
+  not move tail latency, the serving-layer predictability claim).
 
 Each measured ratio is compared against BENCH_baseline.json at the
 repository root; a measurement below ``baseline * (1 - tolerance)``
@@ -59,6 +64,7 @@ def measure_metrics() -> dict[str, float | None]:
     from benchmarks.bench_batch_vs_tuple import measure_batch_vs_tuple
     from benchmarks.bench_open_loop_latency import measure_open_loop
     from benchmarks.bench_parallel_scaleup import WORKERS, measure_scaleup
+    from benchmarks.bench_remote_concurrency import measure_async_sessions
 
     metrics: dict[str, float | None] = {}
     batch = measure_batch_vs_tuple()
@@ -76,6 +82,22 @@ def measure_metrics() -> dict[str, float | None]:
     if not open_loop["identical"]:
         raise AssertionError("open-loop service results diverged from reference")
     metrics["open_loop_flatness"] = round(open_loop["flatness"], 3)
+    async_sessions = measure_async_sessions()
+    if not async_sessions["rows_ok"]:
+        raise AssertionError("async session rows diverged from reference")
+    if not async_sessions["sustained_target"]:
+        raise AssertionError(
+            "async server failed to hold the full session rung "
+            f"({async_sessions['peak_sessions']} < "
+            f"{async_sessions['sessions']})"
+        )
+    if not (
+        async_sessions["tasks_clean"] and async_sessions["threads_clean"]
+    ):
+        raise AssertionError("async session bench leaked tasks or threads")
+    metrics["async_session_flatness"] = round(
+        async_sessions["flatness"], 3
+    )
     return metrics
 
 

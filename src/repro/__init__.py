@@ -34,9 +34,9 @@ from repro.catalog import (
     TableSchema,
 )
 from repro.cjoin import CJoinOperator, ExecutorConfig, QueryHandle
-from repro.client import Connection, Cursor, connect
+from repro.client import Connection, Cursor, connect, connect_async
 from repro.engine import Submission, Warehouse, WarehouseService
-from repro.server import WarehouseServer
+from repro.server import AsyncWarehouseServer, WarehouseServer
 from repro.errors import ReproError
 from repro.query import (
     AggregateSpec,
@@ -57,6 +57,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AggregateSpec",
     "And",
+    "AsyncWarehouseServer",
     "Between",
     "CJoinOperator",
     "Catalog",
@@ -85,4 +86,5 @@ __all__ = [
     "WarehouseService",
     "__version__",
     "connect",
+    "connect_async",
 ]

@@ -17,6 +17,12 @@ threads may share the module and connections), and ``paramstyle``
 accepted).
 """
 
+from repro.client.aio import (
+    AsyncConnectionPool,
+    AsyncCursor,
+    AsyncRemoteConnection,
+    connect_async,
+)
 from repro.client.connection import (
     DEFAULT_FETCH_TIMEOUT,
     Connection,
@@ -39,6 +45,9 @@ threadsafety = 2
 paramstyle = "qmark"
 
 __all__ = [
+    "AsyncConnectionPool",
+    "AsyncCursor",
+    "AsyncRemoteConnection",
     "Connection",
     "Cursor",
     "DEFAULT_FETCH_TIMEOUT",
@@ -54,6 +63,7 @@ __all__ = [
     "STRING",
     "apilevel",
     "connect",
+    "connect_async",
     "paramstyle",
     "threadsafety",
 ]

@@ -1,0 +1,582 @@
+"""The asyncio client: ``await repro.connect_async("tcp://host:port")``.
+
+Protocol v2's client half (docs/PROTOCOL.md section 8): an
+:class:`AsyncRemoteConnection` keeps MANY requests in flight on one
+socket — every outgoing frame carries a fresh request id, a single
+reader task demultiplexes replies back to per-request futures, and a
+write lock keeps frame boundaries intact.  A thousand concurrent
+cursors therefore need neither a thousand sockets nor a thousand
+threads: :func:`connect_async` opens a small
+:class:`AsyncConnectionPool` and deals cursors across it round-robin,
+which is how the open-loop benchmark drives 1k+ concurrent remote
+sessions from one process (EXPERIMENTS.md section 9).
+
+The cursor surface mirrors the PEP-249 shape of
+:class:`~repro.client.cursor.Cursor` with ``await`` in front of the
+blocking calls (``execute``, the fetch family, ``cancel``,
+``rows_so_far``) and ``async for`` in place of iteration; description
+tuples, paging semantics, and the error mapping are byte-identical to
+the sync client because both ends share :mod:`repro.server.protocol`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.client.exceptions import (
+    DatabaseError,
+    Error,
+    InterfaceError,
+    OperationalError,
+    ProgrammingError,
+)
+from repro.client.remote import _ERROR_CLASSES, _jsonable_params, parse_url
+from repro.server import protocol
+from repro.server.protocol import ProtocolError
+
+#: Default seconds for the TCP connect and the HELLO reply.
+DEFAULT_CONNECT_TIMEOUT = 10.0
+
+#: Default sockets per pool; cursors multiplex, so a handful of
+#: sockets carries hundreds of concurrent sessions.
+DEFAULT_POOL_SIZE = 4
+
+
+class AsyncRemoteConnection:
+    """One multiplexed v2 session over a warehouse server.
+
+    Construct via :meth:`open` (or, pooled, via
+    :func:`connect_async`).  All methods must be called from the event
+    loop that opened the connection.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        fetch_timeout: float,
+        page_rows: int,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.fetch_timeout = fetch_timeout
+        self.page_rows = page_rows
+        #: server-enforced timeouts come back as ERROR frames; the
+        #: client-side cap only catches a wedged server
+        self._reply_timeout = fetch_timeout + 30.0
+        self._next_request_id = 0
+        self._futures: dict[int, asyncio.Future] = {}
+        self._write_lock = asyncio.Lock()
+        self._read_task: asyncio.Task | None = None
+        self._closed = False
+        self._broken: Exception | None = None
+        self.server_info = ""
+        self.protocol_version = 0
+
+    @classmethod
+    async def open(
+        cls,
+        host: str,
+        port: int,
+        fetch_timeout: float = 60.0,
+        page_rows: int = protocol.DEFAULT_PAGE_ROWS,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+    ) -> "AsyncRemoteConnection":
+        """Connect, shake hands, and start the reply demultiplexer.
+
+        Raises:
+            OperationalError: when the server is unreachable or
+                negotiates a version below 2 — multiplexing is the
+                point of this client; v1 servers take the sync client.
+        """
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), connect_timeout
+            )
+        except (OSError, asyncio.TimeoutError) as error:
+            raise OperationalError(
+                f"could not connect to tcp://{host}:{port}: {error}"
+            ) from error
+        conn = cls(reader, writer, fetch_timeout, page_rows)
+        try:
+            # HELLO precedes negotiation, so it carries no request id
+            # and its reply is read inline, before the read loop owns
+            # the stream
+            writer.write(
+                protocol.encode_frame(
+                    {
+                        "type": protocol.HELLO,
+                        "version": protocol.PROTOCOL_VERSION,
+                    }
+                )
+            )
+            await writer.drain()
+            reply = await asyncio.wait_for(
+                protocol.read_frame_async(reader), connect_timeout
+            )
+        except (OSError, ProtocolError, asyncio.TimeoutError) as error:
+            await conn._abandon()
+            raise OperationalError(
+                f"handshake with tcp://{host}:{port} failed: {error}"
+            ) from error
+        try:
+            if reply is None:
+                raise OperationalError("server closed the connection")
+            if reply.get("type") == protocol.ERROR:
+                raise _mapped_error(reply)
+            version = reply.get("version")
+            if not isinstance(version, int) or version < 2:
+                raise OperationalError(
+                    f"server negotiated protocol version {version!r}; "
+                    f"the async client requires version 2 (use "
+                    f"repro.connect() for v1 servers)"
+                )
+        except Error:
+            await conn._abandon()
+            raise
+        conn.protocol_version = version
+        conn.server_info = reply.get("server", "")
+        conn._read_task = asyncio.get_running_loop().create_task(
+            conn._read_loop()
+        )
+        return conn
+
+    # -- transport -----------------------------------------------------
+    async def _read_loop(self) -> None:
+        """Demultiplex replies to their request futures, forever."""
+        try:
+            while True:
+                frame = await protocol.read_frame_async(self._reader)
+                if frame is None:
+                    raise OperationalError("server closed the connection")
+                request_id = frame.get("request_id")
+                future = self._futures.pop(request_id, None)
+                if future is None:
+                    raise OperationalError(
+                        f"server reply carried unexpected request id "
+                        f"{request_id!r}"
+                    )
+                if not future.done():
+                    future.set_result(frame)
+        except asyncio.CancelledError:
+            self._fail_pending(OperationalError("connection closed"))
+            raise
+        except (OSError, ProtocolError, Error) as error:
+            self._fail_pending(
+                error
+                if isinstance(error, Error)
+                else OperationalError(
+                    f"connection to the server failed: {error}"
+                )
+            )
+
+    def _fail_pending(self, error: Exception) -> None:
+        self._broken = error
+        futures, self._futures = self._futures, {}
+        for future in futures.values():
+            if not future.done():
+                future.set_exception(error)
+
+    async def _request(self, payload: dict) -> dict:
+        """Send one tagged request; await its demultiplexed reply.
+
+        Any transport failure — here or in the read loop — surfaces
+        as a typed :class:`OperationalError`, and the connection
+        fails fast afterwards instead of writing into a dead socket.
+        """
+        if self._closed:
+            raise InterfaceError("connection is closed")
+        if self._broken is not None:
+            raise OperationalError(
+                f"connection to the server is broken: {self._broken}"
+            )
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        future = asyncio.get_running_loop().create_future()
+        self._futures[request_id] = future
+        data = protocol.encode_frame(
+            {**payload, "request_id": request_id}
+        )
+        try:
+            async with self._write_lock:
+                self._writer.write(data)
+                await self._writer.drain()
+        except (ConnectionError, OSError) as error:
+            self._futures.pop(request_id, None)
+            self._fail_pending(
+                OperationalError(
+                    f"connection to the server failed: {error}"
+                )
+            )
+            raise OperationalError(
+                f"connection to the server failed: {error}"
+            ) from error
+        try:
+            reply = await asyncio.wait_for(future, self._reply_timeout)
+        except (asyncio.TimeoutError, TimeoutError) as error:
+            self._futures.pop(request_id, None)
+            raise OperationalError(
+                "timed out waiting for the server's reply"
+            ) from error
+        if reply.get("type") == protocol.ERROR:
+            raise _mapped_error(reply)
+        return reply
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran."""
+        return self._closed
+
+    async def close(self) -> None:
+        """Close the session (idempotent).
+
+        Best-effort CLOSE — the server cancels anything still in
+        flight for this session — then stop the read loop and close
+        the socket.
+        """
+        if self._closed:
+            return
+        try:
+            if self._broken is None:
+                await asyncio.wait_for(
+                    self._request({"type": protocol.CLOSE}), 5.0
+                )
+        except (Error, asyncio.TimeoutError, TimeoutError):
+            pass  # the socket teardown is what matters
+        self._closed = True
+        await self._abandon()
+
+    async def _abandon(self) -> None:
+        if self._read_task is not None:
+            self._read_task.cancel()
+            await asyncio.gather(self._read_task, return_exceptions=True)
+            self._read_task = None
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+
+    # -- statements ----------------------------------------------------
+    def cursor(self) -> "AsyncCursor":
+        """A new cursor multiplexed over this connection."""
+        self._check_open()
+        return AsyncCursor(self)
+
+    async def execute(self, sql: str, params=None) -> "AsyncCursor":
+        """Convenience: new cursor, execute, return it."""
+        return await self.cursor().execute(sql, params)
+
+    async def executemany(self, sql: str, seq_of_params) -> "AsyncCursor":
+        """Convenience: new cursor, executemany, return it."""
+        return await self.cursor().executemany(sql, seq_of_params)
+
+
+def _mapped_error(reply: dict) -> Error:
+    detail = reply.get("error") or {}
+    exc_class = _ERROR_CLASSES.get(detail.get("class"), DatabaseError)
+    return exc_class(detail.get("message", "server reported an error"))
+
+
+class AsyncCursor:
+    """PEP-249-shaped cursor with ``await`` on the blocking calls.
+
+    One statement's queries live server-side until :meth:`close` (or
+    the pool) releases them; many cursors of one connection run their
+    FETCHes concurrently thanks to request-id multiplexing.
+    """
+
+    def __init__(self, connection: AsyncRemoteConnection) -> None:
+        self.connection = connection
+        #: default fetchmany size (PEP 249)
+        self.arraysize = 1
+        self._query_ids: list[int] = []
+        self._description = None
+        self._rows: list[tuple] | None = None
+        self._index = 0
+        self._closed = False
+
+    # -- execution -----------------------------------------------------
+    async def execute(self, sql: str, params=None) -> "AsyncCursor":
+        """Ship one statement; the server parses, binds, and submits."""
+        self._check_open()
+        reply = await self.connection._request(
+            {
+                "type": protocol.EXECUTE,
+                "sql": sql,
+                "params": _jsonable_params(params),
+            }
+        )
+        await self._install(reply)
+        return self
+
+    async def executemany(self, sql: str, seq_of_params) -> "AsyncCursor":
+        """One statement, many parameter sets, one frame (atomic)."""
+        self._check_open()
+        reply = await self.connection._request(
+            {
+                "type": protocol.EXECUTE,
+                "sql": sql,
+                "param_sets": [
+                    _jsonable_params(params) for params in seq_of_params
+                ],
+            }
+        )
+        await self._install(reply)
+        return self
+
+    async def _install(self, reply: dict) -> None:
+        await self._release_queries()
+        query_ids = reply.get("query_ids")
+        if not isinstance(query_ids, list):
+            raise OperationalError(
+                "malformed execute_ok frame: missing query_ids"
+            )
+        self._query_ids = query_ids
+        self._description = protocol.decode_description(
+            reply.get("description")
+        )
+        # zero bindings executed the statement zero times: an empty
+        # result set, not 'never executed' (same as the sync cursor)
+        self._rows = None if query_ids else []
+        self._index = 0
+
+    async def _release_queries(self) -> None:
+        """Free the server-side statement state (best effort)."""
+        ids, self._query_ids = self._query_ids, []
+        for query_id in ids:
+            try:
+                await self.connection._request(
+                    {"type": protocol.CLOSE, "query_id": query_id}
+                )
+            except Error:
+                break  # transport gone; server teardown reclaims state
+
+    async def close(self) -> None:
+        """Close the cursor (idempotent); releases server-side state."""
+        if not self._closed and not self.connection.closed:
+            await self._release_queries()
+        self._closed = True
+
+    # -- results -------------------------------------------------------
+    @property
+    def description(self):
+        """PEP 249 description 7-tuples (None before execute)."""
+        return self._description
+
+    @property
+    def rowcount(self) -> int:
+        """Rows in the materialized result; -1 before materialization."""
+        return -1 if self._rows is None else len(self._rows)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+        self.connection._check_open()
+
+    def _check_executed(self) -> None:
+        if not self._query_ids and self._rows is None:
+            raise ProgrammingError(
+                "no statement executed yet; call execute() first"
+            )
+
+    async def _ensure_rows(self) -> list[tuple]:
+        if self._rows is None:
+            self._check_executed()
+            rows: list[tuple] = []
+            for query_id in self._query_ids:
+                more = True
+                while more:
+                    reply = await self.connection._request(
+                        {
+                            "type": protocol.FETCH,
+                            "query_id": query_id,
+                            "max_rows": self.connection.page_rows,
+                            "timeout": self.connection.fetch_timeout,
+                        }
+                    )
+                    rows.extend(protocol.decode_rows(reply.get("rows")))
+                    more = bool(reply.get("more"))
+            self._rows = rows
+        return self._rows
+
+    async def fetchone(self) -> tuple | None:
+        """The next row, or None when exhausted."""
+        self._check_open()
+        rows = await self._ensure_rows()
+        if self._index >= len(rows):
+            return None
+        row = rows[self._index]
+        self._index += 1
+        return row
+
+    async def fetchmany(self, size: int | None = None) -> list[tuple]:
+        """The next ``size`` rows (default ``arraysize``)."""
+        self._check_open()
+        count = self.arraysize if size is None else size
+        rows = await self._ensure_rows()
+        page = rows[self._index:self._index + count]
+        self._index += len(page)
+        return page
+
+    async def fetchall(self) -> list[tuple]:
+        """Every remaining row."""
+        self._check_open()
+        rows = await self._ensure_rows()
+        page = rows[self._index:]
+        self._index = len(rows)
+        return page
+
+    def __aiter__(self) -> "AsyncCursor":
+        return self
+
+    async def __anext__(self) -> tuple:
+        row = await self.fetchone()
+        if row is None:
+            raise StopAsyncIteration
+        return row
+
+    # -- warehouse-native extensions -----------------------------------
+    async def rows_so_far(self) -> list[tuple]:
+        """Live partial results via a non-blocking partial-mode FETCH."""
+        self._check_open()
+        self._check_executed()
+        rows: list[tuple] = []
+        for query_id in self._query_ids:
+            reply = await self.connection._request(
+                {
+                    "type": protocol.FETCH,
+                    "query_id": query_id,
+                    "mode": "partial",
+                }
+            )
+            rows.extend(protocol.decode_rows(reply.get("rows")))
+        return rows
+
+    async def cancel(self) -> int:
+        """Cancel the statement's queries server-side; returns count."""
+        self._check_open()
+        self._check_executed()
+        cancelled = 0
+        for query_id in self._query_ids:
+            reply = await self.connection._request(
+                {"type": protocol.CANCEL, "query_id": query_id}
+            )
+            cancelled += bool(reply.get("cancelled"))
+        return cancelled
+
+
+class AsyncConnectionPool:
+    """A handful of multiplexed sockets serving many cursors.
+
+    Cursors are dealt round-robin, so concurrent sessions spread
+    evenly; each socket carries many in-flight requests (protocol v2),
+    so pool size trades head-of-line latency against fd count, not
+    concurrency.
+    """
+
+    def __init__(self, connections: list[AsyncRemoteConnection]) -> None:
+        if not connections:
+            raise InterfaceError("connection pool cannot be empty")
+        self._connections = connections
+        self._next = 0
+        self._closed = False
+
+    @property
+    def size(self) -> int:
+        """Sockets in the pool."""
+        return len(self._connections)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran."""
+        return self._closed
+
+    @property
+    def server_info(self) -> str:
+        return self._connections[0].server_info
+
+    @property
+    def protocol_version(self) -> int:
+        return self._connections[0].protocol_version
+
+    def cursor(self) -> AsyncCursor:
+        """A new cursor on the next pool connection (round-robin)."""
+        if self._closed:
+            raise InterfaceError("connection pool is closed")
+        connection = self._connections[self._next % len(self._connections)]
+        self._next += 1
+        return connection.cursor()
+
+    async def execute(self, sql: str, params=None) -> AsyncCursor:
+        """Convenience: new pooled cursor, execute, return it."""
+        return await self.cursor().execute(sql, params)
+
+    async def executemany(self, sql: str, seq_of_params) -> AsyncCursor:
+        """Convenience: new pooled cursor, executemany, return it."""
+        return await self.cursor().executemany(sql, seq_of_params)
+
+    async def close(self) -> None:
+        """Close every pooled connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        await asyncio.gather(
+            *(connection.close() for connection in self._connections),
+            return_exceptions=True,
+        )
+
+    async def __aenter__(self) -> "AsyncConnectionPool":
+        return self
+
+    async def __aexit__(self, exc_type, exc_value, traceback) -> None:
+        await self.close()
+
+
+async def connect_async(
+    url: str,
+    pool_size: int = DEFAULT_POOL_SIZE,
+    fetch_timeout: float = 60.0,
+    page_rows: int = protocol.DEFAULT_PAGE_ROWS,
+    connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+) -> AsyncConnectionPool:
+    """Open a pooled async client: ``await repro.connect_async(url)``.
+
+    Args:
+        url: ``tcp://host:port`` of a protocol-v2 warehouse server
+            (threaded or async).
+        pool_size: sockets to open; cursors multiplex across them.
+        fetch_timeout: seconds a fetch may block server-side.
+        page_rows: rows per FETCH page.
+        connect_timeout: seconds per TCP connect + HELLO handshake.
+
+    Raises:
+        InterfaceError: on a malformed URL or ``pool_size < 1``.
+        OperationalError: when the server is unreachable or speaks
+            only protocol v1.
+    """
+    if pool_size < 1:
+        raise InterfaceError(f"pool_size must be >= 1, got {pool_size}")
+    host, port = parse_url(url)
+    connections: list[AsyncRemoteConnection] = []
+    try:
+        for _ in range(pool_size):
+            connections.append(
+                await AsyncRemoteConnection.open(
+                    host,
+                    port,
+                    fetch_timeout=fetch_timeout,
+                    page_rows=page_rows,
+                    connect_timeout=connect_timeout,
+                )
+            )
+    except BaseException:
+        for connection in connections:
+            await connection.close()
+        raise
+    return AsyncConnectionPool(connections)

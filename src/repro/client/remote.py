@@ -102,6 +102,14 @@ class RemoteConnection:
         self._closed = False
         self._lock = threading.Lock()
         self._cursors: "set[RemoteCursor]" = set()
+        #: negotiated wire version; 1 (request-id-free frames) until
+        #: HELLO_OK upgrades it (docs/PROTOCOL.md section 2)
+        self.protocol_version = 1
+        self._next_request_id = 0
+        #: set on any transport failure: the stream can no longer be
+        #: trusted, so later requests fail fast with a typed error
+        #: instead of hanging on a dead socket
+        self._broken = False
         try:
             self._sock = socket.create_connection(
                 (host, port), timeout=connect_timeout
@@ -115,11 +123,13 @@ class RemoteConnection:
             reply = self._request(
                 {"type": protocol.HELLO, "version": protocol.PROTOCOL_VERSION}
             )
-            if reply.get("version") != protocol.PROTOCOL_VERSION:
+            version = reply.get("version")
+            if version not in protocol.SUPPORTED_VERSIONS:
                 raise OperationalError(
                     f"server negotiated unsupported protocol version "
-                    f"{reply.get('version')!r}"
+                    f"{version!r}"
                 )
+            self.protocol_version = version
             self.server_info = reply.get("server", "")
             # the handshake timeout guarded connect; fetches block for
             # their own (server-enforced) timeout plus a grace margin
@@ -132,21 +142,53 @@ class RemoteConnection:
     # Transport
     # ------------------------------------------------------------------
     def _request(self, payload: dict) -> dict:
-        """One round trip: send a frame, read the reply, map errors."""
+        """One round trip: send a frame, read the reply, map errors.
+
+        On a v2 session every request carries a fresh request id and
+        the reply must echo it (docs/PROTOCOL.md section 8); this
+        client keeps one request in flight per connection, so a
+        mismatched echo means the stream is corrupt.  Any transport
+        failure — timeout, reset, framing violation, mismatched echo,
+        or the server vanishing mid-stream — marks the connection
+        broken and surfaces as :class:`OperationalError`; subsequent
+        requests then fail fast instead of writing into a dead socket.
+        """
         with self._lock:
+            if self._broken:
+                raise OperationalError(
+                    "connection to the server is broken (a previous "
+                    "request failed mid-stream)"
+                )
+            request_id = None
+            if self.protocol_version >= 2:
+                request_id = self._next_request_id
+                self._next_request_id += 1
+                payload = {**payload, "request_id": request_id}
             try:
                 self._sock.sendall(protocol.encode_frame(payload))
                 reply = protocol.read_frame(self._reader)
             except socket.timeout as error:
+                self._broken = True
                 raise OperationalError(
                     "timed out waiting for the server's reply"
                 ) from error
             except (OSError, ProtocolError) as error:
+                self._broken = True
                 raise OperationalError(
                     f"connection to the server failed: {error}"
                 ) from error
-        if reply is None:
-            raise OperationalError("server closed the connection")
+            if reply is None:
+                self._broken = True
+                raise OperationalError("server closed the connection")
+            if (
+                request_id is not None
+                and reply.get("request_id") != request_id
+            ):
+                self._broken = True
+                raise OperationalError(
+                    f"server reply carried request id "
+                    f"{reply.get('request_id')!r}, expected {request_id}"
+                )
         if reply.get("type") == protocol.ERROR:
             detail = reply.get("error") or {}
             exc_class = _ERROR_CLASSES.get(

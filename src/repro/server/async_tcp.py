@@ -1,0 +1,678 @@
+"""The asyncio warehouse server: multiplexed serving on one thread.
+
+:class:`AsyncWarehouseServer` serves the same wire protocol as the
+threaded :class:`~repro.server.tcp.WarehouseServer` — same
+:class:`~repro.server.session.ServerSession` core, same warehouse,
+same admission bounds — but replaces thread-per-connection with an
+event loop on one background thread.  That removes the scalability
+wall ISSUE 6 targets: a thousand concurrent remote sessions cost a
+thousand parked coroutines, not a thousand OS threads, so the
+network layer stops being the reason Figure 6's flat-latency story
+caps out (DESIGN.md section 12).
+
+Concurrency model (docs/ARCHITECTURE.md section 3): per connection,
+one reader task dispatches frames, one writer task drains the
+connection's bounded outbox with ``drain()`` so a stalled client
+throttles only its own replies, and each still-running v2 FETCH parks
+a small waiter task on the query handle's completion callback —
+bridged from the warehouse driver thread with
+``call_soon_threadsafe`` — so waiting consumes no thread anywhere.
+Backpressure is layered: each request holds one outbox slot at most
+(the protocol's one-reply-per-request rule bounds every per-request
+outbox at a single frame), the per-connection pending-FETCH budget
+pauses the reader when exhausted (TCP flow control does the rest),
+and the per-connection/per-server admission bounds are unchanged
+because they live in the shared session core.
+
+Protocol v2 lets replies interleave across request ids, so many
+FETCHes proceed concurrently per connection; a v1 peer gets strict
+request/reply order by dispatching its frames to completion serially,
+which is exactly the threaded server's behavior.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+
+from repro.client.exceptions import (
+    Error,
+    InterfaceError,
+    OperationalError,
+    translated,
+)
+from repro.cjoin.registry import QueryHandle
+from repro.engine.submission import ROUTE_BASELINE, ROUTE_PROCESS
+from repro.engine.warehouse import Warehouse
+from repro.server import protocol
+from repro.server.protocol import ProtocolError
+from repro.server.session import CloseConnection, ServerSession
+from repro.server.tcp import DEFAULT_MAX_IN_FLIGHT_PER_CONNECTION, _tag
+
+#: Reply frames a connection's outbox may hold before the enqueuer
+#: (reader or fetch task) waits; with single-frame replies this bounds
+#: reply memory per connection, not throughput.
+DEFAULT_OUTBOX_FRAMES = 64
+
+#: Still-running FETCHes a v2 connection may park at once; beyond it
+#: the reader stops reading frames until a waiter retires, pushing
+#: backpressure onto the client's socket.
+DEFAULT_MAX_PENDING_FETCHES = 1024
+
+#: Waiters poll at this cadence only while offline routes need
+#: driving; with the service driver running they sleep on completion
+#: callbacks instead.
+_FETCH_POLL_SECONDS = 0.02
+
+#: Flush budget for the final reply frames of a closing connection.
+_FLUSH_TIMEOUT_SECONDS = 5.0
+
+
+class _AsyncConnection:
+    """One client connection's tasks and queues on the loop."""
+
+    __slots__ = (
+        "session",
+        "reader",
+        "writer",
+        "outbox",
+        "fetch_slots",
+        "fetch_tasks",
+        "serve_task",
+        "writer_task",
+        "torn",
+    )
+
+    def __init__(
+        self,
+        server: "AsyncWarehouseServer",
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.session = ServerSession(server)
+        self.reader = reader
+        self.writer = writer
+        self.outbox: asyncio.Queue = asyncio.Queue(
+            maxsize=server.outbox_frames
+        )
+        self.fetch_slots = asyncio.Semaphore(server.max_pending_fetches)
+        self.fetch_tasks: set[asyncio.Task] = set()
+        self.serve_task: asyncio.Task | None = None
+        self.writer_task: asyncio.Task | None = None
+        self.torn = False
+
+
+class AsyncWarehouseServer:
+    """An asyncio TCP server around one always-on warehouse.
+
+    Drop-in lifecycle twin of :class:`~repro.server.tcp.
+    WarehouseServer` — same constructor surface, same sync
+    ``start()``/``stop()`` (the event loop runs on a background
+    thread), same URL scheme — so launchers and tests treat the two
+    interchangeably.
+
+    Args:
+        warehouse: the warehouse to serve.
+        host: interface to bind (default loopback).
+        port: TCP port; 0 picks a free ephemeral port.
+        owns_warehouse: close the warehouse on :meth:`stop`.
+        max_in_flight_per_connection: bound on one connection's
+            concurrently submitted queries (the fairness layer, shared
+            with the threaded server via the session core).
+        outbox_frames: reply frames buffered per connection before
+            enqueuers wait on the writer.
+        max_pending_fetches: still-running FETCH waiters per
+            connection before the reader pauses.
+    """
+
+    def __init__(
+        self,
+        warehouse: Warehouse,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        owns_warehouse: bool = False,
+        max_in_flight_per_connection: int = (
+            DEFAULT_MAX_IN_FLIGHT_PER_CONNECTION
+        ),
+        outbox_frames: int = DEFAULT_OUTBOX_FRAMES,
+        max_pending_fetches: int = DEFAULT_MAX_PENDING_FETCHES,
+    ) -> None:
+        if max_in_flight_per_connection < 1:
+            raise InterfaceError(
+                f"max_in_flight_per_connection must be >= 1, got "
+                f"{max_in_flight_per_connection}"
+            )
+        if outbox_frames < 1 or max_pending_fetches < 1:
+            raise InterfaceError(
+                "outbox_frames and max_pending_fetches must be >= 1"
+            )
+        self.warehouse = warehouse
+        self.max_in_flight_per_connection = max_in_flight_per_connection
+        self.outbox_frames = outbox_frames
+        self.max_pending_fetches = max_pending_fetches
+        self._requested = (host, port)
+        self._owns_warehouse = owns_warehouse
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._closing = threading.Event()
+        self._closing_async: asyncio.Event | None = None
+        self._connections: set[_AsyncConnection] = set()
+        self._conn_lock = threading.Lock()
+        #: serializes Warehouse.run() drains for offline-routed handles
+        self._run_lock = threading.Lock()
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._started_service = False
+        self._address: tuple[str, int] | None = None
+        #: tasks still pending when the loop shut down — always empty
+        #: after a clean stop; the fault suite asserts on it
+        self.leaked_tasks: list[str] = []
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """True while the event-loop thread is alive."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``.
+
+        Raises:
+            InterfaceError: before :meth:`start`.
+        """
+        if self._address is None:
+            raise InterfaceError("server is not started")
+        return self._address
+
+    @property
+    def url(self) -> str:
+        """The ``tcp://host:port`` URL clients pass to ``repro.connect``."""
+        host, port = self.address
+        return f"tcp://{host}:{port}"
+
+    @property
+    def connection_count(self) -> int:
+        """Currently attached client connections."""
+        with self._conn_lock:
+            return len(self._connections)
+
+    def start(self) -> "AsyncWarehouseServer":
+        """Bind, start the loop thread, start the warehouse service.
+
+        Returns self; raises the bind error on this thread when the
+        requested address is unavailable.
+
+        Raises:
+            InterfaceError: when already running.
+        """
+        if self.running:
+            raise InterfaceError("server is already running")
+        self._closing.clear()
+        self._started.clear()
+        self._startup_error = None
+        self.leaked_tasks = []
+        # serial backends serve live (mid-scan admission); the process
+        # backend admits at drain boundaries, driven from waiters
+        if (
+            self.warehouse.executor_config.backend == "serial"
+            and not self.warehouse.service.running
+        ):
+            with translated():
+                self.warehouse.start_service()
+            self._started_service = True
+        self._thread = threading.Thread(
+            target=self._thread_main,
+            name="warehouse-async-loop",
+            daemon=True,
+        )
+        self._thread.start()
+        self._started.wait(30.0)
+        if self._startup_error is not None:
+            error, self._startup_error = self._startup_error, None
+            self._thread.join(10.0)
+            self._thread = None
+            if self._started_service:
+                self.warehouse.stop_service()
+                self._started_service = False
+            raise error
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Shut down cleanly (idempotent): no leaked tasks or threads.
+
+        Wakes the loop, which closes the listener, cancels every
+        connection's tasks (their teardown cancels the queries their
+        clients abandoned), and drains its executor; then stops the
+        service driver this server started and closes the warehouse
+        when it owns it.
+        """
+        self._closing.set()
+        loop, closing = self._loop, self._closing_async
+        if loop is not None and closing is not None:
+            try:
+                loop.call_soon_threadsafe(closing.set)
+            except RuntimeError:
+                pass  # loop already closed
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout)
+        self._loop = None
+        if self._started_service:
+            self.warehouse.stop_service()
+            self._started_service = False
+        if self._owns_warehouse and not self.warehouse.closed:
+            self.warehouse.close()
+
+    def __enter__(self) -> "AsyncWarehouseServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()
+
+    def _thread_main(self) -> None:
+        try:
+            # asyncio.run also joins the default executor's threads on
+            # the way out, so drive() work cannot outlive stop()
+            asyncio.run(self._main())
+        except BaseException as error:  # pragma: no cover - defensive
+            if not self._started.is_set():
+                self._startup_error = error
+                self._started.set()
+        finally:
+            self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._closing_async = asyncio.Event()
+        if self._closing.is_set():  # stop() raced start()
+            self._closing_async.set()
+        try:
+            server = await asyncio.start_server(
+                self._on_connect, *self._requested, backlog=512
+            )
+        except OSError as error:
+            self._startup_error = error
+            self._started.set()
+            return
+        self._address = server.sockets[0].getsockname()[:2]
+        self._started.set()
+        try:
+            await self._closing_async.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            with self._conn_lock:
+                serve_tasks = [
+                    conn.serve_task
+                    for conn in self._connections
+                    if conn.serve_task is not None
+                ]
+            for task in serve_tasks:
+                task.cancel()
+            await asyncio.gather(*serve_tasks, return_exceptions=True)
+            # belt and braces: no task may outlive the loop
+            current = asyncio.current_task()
+            leftovers = [
+                task
+                for task in asyncio.all_tasks()
+                if task is not current
+            ]
+            for task in leftovers:
+                task.cancel()
+            await asyncio.gather(*leftovers, return_exceptions=True)
+            self.leaked_tasks = [
+                repr(task)
+                for task in asyncio.all_tasks()
+                if task is not current and not task.done()
+            ]
+
+    # -- connection serving --------------------------------------------
+    async def _on_connect(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        conn = _AsyncConnection(self, reader, writer)
+        conn.serve_task = asyncio.current_task()
+        with self._conn_lock:
+            if self._closing.is_set():
+                writer.close()
+                return
+            self._connections.add(conn)
+        conn.writer_task = asyncio.get_running_loop().create_task(
+            self._write_loop(conn)
+        )
+        try:
+            await self._serve(conn)
+        finally:
+            await self._teardown(conn)
+
+    async def _serve(self, conn: _AsyncConnection) -> None:
+        try:
+            while True:
+                frame = await self._read_frame(conn.reader)
+                if frame is None:
+                    break
+                request_id = None
+                try:
+                    if conn.session.version >= 2:
+                        request_id = protocol.request_id_of(frame)
+                    if await self._dispatch(conn, frame, request_id):
+                        break
+                except CloseConnection:
+                    await conn.outbox.put(
+                        _tag({"type": protocol.CLOSE_OK}, request_id)
+                    )
+                    break
+                except ProtocolError as error:
+                    await self._put_error(
+                        conn, InterfaceError(str(error)), request_id
+                    )
+                    break
+                except Error as error:
+                    # statement-level failure: report it, keep serving
+                    await self._put_error(conn, error, request_id)
+                    continue
+            await self._flush(conn)
+        except ProtocolError as error:
+            # framing violations are fatal: report best-effort, close
+            await self._put_error(conn, InterfaceError(str(error)), None)
+            await self._flush(conn)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass  # peer vanished / server shutting down
+
+    async def _read_frame(self, reader: asyncio.StreamReader) -> dict | None:
+        return await protocol.read_frame_async(reader)
+
+    async def _dispatch(
+        self, conn: _AsyncConnection, frame: dict, request_id: int | None
+    ) -> bool:
+        """Handle one frame; True means close the connection."""
+        kind = frame["type"]
+        session = conn.session
+        if not session.greeted:
+            session.require_hello(kind)
+            await conn.outbox.put(_tag(session.hello(frame), request_id))
+            return False
+        # every frame is a pump opportunity, exactly as in the
+        # threaded server; completions also pump via callbacks
+        session.pump()
+        if kind == protocol.EXECUTE:
+            reply = session.execute(frame)
+            self._watch_completions(conn, reply["query_ids"])
+            await conn.outbox.put(_tag(reply, request_id))
+            return False
+        if kind == protocol.FETCH:
+            await self._dispatch_fetch(conn, frame, request_id)
+            return False
+        if kind == protocol.CANCEL:
+            await conn.outbox.put(_tag(session.cancel(frame), request_id))
+            return False
+        if kind == protocol.CLOSE:
+            await conn.outbox.put(_tag(session.close(frame), request_id))
+            return False
+        raise ProtocolError(f"unknown frame type {kind!r}")
+
+    async def _dispatch_fetch(
+        self, conn: _AsyncConnection, frame: dict, request_id: int | None
+    ) -> None:
+        session = conn.session
+        if frame.get("mode") == "partial":
+            await conn.outbox.put(
+                _tag(session.partial_reply(frame), request_id)
+            )
+            return
+        query_id, state, max_rows, timeout = session.validate_fetch(frame)
+        if state.rows is not None or state.handle.done:
+            await conn.outbox.put(
+                _tag(
+                    session.page_reply(query_id, state, max_rows),
+                    request_id,
+                )
+            )
+            return
+        if session.version < 2:
+            # v1 promises strict request/reply order: wait inline,
+            # blocking only this connection's coroutine
+            await self._await_done(conn, state.handle, timeout)
+            await conn.outbox.put(
+                _tag(
+                    session.page_reply(query_id, state, max_rows),
+                    request_id,
+                )
+            )
+            return
+        # v2: park a waiter task so other requests on this connection
+        # keep dispatching; the budget pauses the reader when a client
+        # floods FETCHes faster than queries complete
+        await conn.fetch_slots.acquire()
+        task = asyncio.get_running_loop().create_task(
+            self._fetch_waiter(
+                conn, request_id, query_id, state, max_rows, timeout
+            )
+        )
+        conn.fetch_tasks.add(task)
+        task.add_done_callback(conn.fetch_tasks.discard)
+
+    async def _fetch_waiter(
+        self, conn, request_id, query_id, state, max_rows, timeout
+    ) -> None:
+        try:
+            try:
+                await self._await_done(conn, state.handle, timeout)
+                reply = conn.session.page_reply(query_id, state, max_rows)
+            except Error as error:
+                reply = protocol.error_payload(
+                    type(error).__name__, str(error)
+                )
+            await conn.outbox.put(_tag(reply, request_id))
+        finally:
+            conn.fetch_slots.release()
+
+    async def _await_done(
+        self,
+        conn: _AsyncConnection,
+        handle: QueryHandle,
+        timeout: float | None,
+    ) -> None:
+        """Park until the handle completes — no thread consumed.
+
+        The handle's completion callback (fired on the warehouse
+        driver thread) sets an asyncio event via
+        ``call_soon_threadsafe``; shutdown wakes every waiter through
+        the server-wide closing event.  Only while offline routes need
+        driving does the wait fall back to the threaded server's poll
+        cadence, pushing ``Warehouse.run()`` drains onto the default
+        executor so the loop never blocks.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = (
+            None if timeout is None else loop.time() + float(timeout)
+        )
+        event = asyncio.Event()
+
+        def _notify(_handle: QueryHandle) -> None:
+            try:
+                loop.call_soon_threadsafe(event.set)
+            except RuntimeError:
+                pass  # loop closed first; the waiter was cancelled
+
+        handle.on_complete(_notify)
+        while not handle.done:
+            if self._closing.is_set():
+                raise OperationalError("server is shutting down")
+            conn.session.pump()
+            await self._drive(handle)
+            if handle.done:
+                return
+            remaining = (
+                None if deadline is None else deadline - loop.time()
+            )
+            if remaining is not None and remaining <= 0:
+                raise OperationalError(
+                    f"query did not complete within {timeout} seconds"
+                )
+            wait_slice = remaining
+            if self._needs_driving():
+                wait_slice = (
+                    _FETCH_POLL_SECONDS
+                    if wait_slice is None
+                    else min(wait_slice, _FETCH_POLL_SECONDS)
+                )
+            await self._sleep_until(event, wait_slice)
+
+    async def _sleep_until(
+        self, event: asyncio.Event, timeout: float | None
+    ) -> None:
+        """Wait for completion, shutdown, or the drive cadence."""
+        waiters = [
+            asyncio.ensure_future(event.wait()),
+            asyncio.ensure_future(self._closing_async.wait()),
+        ]
+        try:
+            await asyncio.wait(
+                waiters,
+                timeout=timeout,
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+        finally:
+            for waiter in waiters:
+                waiter.cancel()
+            await asyncio.gather(*waiters, return_exceptions=True)
+
+    def _needs_driving(self) -> bool:
+        warehouse = self.warehouse
+        return bool(
+            warehouse.pending_submissions(ROUTE_PROCESS)
+            or warehouse.pending_submissions(ROUTE_BASELINE)
+            or not warehouse.service.running
+        )
+
+    async def _drive(self, handle: QueryHandle) -> None:
+        """Push offline-routed handles forward off the event loop."""
+        if handle.done or not self._needs_driving():
+            return
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._drive_blocking, handle
+        )
+
+    def _drive_blocking(self, handle: QueryHandle) -> None:
+        if handle.done:
+            return
+        with self._run_lock:
+            if not handle.done:
+                with translated():
+                    self.warehouse.run()
+
+    def _watch_completions(
+        self, conn: _AsyncConnection, query_ids: list[int]
+    ) -> None:
+        """Pump the connection's admission FIFO on every completion.
+
+        The threaded server pumps from its blocking fetch poll; here a
+        completion on the driver thread schedules a pump on the loop,
+        so queued statements advance even when no frame is in flight.
+        """
+        for query_id in query_ids:
+            state = conn.session.queries.get(query_id)
+            if state is None:
+                continue
+
+            def _done(_handle: QueryHandle, conn=conn) -> None:
+                try:
+                    self._loop.call_soon_threadsafe(self._pump_now, conn)
+                except (RuntimeError, AttributeError):
+                    pass  # loop closed first; teardown pumps nothing
+
+            state.handle.on_complete(_done)
+
+    def _pump_now(self, conn: _AsyncConnection) -> None:
+        if conn.torn or self._closing.is_set():
+            return
+        try:
+            conn.session.pump()
+        except Error:
+            # a dying warehouse fails the submit; the affected handles
+            # surface it to their own fetch waiters
+            pass
+
+    # -- replies and teardown ------------------------------------------
+    async def _put_error(
+        self,
+        conn: _AsyncConnection,
+        error: Exception,
+        request_id: int | None,
+    ) -> None:
+        await conn.outbox.put(
+            _tag(
+                protocol.error_payload(type(error).__name__, str(error)),
+                request_id,
+            )
+        )
+
+    async def _flush(self, conn: _AsyncConnection) -> None:
+        """Give queued replies a bounded chance to reach the peer."""
+        try:
+            await asyncio.wait_for(
+                conn.outbox.join(), _FLUSH_TIMEOUT_SECONDS
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            pass
+
+    async def _write_loop(self, conn: _AsyncConnection) -> None:
+        """Drain the outbox; ``drain()`` throttles on a slow peer.
+
+        A write failure marks the stream broken but keeps consuming so
+        enqueuers (and :meth:`_flush`) never wedge on a full queue.
+        """
+        broken = False
+        while True:
+            payload = await conn.outbox.get()
+            try:
+                if not broken:
+                    conn.writer.write(protocol.encode_frame(payload))
+                    await conn.writer.drain()
+            except (ConnectionError, OSError, ProtocolError):
+                broken = True  # reader notices the dead peer
+            finally:
+                conn.outbox.task_done()
+
+    async def _teardown(self, conn: _AsyncConnection) -> None:
+        """Cancel the connection's work; frees slots within one cycle."""
+        conn.torn = True
+        self._forget(conn)
+        conn.session.teardown()
+        tasks = list(conn.fetch_tasks)
+        if conn.writer_task is not None:
+            tasks.append(conn.writer_task)
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            # shield: this coroutine may itself be mid-cancellation,
+            # but the children must finish before the loop closes
+            try:
+                await asyncio.shield(
+                    asyncio.gather(*tasks, return_exceptions=True)
+                )
+            except asyncio.CancelledError:
+                pass
+        conn.writer.close()
+        try:
+            await conn.writer.wait_closed()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+
+    def _forget(self, conn: _AsyncConnection) -> None:
+        with self._conn_lock:
+            self._connections.discard(conn)
+
+
+def serve_async(
+    warehouse: Warehouse, host: str = "127.0.0.1", port: int = 0, **kwargs
+) -> AsyncWarehouseServer:
+    """Start an :class:`AsyncWarehouseServer` (convenience twin of the
+    threaded launcher path)."""
+    return AsyncWarehouseServer(warehouse, host, port, **kwargs).start()

@@ -18,15 +18,22 @@ business, which keeps this module free of any engine dependency.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import struct
 
 from repro.catalog.schema import DataType
 from repro.errors import ReproError
 
-#: Protocol version offered in HELLO and confirmed in HELLO_OK.  A
-#: server refuses any other version (docs/PROTOCOL.md section 2).
-PROTOCOL_VERSION = 1
+#: Highest protocol version this implementation speaks; offered in
+#: HELLO and confirmed in HELLO_OK (docs/PROTOCOL.md section 2).
+#: Version 2 adds request-id multiplexing (docs/PROTOCOL.md section 8).
+PROTOCOL_VERSION = 2
+
+#: Every version this implementation can serve.  Negotiation picks the
+#: highest version both peers speak (docs/PROTOCOL.md section 2); a
+#: peer speaking version N speaks every listed version below N too.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Upper bound on one frame's JSON body, guarding both endpoints
 #: against a corrupt or hostile length prefix (docs/PROTOCOL.md
@@ -39,6 +46,10 @@ DEFAULT_PAGE_ROWS = 256
 
 #: The big-endian unsigned 32-bit length prefix.
 _HEADER = struct.Struct(">I")
+
+#: Bytes in the length prefix, for readers that fetch it themselves
+#: (the async streams) before calling :func:`frame_length`.
+HEADER_BYTES = _HEADER.size
 
 # ----------------------------------------------------------------------
 # Frame vocabulary (docs/PROTOCOL.md sections 3 and 4)
@@ -127,6 +138,43 @@ def _read_exact(reader, count: int) -> bytes | None:
     return b"".join(chunks)
 
 
+def frame_length(header: bytes) -> int:
+    """Decode and bounds-check a 4-byte length prefix.
+
+    Raises:
+        ProtocolError: when the prefix exceeds ``MAX_FRAME_BYTES``.
+    """
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return length
+
+
+def decode_frame_body(body: bytes) -> dict:
+    """Decode and validate one frame body (shared by every reader —
+    the blocking :func:`read_frame` and the async servers' and
+    clients' stream readers decode through this single choke point).
+
+    Raises:
+        ProtocolError: on invalid JSON or a body that is not an object
+            with a string ``type``.
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame body is not valid JSON: {error}") from error
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("type"), str
+    ):
+        raise ProtocolError(
+            "frame body must be a JSON object with a string 'type'"
+        )
+    return payload
+
+
 def read_frame(reader) -> dict | None:
     """Read one frame from a binary reader (``.read(n)``).
 
@@ -141,26 +189,103 @@ def read_frame(reader) -> dict | None:
     header = _read_exact(reader, _HEADER.size)
     if header is None:
         return None
-    (length,) = _HEADER.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise ProtocolError(
-            f"frame length {length} exceeds the "
-            f"{MAX_FRAME_BYTES}-byte limit"
-        )
+    length = frame_length(header)
     body = _read_exact(reader, length) if length else b""
     if length and body is None:
         raise ProtocolError("connection closed before the frame body")
+    return decode_frame_body(body)
+
+
+async def read_frame_async(reader) -> dict | None:
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    The coroutine twin of :func:`read_frame` — same validation, same
+    clean-EOF contract — shared by the async server and async client.
+
+    Raises:
+        ProtocolError: on truncation, an oversized length prefix,
+            invalid JSON, or a body that is not an object with a
+            string ``type``.
+    """
     try:
-        payload = json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise ProtocolError(f"frame body is not valid JSON: {error}") from error
-    if not isinstance(payload, dict) or not isinstance(
-        payload.get("type"), str
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean EOF at a frame boundary
+        raise ProtocolError(
+            "connection closed mid-frame (length prefix truncated)"
+        ) from error
+    length = frame_length(header)
+    if not length:
+        return decode_frame_body(b"")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError(
+            "connection closed before the frame body"
+        ) from error
+    return decode_frame_body(body)
+
+
+# ----------------------------------------------------------------------
+# Version negotiation (docs/PROTOCOL.md section 2)
+# ----------------------------------------------------------------------
+def negotiate_version(requested) -> int | None:
+    """The version a server should speak to a peer offering ``requested``.
+
+    A peer offering version N speaks every supported version up to N,
+    so the negotiated version is the highest supported version that is
+    <= the offer — ``min(requested, PROTOCOL_VERSION)`` over the
+    supported set.  Returns None when there is no common version (an
+    offer below the oldest supported version, or not an int).
+    """
+    if isinstance(requested, bool) or not isinstance(requested, int):
+        return None
+    common = [
+        version for version in SUPPORTED_VERSIONS if version <= requested
+    ]
+    return max(common) if common else None
+
+
+# ----------------------------------------------------------------------
+# Request-id multiplexing (docs/PROTOCOL.md section 8, protocol v2)
+# ----------------------------------------------------------------------
+def request_id_of(frame: dict) -> int:
+    """The frame's ``request_id``, validated (v2 connections only).
+
+    Raises:
+        ProtocolError: when the id is missing, not an int, or negative.
+    """
+    request_id = frame.get("request_id")
+    if (
+        isinstance(request_id, bool)
+        or not isinstance(request_id, int)
+        or request_id < 0
     ):
         raise ProtocolError(
-            "frame body must be a JSON object with a string 'type'"
+            f"protocol v2 frames require a non-negative integer "
+            f"'request_id', got {request_id!r}"
         )
-    return payload
+    return request_id
+
+
+def split_streams(frames) -> dict[int, list[dict]]:
+    """Demultiplex a v2 frame schedule into per-request streams.
+
+    The defining v2 invariant (docs/PROTOCOL.md section 8): however
+    replies from different requests interleave on the wire, the
+    subsequence tagged with one ``request_id`` — in arrival order — IS
+    that request's reply stream.  Both async endpoints route frames
+    this way; the property tests drive this helper over arbitrary
+    interleavings.
+
+    Raises:
+        ProtocolError: when any frame lacks a valid ``request_id``.
+    """
+    streams: dict[int, list[dict]] = {}
+    for frame in frames:
+        streams.setdefault(request_id_of(frame), []).append(frame)
+    return streams
 
 
 # ----------------------------------------------------------------------

@@ -32,7 +32,6 @@ import socket
 import threading
 import time
 
-from repro.client.cursor import describe
 from repro.client.exceptions import (
     Error,
     InterfaceError,
@@ -40,17 +39,11 @@ from repro.client.exceptions import (
     translated,
 )
 from repro.cjoin.registry import QueryHandle
-from repro.engine.submission import (
-    ROUTE_BASELINE,
-    ROUTE_PROCESS,
-    Submission,
-    SubmissionQueue,
-)
+from repro.engine.submission import ROUTE_BASELINE, ROUTE_PROCESS
 from repro.engine.warehouse import Warehouse
-from repro.errors import AdmissionError, ReproError
 from repro.server import protocol
 from repro.server.protocol import ProtocolError
-from repro.sql.parser import bind_parameters, bind_star_query, parse_select
+from repro.server.session import CloseConnection, ServerSession
 
 #: Default TCP port of ``python -m repro.server``.
 DEFAULT_PORT = 5477
@@ -65,30 +58,19 @@ _FETCH_POLL_SECONDS = 0.02
 #: The accept loop wakes at this cadence to notice ``stop()``.
 _ACCEPT_POLL_SECONDS = 0.1
 
-#: Upper bound a FETCH frame may request for one page.
-_MAX_PAGE_ROWS = 65536
-
-
-class _ServerQuery:
-    """One statement's server-side state on one connection."""
-
-    __slots__ = ("handle", "rows", "offset", "queued")
-
-    def __init__(self, handle: QueryHandle, queued: bool) -> None:
-        self.handle = handle
-        #: canonical rows, cached after the first completed FETCH
-        self.rows: list[tuple] | None = None
-        self.offset = 0
-        #: True while waiting in the connection's admission queue
-        self.queued = queued
-
-
-class _CloseConnection(Exception):
-    """Internal: the client sent a connection-level CLOSE."""
-
 
 class _Connection:
-    """One client connection: socket, handler thread, query registry."""
+    """One client connection: socket, handler thread, session state.
+
+    Protocol state (HELLO negotiation, the query registry, admission,
+    EXECUTE/CANCEL/CLOSE semantics) lives in the shared
+    :class:`~repro.server.session.ServerSession`; this class adds the
+    threaded transport — a blocking reader, serial dispatch, and the
+    poll-based FETCH wait.  On a v2 connection replies echo the
+    request id of the frame they answer (docs/PROTOCOL.md section 8);
+    dispatch stays serial, which v2 permits: interleaving is a server
+    liberty, not an obligation.
+    """
 
     def __init__(self, server: "WarehouseServer", sock: socket.socket) -> None:
         self.server = server
@@ -99,13 +81,7 @@ class _Connection:
             daemon=True,
         )
         self._reader = sock.makefile("rb")
-        #: EXECUTEs waiting for a per-connection slot; entries carry
-        #: the caller-visible handle so queued statements stay
-        #: cancellable in place (DESIGN.md section 10 semantics)
-        self._pending = SubmissionQueue("remote")
-        self._queries: dict[int, _ServerQuery] = {}
-        self._next_query_id = 1
-        self._greeted = False
+        self.session = ServerSession(server)
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
@@ -124,19 +100,31 @@ class _Connection:
                 frame = protocol.read_frame(self._reader)
                 if frame is None:
                     break
+                request_id = None
                 try:
+                    if self.session.version >= 2:
+                        request_id = protocol.request_id_of(frame)
                     response = self._dispatch(frame)
-                except _CloseConnection:
-                    self._send({"type": protocol.CLOSE_OK})
+                except CloseConnection:
+                    self._send(
+                        _tag({"type": protocol.CLOSE_OK}, request_id)
+                    )
+                    break
+                except ProtocolError as error:
+                    # a violation inside a well-framed request still
+                    # echoes its request id before the fatal close
+                    self._send_error(InterfaceError(str(error)), request_id)
                     break
                 except Error as error:
                     # statement-level failure: report it, keep serving
-                    self._send_error(error)
+                    self._send_error(error, request_id)
                     continue
-                self.sock.sendall(protocol.encode_frame(response))
+                self.sock.sendall(
+                    protocol.encode_frame(_tag(response, request_id))
+                )
         except ProtocolError as error:
             # framing violations are fatal: report best-effort, close
-            self._send_error(InterfaceError(str(error)))
+            self._send_error(InterfaceError(str(error)), None)
         except OSError:
             pass  # peer vanished / server shutting down
         finally:
@@ -148,24 +136,19 @@ class _Connection:
         except OSError:
             pass
 
-    def _send_error(self, error: Exception) -> None:
+    def _send_error(
+        self, error: Exception, request_id: int | None
+    ) -> None:
         self._send(
-            protocol.error_payload(type(error).__name__, str(error))
+            _tag(
+                protocol.error_payload(type(error).__name__, str(error)),
+                request_id,
+            )
         )
 
     def _teardown(self) -> None:
-        """Cancel everything this connection still owns, then close.
-
-        This is the slow-client guarantee: a vanished or misbehaving
-        client's queued statements are dropped in place and its
-        in-flight queries are deregistered mid-scan, so its slots free
-        within one scan cycle instead of pinning the shared pipeline.
-        """
-        self._pending.cancel_all()
-        for state in self._queries.values():
-            if not state.handle.done:
-                state.handle.cancel()
-        self._queries.clear()
+        """Session teardown (cancel everything owned), then close."""
+        self.session.teardown()
         try:
             self._reader.close()
         except OSError:
@@ -179,200 +162,33 @@ class _Connection:
     # -- dispatch ------------------------------------------------------
     def _dispatch(self, frame: dict) -> dict:
         kind = frame["type"]
-        if not self._greeted:
-            if kind != protocol.HELLO:
-                raise ProtocolError(
-                    f"expected a hello frame first, got {kind!r}"
-                )
-            return self._handle_hello(frame)
+        session = self.session
+        if not session.greeted:
+            session.require_hello(kind)
+            return session.hello(frame)
         # every frame is a pump opportunity: a client that only polls
         # partial-mode FETCH (or cancels) must still see its queued
         # statements admitted as completions free connection slots
-        self._pump()
+        session.pump()
         if kind == protocol.EXECUTE:
-            return self._handle_execute(frame)
+            return session.execute(frame)
         if kind == protocol.FETCH:
             return self._handle_fetch(frame)
         if kind == protocol.CANCEL:
-            return self._handle_cancel(frame)
+            return session.cancel(frame)
         if kind == protocol.CLOSE:
-            return self._handle_close(frame)
+            return session.close(frame)
         raise ProtocolError(f"unknown frame type {kind!r}")
 
-    def _handle_hello(self, frame: dict) -> dict:
-        version = frame.get("version")
-        if version != protocol.PROTOCOL_VERSION:
-            raise ProtocolError(
-                f"unsupported protocol version {version!r}; this server "
-                f"speaks version {protocol.PROTOCOL_VERSION}"
-            )
-        self._greeted = True
-        from repro import __version__
-
-        return {
-            "type": protocol.HELLO_OK,
-            "version": protocol.PROTOCOL_VERSION,
-            "server": f"repro/{__version__}",
-            "page_rows": protocol.DEFAULT_PAGE_ROWS,
-        }
-
-    # -- EXECUTE -------------------------------------------------------
-    def _handle_execute(self, frame: dict) -> dict:
-        sql = frame.get("sql")
-        if not isinstance(sql, str):
-            raise ProtocolError("execute frame requires a string 'sql'")
-        if "param_sets" in frame:
-            param_sets = frame["param_sets"]
-            if not isinstance(param_sets, list):
-                raise ProtocolError(
-                    "execute frame 'param_sets' must be a list"
-                )
-        else:
-            param_sets = [frame.get("params")]
-        warehouse = self.server.warehouse
-        # parse and bind every set before anything is submitted, so a
-        # bad statement or binding leaves no query behind — the same
-        # atomicity contract as Cursor.executemany
-        with translated():
-            statement = parse_select(sql)
-            star = warehouse.star
-            queries = [
-                bind_star_query(bind_parameters(statement, params), star)
-                for params in param_sets
-            ]
-            description = (
-                describe(statement, queries[0], star) if queries else None
-            )
-        query_ids: list[int] = []
-        try:
-            for query in queries:
-                handle = QueryHandle(query)
-                queued = self._submit(query, handle)
-                query_id = self._next_query_id
-                self._next_query_id += 1
-                self._queries[query_id] = _ServerQuery(handle, queued)
-                query_ids.append(query_id)
-        except BaseException:
-            # a submission failure mid-fan-out cancels this frame's
-            # earlier queries, mirroring Cursor.executemany
-            for query_id in query_ids:
-                state = self._queries.pop(query_id)
-                if not state.handle.done:
-                    state.handle.cancel()
-            raise
-        return {
-            "type": protocol.EXECUTE_OK,
-            "query_ids": query_ids,
-            "description": protocol.encode_description(description),
-        }
-
-    def _submit(self, query, handle: QueryHandle) -> bool:
-        """Submit now if a per-connection slot is free, else queue.
-
-        Returns True when the query was parked in the connection's
-        admission FIFO (``_pump`` moves it into the warehouse later).
-        """
-        with translated():
-            if len(self._pending) or (
-                self._active_count() >= self.server.max_in_flight_per_connection
-            ):
-                self._pending.add(Submission(query, handle, "remote"))
-                return True
-            self.server.warehouse.submit(query, handle=handle)
-            return False
-
-    def _active_count(self) -> int:
-        return sum(
-            1
-            for state in self._queries.values()
-            if not state.queued and not state.handle.done
-        )
-
-    def _pump(self) -> None:
-        """Move queued statements into the warehouse as slots free.
-
-        Runs only on this connection's handler thread, so it never
-        races itself; cancellation of still-queued entries happens on
-        the same thread (CANCEL frames) or during teardown.  A full
-        service queue puts the statement back for a later pump; any
-        other submission failure completes its handle as cancelled so
-        a blocked fetch wakes instead of hanging.
-        """
-        while len(self._pending):
-            if self._active_count() >= self.server.max_in_flight_per_connection:
-                return
-            batch = self._pending.take()
-            if not batch:
-                return
-            head, rest = batch[0], batch[1:]
-            if rest:
-                self._pending.restore(rest)
-            if head.handle.cancelled:
-                continue
-            try:
-                self.server.warehouse.submit(head.query, handle=head.handle)
-            except AdmissionError:
-                self._pending.restore([head])  # back-pressure: retry later
-                return
-            except ReproError:
-                head.handle.mark_cancelled()
-                head.handle.complete([])
-                continue
-            for state in self._queries.values():
-                if state.handle is head.handle:
-                    state.queued = False
-                    break
-
-    # -- FETCH ---------------------------------------------------------
-    def _lookup(self, frame: dict) -> tuple[int, _ServerQuery]:
-        query_id = frame.get("query_id")
-        state = (
-            self._queries.get(query_id)
-            if isinstance(query_id, int)
-            else None
-        )
-        if state is None:
-            raise InterfaceError(f"unknown query id {query_id!r}")
-        return query_id, state
-
     def _handle_fetch(self, frame: dict) -> dict:
-        query_id, state = self._lookup(frame)
         if frame.get("mode") == "partial":
-            with translated():
-                rows = state.handle.rows_so_far()
-            # partial snapshots are advisory and replaced wholesale, so
-            # a bounded prefix keeps the frame under MAX_FRAME_BYTES
-            # instead of killing the connection on a huge mid-scan
-            # state (docs/PROTOCOL.md section 6)
-            return {
-                "type": protocol.ROWS,
-                "query_id": query_id,
-                "rows": rows[:_MAX_PAGE_ROWS],
-                "more": not state.handle.done,
-            }
-        max_rows = frame.get("max_rows", protocol.DEFAULT_PAGE_ROWS)
-        if not isinstance(max_rows, int) or not (
-            1 <= max_rows <= _MAX_PAGE_ROWS
-        ):
-            raise ProtocolError(
-                f"fetch max_rows must be an int in [1, {_MAX_PAGE_ROWS}], "
-                f"got {max_rows!r}"
-            )
-        timeout = frame.get("timeout")
-        if timeout is not None and not isinstance(timeout, (int, float)):
-            raise ProtocolError("fetch timeout must be a number or null")
+            return self.session.partial_reply(frame)
+        query_id, state, max_rows, timeout = self.session.validate_fetch(
+            frame
+        )
         if state.rows is None:
             self._wait_done(state.handle, timeout)
-            with translated():
-                state.rows = state.handle.results()
-        page = state.rows[state.offset:state.offset + max_rows]
-        state.offset += len(page)
-        return {
-            "type": protocol.ROWS,
-            "query_id": query_id,
-            "rows": page,
-            "more": state.offset < len(state.rows),
-        }
+        return self.session.page_reply(query_id, state, max_rows)
 
     def _wait_done(self, handle: QueryHandle, timeout: float | None) -> None:
         """Block until the handle completes, pumping admissions.
@@ -389,7 +205,7 @@ class _Connection:
         while not handle.done:
             if self.server._closing.is_set():
                 raise OperationalError("server is shutting down")
-            self._pump()
+            self.session.pump()
             self.server._drive(handle)
             if deadline is not None and time.monotonic() >= deadline:
                 raise OperationalError(
@@ -397,21 +213,12 @@ class _Connection:
                 )
             handle.wait(_FETCH_POLL_SECONDS)
 
-    # -- CANCEL / CLOSE ------------------------------------------------
-    def _handle_cancel(self, frame: dict) -> dict:
-        _, state = self._lookup(frame)
-        with translated():
-            cancelled = state.handle.cancel()
-        return {"type": protocol.CANCEL_OK, "cancelled": bool(cancelled)}
 
-    def _handle_close(self, frame: dict) -> dict:
-        if "query_id" not in frame:
-            raise _CloseConnection()
-        query_id, state = self._lookup(frame)
-        del self._queries[query_id]
-        if not state.handle.done:
-            state.handle.cancel()
-        return {"type": protocol.CLOSE_OK}
+def _tag(payload: dict, request_id: int | None) -> dict:
+    """Echo a v2 request id on a reply (no-op for v1 connections)."""
+    if request_id is not None:
+        payload["request_id"] = request_id
+    return payload
 
 
 class WarehouseServer:

@@ -53,20 +53,25 @@ def city_query(city: str) -> StarQuery:
     )
 
 
-@pytest.fixture(params=["local", "remote"])
+@pytest.fixture(params=["local", "remote", "async"])
 def connection(request, tiny_star):
     """One client session per transport: every test using this fixture
-    runs twice — in-process and over a TCP server speaking the
-    docs/PROTOCOL.md wire protocol (the ISSUE 5 acceptance criterion:
-    the remote path passes the same cursor-semantics tests)."""
+    runs three times — in-process, over the threaded TCP server, and
+    over the asyncio server (ISSUE 5/6 acceptance criteria: both
+    remote paths pass the same cursor-semantics tests)."""
     catalog, star = tiny_star
     if request.param == "local":
         with repro.connect(catalog=catalog, star=star) as conn:
             yield conn
     else:
-        from repro.server import WarehouseServer
+        from repro.server import AsyncWarehouseServer, WarehouseServer
 
-        with WarehouseServer(
+        server_class = (
+            WarehouseServer
+            if request.param == "remote"
+            else AsyncWarehouseServer
+        )
+        with server_class(
             Warehouse(catalog, star), owns_warehouse=True
         ) as server:
             with repro.connect(server.url) as conn:

@@ -1,13 +1,16 @@
-"""The TCP warehouse server and the socket-backed client (ISSUE 5).
+"""The TCP warehouse servers and the socket-backed client (ISSUE 5/6).
 
 Covers what `tests/test_client_api.py` (whose shared `connection`
-fixture already runs every cursor-semantics test over both transports)
+fixture already runs every cursor-semantics test over all transports)
 cannot: server lifecycle, per-connection admission and fairness, the
 deterministic cancel-while-queued path, remote executemany atomicity
 observed server-side, URL validation, and the 8-client soak —
 concurrent execute/stream/cancel against one server with results
 reference-equal to an in-process drain and no leaked threads or
-sockets afterwards.
+sockets afterwards.  The `server_class` fixture runs every
+server-facing test against BOTH the threaded `WarehouseServer` and
+the asyncio `AsyncWarehouseServer` (ISSUE 6): the two must be
+observably identical from a v1/v2 sync client.
 """
 
 from __future__ import annotations
@@ -26,10 +29,21 @@ from repro.client import (
 )
 from repro.client.remote import parse_url
 from repro.engine import Warehouse
-from repro.server import WarehouseServer
+from repro.server import AsyncWarehouseServer, WarehouseServer
 from repro.sql.render import render_star_query
 
 COUNT_SQL = "SELECT COUNT(*) FROM sales, store WHERE f_store = s_id"
+
+SERVER_CLASSES = {
+    "threaded": WarehouseServer,
+    "async": AsyncWarehouseServer,
+}
+
+
+@pytest.fixture(params=sorted(SERVER_CLASSES))
+def server_class(request):
+    """Both server flavors, asserted interchangeable (ISSUE 6)."""
+    return SERVER_CLASSES[request.param]
 
 
 def wait_until(predicate, timeout: float = 10.0) -> bool:
@@ -42,10 +56,12 @@ def wait_until(predicate, timeout: float = 10.0) -> bool:
 
 
 class TestServerLifecycle:
-    def test_start_stop_leaves_no_threads_or_sockets(self, tiny_star):
+    def test_start_stop_leaves_no_threads_or_sockets(
+        self, tiny_star, server_class
+    ):
         catalog, star = tiny_star
         before = set(threading.enumerate())
-        server = WarehouseServer(Warehouse(catalog, star), owns_warehouse=True)
+        server = server_class(Warehouse(catalog, star), owns_warehouse=True)
         server.start()
         assert server.running
         assert server.url.startswith("tcp://127.0.0.1:")
@@ -55,32 +71,34 @@ class TestServerLifecycle:
         assert set(threading.enumerate()) == before
         server.stop()  # idempotent
 
-    def test_double_start_raises(self, tiny_star):
+    def test_double_start_raises(self, tiny_star, server_class):
         catalog, star = tiny_star
-        with WarehouseServer(
+        with server_class(
             Warehouse(catalog, star), owns_warehouse=True
         ) as server:
             with pytest.raises(InterfaceError, match="already running"):
                 server.start()
 
-    def test_address_before_start_raises(self, tiny_star):
+    def test_address_before_start_raises(self, tiny_star, server_class):
         catalog, star = tiny_star
         warehouse = Warehouse(catalog, star)
-        server = WarehouseServer(warehouse)
+        server = server_class(warehouse)
         with pytest.raises(InterfaceError, match="not started"):
             server.address
         warehouse.close()
 
-    def test_per_connection_bound_is_validated(self, tiny_star):
+    def test_per_connection_bound_is_validated(
+        self, tiny_star, server_class
+    ):
         catalog, star = tiny_star
         warehouse = Warehouse(catalog, star)
         with pytest.raises(InterfaceError, match=">= 1"):
-            WarehouseServer(warehouse, max_in_flight_per_connection=0)
+            server_class(warehouse, max_in_flight_per_connection=0)
         warehouse.close()
 
-    def test_stop_disconnects_clients(self, tiny_star):
+    def test_stop_disconnects_clients(self, tiny_star, server_class):
         catalog, star = tiny_star
-        server = WarehouseServer(
+        server = server_class(
             Warehouse(catalog, star), owns_warehouse=True
         ).start()
         conn = repro.connect(server.url)
@@ -113,9 +131,11 @@ class TestConnectDispatch:
         with pytest.raises(InterfaceError, match="not both"):
             repro.connect("tcp://127.0.0.1:1", scale_factor=0.001)
 
-    def test_closed_remote_connection_rejects_everything(self, tiny_star):
+    def test_closed_remote_connection_rejects_everything(
+        self, tiny_star, server_class
+    ):
         catalog, star = tiny_star
-        with WarehouseServer(
+        with server_class(
             Warehouse(catalog, star), owns_warehouse=True
         ) as server:
             conn = repro.connect(server.url)
@@ -135,11 +155,11 @@ class TestPerConnectionAdmission:
     wait in its own SubmissionQueue, not in the shared pipeline."""
 
     @pytest.fixture
-    def offline_server(self, tiny_star):
+    def offline_server(self, tiny_star, server_class):
         """Process-backend server: queries only complete when a FETCH
         drives the drain, so queue states are fully deterministic."""
         catalog, star = tiny_star
-        with WarehouseServer(
+        with server_class(
             Warehouse(catalog, star, backend="process", workers=2),
             owns_warehouse=True,
             max_in_flight_per_connection=1,
@@ -181,11 +201,11 @@ class TestPerConnectionAdmission:
                 # and the flooder's backlog still drains on demand
                 assert [hog.fetchall() for hog in hogs] == [[(12,)]] * 5
 
-    def test_partial_polling_alone_pumps_the_queue(self):
+    def test_partial_polling_alone_pumps_the_queue(self, server_class):
         """Regression: a client that never issues a blocking FETCH must
         still see its queued statements admitted — every frame pumps
         the per-connection FIFO, not just a blocking fetch's wait."""
-        server = WarehouseServer(
+        server = server_class(
             Warehouse.from_ssb(
                 scale_factor=0.002, seed=31, execution="batched"
             ),
@@ -228,9 +248,11 @@ class TestPerConnectionAdmission:
 
 
 class TestRemoteExecutemany:
-    def test_atomic_over_bad_bindings_server_side(self, tiny_star):
+    def test_atomic_over_bad_bindings_server_side(
+        self, tiny_star, server_class
+    ):
         catalog, star = tiny_star
-        with WarehouseServer(
+        with server_class(
             Warehouse(catalog, star), owns_warehouse=True
         ) as server:
             with repro.connect(server.url) as conn:
@@ -252,7 +274,9 @@ class TestSoak:
     CLIENTS = 8
     QUERIES_PER_CLIENT = 3
 
-    def test_eight_concurrent_clients(self, ssb_small, ssb_workload):
+    def test_eight_concurrent_clients(
+        self, ssb_small, ssb_workload, server_class
+    ):
         catalog, star = ssb_small
         sqls = [render_star_query(query, star) for query in ssb_workload]
         # reference: a plain in-process batch drain
@@ -296,7 +320,7 @@ class TestSoak:
             except BaseException as error:  # surfaced below
                 errors.append(error)
 
-        with WarehouseServer(
+        with server_class(
             Warehouse(catalog, star, execution="batched")
         ) as server:
             threads = [

@@ -15,6 +15,8 @@ import socket
 import struct
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 import repro
 from repro.catalog.schema import DataType
@@ -118,6 +120,187 @@ class TestCodecs:
         assert clamped["error"]["class"] == "DatabaseError"
 
 
+# ----------------------------------------------------------------------
+# Property tests (ISSUE 6 satellite): framing round trips, request-id
+# demultiplexing, and version negotiation under arbitrary inputs.
+# ----------------------------------------------------------------------
+_JSON_VALUES = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=12,
+)
+
+_FRAMES = st.fixed_dictionaries(
+    {"type": st.sampled_from(["execute", "fetch", "cancel", "rows", "error"])},
+    optional={
+        "request_id": st.integers(min_value=0, max_value=7),
+        "payload": _JSON_VALUES,
+    },
+)
+
+
+class TestFramingProperties:
+    @given(
+        payload=st.dictionaries(st.text(max_size=10), _JSON_VALUES, max_size=6)
+    )
+    def test_any_typed_object_round_trips(self, payload):
+        """encode → read is the identity on every JSON object frame."""
+        payload = {**payload, "type": "execute"}
+        decoded = protocol.read_frame(
+            io.BytesIO(protocol.encode_frame(payload))
+        )
+        assert decoded == payload
+
+    @given(frames=st.lists(_FRAMES, max_size=10))
+    def test_any_schedule_round_trips_in_order(self, frames):
+        """A whole frame schedule survives one stream, in order."""
+        stream = io.BytesIO(
+            b"".join(protocol.encode_frame(frame) for frame in frames)
+        )
+        assert [protocol.read_frame(stream) for _ in frames] == frames
+        assert protocol.read_frame(stream) is None
+
+    @given(
+        frames=st.lists(_FRAMES, max_size=12),
+        cut=st.integers(min_value=1, max_value=4),
+    )
+    def test_truncation_never_passes_silently(self, frames, cut):
+        """Chopping bytes off any schedule yields a clean EOF at a
+        frame boundary for the full prefix, then ProtocolError or
+        EOF — never a mangled frame."""
+        encoded = b"".join(protocol.encode_frame(frame) for frame in frames)
+        stream = io.BytesIO(encoded[:-cut] if cut <= len(encoded) else b"")
+        survivors = []
+        try:
+            while True:
+                frame = protocol.read_frame(stream)
+                if frame is None:
+                    break
+                survivors.append(frame)
+        except ProtocolError:
+            pass
+        assert survivors == frames[: len(survivors)]
+        assert len(frames) - len(survivors) <= 1 or cut >= len(encoded)
+
+
+class TestMultiplexingProperties:
+    """docs/PROTOCOL.md section 8: the per-request subsequence IS the
+    request's reply stream, whatever the interleaving."""
+
+    @given(
+        schedule=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.sampled_from(["execute_ok", "rows", "error"]),
+            ),
+            max_size=30,
+        )
+    )
+    def test_split_streams_is_the_subsequence_per_request(self, schedule):
+        frames = [
+            {"type": kind, "request_id": request_id, "seq": position}
+            for position, (request_id, kind) in enumerate(schedule)
+        ]
+        streams = protocol.split_streams(frames)
+        # exactly the ids that appeared, nothing invented
+        assert set(streams) == {rid for rid, _ in schedule}
+        for request_id, stream in streams.items():
+            assert stream == [
+                frame
+                for frame in frames
+                if frame["request_id"] == request_id
+            ]
+            # arrival order preserved within the stream
+            assert [frame["seq"] for frame in stream] == sorted(
+                frame["seq"] for frame in stream
+            )
+        # demultiplexing is a partition: nothing lost, nothing duplicated
+        assert sorted(
+            frame["seq"] for stream in streams.values() for frame in stream
+        ) == list(range(len(frames)))
+
+    @given(frames=st.lists(_FRAMES, max_size=10))
+    def test_split_streams_rejects_untagged_frames(self, frames):
+        if all("request_id" in frame for frame in frames):
+            protocol.split_streams(frames)  # all tagged: must not raise
+        else:
+            with pytest.raises(ProtocolError, match="request_id"):
+                protocol.split_streams(frames)
+
+
+class TestNegotiationProperties:
+    @given(offer=st.integers(min_value=-1000, max_value=1000))
+    def test_negotiation_picks_highest_common_version(self, offer):
+        negotiated = protocol.negotiate_version(offer)
+        common = [
+            version
+            for version in protocol.SUPPORTED_VERSIONS
+            if version <= offer
+        ]
+        assert negotiated == (max(common) if common else None)
+
+    @given(
+        offer=st.one_of(
+            st.none(),
+            st.booleans(),
+            st.floats(),
+            st.text(max_size=5),
+            st.lists(st.integers(), max_size=2),
+        )
+    )
+    def test_non_integer_offers_never_negotiate(self, offer):
+        assert protocol.negotiate_version(offer) is None
+
+    @given(
+        client_max=st.integers(min_value=1, max_value=10),
+        server_versions=st.sets(
+            st.integers(min_value=1, max_value=10), min_size=1, max_size=5
+        ),
+    )
+    def test_negotiation_is_highest_common_for_any_server_set(
+        self, client_max, server_versions
+    ):
+        """The rule generalizes beyond (1, 2): for any contiguous-or-
+        not supported set, the outcome is the highest supported
+        version the client also speaks."""
+        with pytest.MonkeyPatch.context() as patcher:
+            patcher.setattr(
+                protocol,
+                "SUPPORTED_VERSIONS",
+                tuple(sorted(server_versions)),
+            )
+            negotiated = protocol.negotiate_version(client_max)
+        speakable = {v for v in server_versions if v <= client_max}
+        assert negotiated == (max(speakable) if speakable else None)
+
+
+class TestRequestIdProperties:
+    @given(request_id=st.integers(min_value=0, max_value=2**53))
+    def test_valid_ids_pass_through(self, request_id):
+        frame = {"type": "fetch", "request_id": request_id}
+        assert protocol.request_id_of(frame) == request_id
+
+    @given(
+        request_id=st.one_of(
+            st.none(),
+            st.booleans(),
+            st.integers(max_value=-1),
+            st.floats(),
+            st.text(max_size=5),
+        )
+    )
+    def test_invalid_ids_raise(self, request_id):
+        with pytest.raises(ProtocolError, match="request_id"):
+            protocol.request_id_of(
+                {"type": "fetch", "request_id": request_id}
+            )
+
+
 @pytest.fixture
 def server(tiny_star):
     catalog, star = tiny_star
@@ -153,10 +336,12 @@ class TestServerViolations:
             assert protocol.read_frame(reader) is None  # closed
 
     def test_version_mismatch_is_fatal(self, server):
+        # an offer below the oldest supported version shares nothing
+        # with the server; offers ABOVE negotiate down instead
         with raw_client(server) as sock:
             reader = sock.makefile("rb")
             sock.sendall(
-                protocol.encode_frame({"type": "hello", "version": 999})
+                protocol.encode_frame({"type": "hello", "version": 0})
             )
             reply = protocol.read_frame(reader)
             assert reply["type"] == "error"
@@ -172,11 +357,62 @@ class TestServerViolations:
                 )
             )
             assert protocol.read_frame(reader)["type"] == "hello_ok"
-            sock.sendall(protocol.encode_frame({"type": "launch_missiles"}))
+            sock.sendall(
+                protocol.encode_frame(
+                    {"type": "launch_missiles", "request_id": 7}
+                )
+            )
             reply = protocol.read_frame(reader)
             assert reply["type"] == "error"
             assert "unknown frame type" in reply["error"]["message"]
+            assert reply["request_id"] == 7
             assert protocol.read_frame(reader) is None
+
+    def test_missing_request_id_on_v2_is_fatal(self, server):
+        """A v2 connection's post-HELLO frames MUST carry request ids
+        (docs/PROTOCOL.md section 8); omitting one is a framing
+        violation, not a statement error."""
+        with raw_client(server) as sock:
+            reader = sock.makefile("rb")
+            sock.sendall(protocol.encode_frame({"type": "hello", "version": 2}))
+            assert protocol.read_frame(reader)["version"] == 2
+            sock.sendall(
+                protocol.encode_frame(
+                    {"type": "execute", "sql": "SELECT COUNT(*) FROM sales"}
+                )
+            )
+            reply = protocol.read_frame(reader)
+            assert reply["type"] == "error"
+            assert "request_id" in reply["error"]["message"]
+            assert protocol.read_frame(reader) is None
+
+    def test_v1_client_negotiates_down_and_runs_bare_frames(self, server):
+        """A v1 peer keeps working against a v2 server: HELLO settles
+        on version 1 and post-HELLO frames carry no request ids."""
+        with raw_client(server) as sock:
+            reader = sock.makefile("rb")
+            sock.sendall(protocol.encode_frame({"type": "hello", "version": 1}))
+            reply = protocol.read_frame(reader)
+            assert reply["type"] == "hello_ok"
+            assert reply["version"] == 1
+            sock.sendall(
+                protocol.encode_frame(
+                    {"type": "execute", "sql": "SELECT COUNT(*) FROM sales"}
+                )
+            )
+            reply = protocol.read_frame(reader)
+            assert reply["type"] == "execute_ok"
+            assert "request_id" not in reply
+            (query_id,) = reply["query_ids"]
+            sock.sendall(
+                protocol.encode_frame(
+                    {"type": "fetch", "query_id": query_id, "timeout": 30}
+                )
+            )
+            reply = protocol.read_frame(reader)
+            assert reply["type"] == "rows"
+            assert reply["rows"] == [[12]]
+            assert "request_id" not in reply
 
     def test_garbage_bytes_close_the_connection(self, server):
         with raw_client(server) as sock:
@@ -200,17 +436,23 @@ class TestServerViolations:
             )
             assert protocol.read_frame(reader)["type"] == "hello_ok"
             sock.sendall(
-                protocol.encode_frame({"type": "execute", "sql": "SELEC no"})
+                protocol.encode_frame(
+                    {"type": "execute", "sql": "SELEC no", "request_id": 1}
+                )
             )
             reply = protocol.read_frame(reader)
             assert reply["type"] == "error"
             assert reply["error"]["class"] == "ProgrammingError"
+            assert reply["request_id"] == 1
             sock.sendall(
-                protocol.encode_frame({"type": "fetch", "query_id": 42})
+                protocol.encode_frame(
+                    {"type": "fetch", "query_id": 42, "request_id": 2}
+                )
             )
             reply = protocol.read_frame(reader)
             assert reply["type"] == "error"
             assert reply["error"]["class"] == "InterfaceError"
+            assert reply["request_id"] == 2
             # still usable: a valid statement completes end to end
             sock.sendall(
                 protocol.encode_frame(
@@ -220,29 +462,35 @@ class TestServerViolations:
                             "SELECT COUNT(*) FROM sales, store "
                             "WHERE f_store = s_id"
                         ),
+                        "request_id": 3,
                     }
                 )
             )
             reply = protocol.read_frame(reader)
             assert reply["type"] == "execute_ok"
+            assert reply["request_id"] == 3
             (query_id,) = reply["query_ids"]
             sock.sendall(
                 protocol.encode_frame(
-                    {"type": "fetch", "query_id": query_id, "timeout": 30}
+                    {
+                        "type": "fetch",
+                        "query_id": query_id,
+                        "timeout": 30,
+                        "request_id": 4,
+                    }
                 )
             )
             reply = protocol.read_frame(reader)
             assert reply["type"] == "rows"
             assert reply["rows"] == [[12]]
             assert reply["more"] is False
+            assert reply["request_id"] == 4
 
     def test_fetch_rejects_bad_page_sizes(self, server):
         with raw_client(server) as sock:
             reader = sock.makefile("rb")
             sock.sendall(
-                protocol.encode_frame(
-                    {"type": "hello", "version": protocol.PROTOCOL_VERSION}
-                )
+                protocol.encode_frame({"type": "hello", "version": 1})
             )
             assert protocol.read_frame(reader)["type"] == "hello_ok"
             sock.sendall(
@@ -275,9 +523,7 @@ class TestServerViolations:
         with raw_client(server) as sock:
             reader = sock.makefile("rb")
             sock.sendall(
-                protocol.encode_frame(
-                    {"type": "hello", "version": protocol.PROTOCOL_VERSION}
-                )
+                protocol.encode_frame({"type": "hello", "version": 1})
             )
             assert protocol.read_frame(reader)["type"] == "hello_ok"
             sock.sendall(
