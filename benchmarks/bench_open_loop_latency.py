@@ -33,6 +33,7 @@ import sys
 import time
 
 from repro.engine import Warehouse
+from repro.tuning import TuningConfig
 from repro.query.aggregates import AggregateSpec
 from repro.query.predicate import Between
 from repro.query.reference import evaluate_star_query
@@ -94,7 +95,7 @@ def run_open_loop(
         scale_factor=scale_factor,
         seed=31,
         execution="batched",
-        max_in_flight=MAX_IN_FLIGHT,
+        tuning=TuningConfig(max_in_flight=MAX_IN_FLIGHT),
     )
     rng = random.Random(seed)
     service = warehouse.start_service()

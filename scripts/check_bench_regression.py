@@ -17,7 +17,14 @@ is meaningful across machines of different speeds):
   remote sessions held open over probe p95 with 1024 held, multiplexed
   over 4 sockets against the asyncio server
   (benchmarks/bench_remote_concurrency.py; 1.0 = session count does
-  not move tail latency, the serving-layer predictability claim).
+  not move tail latency, the serving-layer predictability claim);
+* ``burst_recovery_ratio`` — p95 under an 8x Poisson burst with a
+  *static* tight admission bound over p95 with the adaptive
+  right-sizing controller enabled
+  (benchmarks/bench_burst_recovery.py).  Deliberately inverted —
+  static over adaptive — so that, like every other tracked ratio,
+  higher is better: 1.0 = the controller matched the static config,
+  above 1.0 it relieved the burst.
 
 Each measured ratio is compared against BENCH_baseline.json at the
 repository root; a measurement below ``baseline * (1 - tolerance)``
@@ -62,6 +69,7 @@ def measure_metrics() -> dict[str, float | None]:
     """Run the tracked benchmarks; None marks unmeasurable-here metrics."""
     _ensure_import_paths()
     from benchmarks.bench_batch_vs_tuple import measure_batch_vs_tuple
+    from benchmarks.bench_burst_recovery import measure_burst_recovery
     from benchmarks.bench_open_loop_latency import measure_open_loop
     from benchmarks.bench_parallel_scaleup import WORKERS, measure_scaleup
     from benchmarks.bench_remote_concurrency import measure_async_sessions
@@ -98,6 +106,14 @@ def measure_metrics() -> dict[str, float | None]:
     metrics["async_session_flatness"] = round(
         async_sessions["flatness"], 3
     )
+    burst = measure_burst_recovery()
+    if not burst["identical"]:
+        raise AssertionError("burst-recovery results diverged from reference")
+    if not burst["resized"]:
+        raise AssertionError(
+            "adaptive controller applied no resize during the burst"
+        )
+    metrics["burst_recovery_ratio"] = round(burst["ratio"], 3)
     return metrics
 
 

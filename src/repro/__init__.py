@@ -35,9 +35,17 @@ from repro.catalog import (
 )
 from repro.cjoin import CJoinOperator, ExecutorConfig, QueryHandle
 from repro.client import Connection, Cursor, connect, connect_async
-from repro.engine import Submission, Warehouse, WarehouseService
+from repro.engine import (
+    AutoTuner,
+    Submission,
+    TuningDecision,
+    TuningPolicy,
+    Warehouse,
+    WarehouseService,
+)
 from repro.server import AsyncWarehouseServer, WarehouseServer
 from repro.errors import ReproError
+from repro.tuning import TuningConfig
 from repro.query import (
     AggregateSpec,
     And,
@@ -58,6 +66,7 @@ __all__ = [
     "AggregateSpec",
     "And",
     "AsyncWarehouseServer",
+    "AutoTuner",
     "Between",
     "CJoinOperator",
     "Catalog",
@@ -81,6 +90,9 @@ __all__ = [
     "Table",
     "TableSchema",
     "TruePredicate",
+    "TuningConfig",
+    "TuningDecision",
+    "TuningPolicy",
     "Warehouse",
     "WarehouseServer",
     "WarehouseService",

@@ -49,10 +49,11 @@ across fact shards sidesteps the GIL where thread-per-stage cannot.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 import queue
 import threading
-from dataclasses import dataclass
+from dataclasses import InitVar, dataclass
 
 from repro.cjoin.batch import FactBatch
 from repro.cjoin.manager import PipelineManager
@@ -60,60 +61,22 @@ from repro.cjoin.pipeline import CJoinPipeline
 from repro.cjoin.tuples import ControlTuple, FactTuple
 from repro.errors import ConfigError, PipelineError
 
-#: Default number of items pulled from the Preprocessor per batch.
-DEFAULT_BATCH_SIZE = 256
-
-#: Upper bound on process-parallel workers: beyond this, shard setup
-#: cost dwarfs any conceivable speedup on real hardware.
-MAX_WORKERS = 128
-
-#: Upper bound on per-stage worker threads (same rationale).
-MAX_STAGE_THREADS = 64
-
-#: Upper bound on batch_size: one batch should never be asked to hold
-#: more rows than a large fact table, which only wastes memory.
-MAX_BATCH_SIZE = 1 << 20
-
-#: Upper bound on maxConc / service in-flight limits: bit-vectors are
-#: arbitrary-precision ints, but beyond this bound every per-tuple
-#: bit operation touches kilobytes of limbs for no plausible workload.
-MAX_CONCURRENT_QUERIES = 1 << 16
-
-#: Upper bound on the service's pending-admission FIFO.
-MAX_ADMISSION_QUEUE_DEPTH = 1 << 20
-
-#: Upper bound on the service's idle-throttle sleep, in seconds: a
-#: larger value only adds admission latency, never saves more CPU.
-MAX_IDLE_SLEEP = 60.0
-
-#: Default idle-throttle sleep for continuous mode.
-DEFAULT_IDLE_SLEEP = 0.001
-
-
-def _require_int(name: str, value, low: int, high: int) -> None:
-    """Range-check an integer config field with an actionable message."""
-    if isinstance(value, bool) or not isinstance(value, int):
-        raise ConfigError(
-            f"{name} must be an int, got {value!r} "
-            f"({type(value).__name__})"
-        )
-    if not low <= value <= high:
-        raise ConfigError(
-            f"{name} must be in [{low}, {high}], got {value}"
-        )
-
-
-def _require_float(name: str, value, low: float, high: float) -> None:
-    """Range-check a numeric config field with an actionable message."""
-    if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise ConfigError(
-            f"{name} must be a number, got {value!r} "
-            f"({type(value).__name__})"
-        )
-    if not low <= value <= high:
-        raise ConfigError(
-            f"{name} must be in [{low}, {high}], got {value}"
-        )
+# The range-bound constants and validators live in repro.tuning now
+# (DESIGN.md section 13) so every layer can import them without
+# cycles; re-exported here because this module was their home.
+from repro.tuning import (  # noqa: F401  (compatibility re-exports)
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_IDLE_SLEEP,
+    MAX_ADMISSION_QUEUE_DEPTH,
+    MAX_BATCH_SIZE,
+    MAX_CONCURRENT_QUERIES,
+    MAX_IDLE_SLEEP,
+    MAX_STAGE_THREADS,
+    MAX_WORKERS,
+    TuningConfig,
+    _require_float,
+    _require_int,
+)
 
 
 @dataclass(frozen=True)
@@ -139,6 +102,10 @@ class ExecutorConfig:
             attempts (0 disables on-line reordering).
         profile_sample_rate: profile every k-th tuple for the ordering
             policy (0 disables profiling).
+        tuning: init-only; a :class:`~repro.tuning.TuningConfig` whose
+            ``workers`` and ``batch_size`` override the keywords above
+            — the bridge from the unified runtime-tuning surface
+            (DESIGN.md section 13) into this low-level config.
     """
 
     mode: str = "synchronous"
@@ -150,8 +117,12 @@ class ExecutorConfig:
     batch_size: int = DEFAULT_BATCH_SIZE
     reoptimize_interval: int = 4096
     profile_sample_rate: int = 64
+    tuning: InitVar[TuningConfig | None] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, tuning: TuningConfig | None = None) -> None:
+        if tuning is not None:
+            object.__setattr__(self, "workers", tuning.workers)
+            object.__setattr__(self, "batch_size", tuning.batch_size)
         if self.mode not in ("synchronous", "horizontal", "vertical", "hybrid"):
             raise ConfigError(f"unknown executor mode {self.mode!r}")
         if self.execution not in ("tuple", "batched"):
@@ -205,6 +176,19 @@ class ExecutorConfig:
                 "mode='hybrid' requires stage_boxes, e.g. (2, 2) to box "
                 "a 4-filter chain into two stages"
             )
+
+
+def _resolve_idle_sleep(idle_sleep):
+    """Normalize a float-or-callable idle throttle to a callable.
+
+    A plain number is validated once and frozen; a callable is trusted
+    per call (the service validates through TuningConfig before any
+    value reaches it) so a running driver sees retunes immediately.
+    """
+    if callable(idle_sleep):
+        return idle_sleep
+    _require_float("idle_sleep", idle_sleep, 0.0, MAX_IDLE_SLEEP)
+    return lambda: idle_sleep
 
 
 class _ProfilingDriver:
@@ -302,6 +286,19 @@ class SynchronousExecutor:
         self._profiler = _ProfilingDriver(pipeline, manager, self.config)
         self._stop = threading.Event()
 
+    def reconfigure(self, tuning: TuningConfig) -> None:
+        """Apply runtime-tunable knobs at the next batch boundary.
+
+        :meth:`step` reads ``self.config`` once per batch, so swapping
+        the (immutable) config between batches is safe from any thread
+        — the in-flight batch finishes under the old size and the next
+        one picks up the new.  Only ``batch_size`` applies here; the
+        executor's thread/worker layout is construction-time state.
+        """
+        self.config = dataclasses.replace(
+            self.config, batch_size=tuning.batch_size
+        )
+
     def step(self) -> int:
         """Process one batch; returns the number of items handled.
 
@@ -362,15 +359,19 @@ class SynchronousExecutor:
         Returns after the stop flag is set; a clean shutdown leaves the
         pipeline consistent, and admitted-but-unfinished queries simply
         resume on the next drive call.
+
+        ``idle_sleep`` may also be a zero-argument callable returning
+        the current sleep, so the service layer can retune the idle
+        throttle of a *running* driver (DESIGN.md section 13).
         """
-        _require_float("idle_sleep", idle_sleep, 0.0, MAX_IDLE_SLEEP)
+        idle = _resolve_idle_sleep(idle_sleep)
         stop = stop_event if stop_event is not None else self._stop
         try:
             while not stop.is_set():
                 if on_cycle is not None:
                     on_cycle()
                 if self.step() == 0:
-                    stop.wait(idle_sleep)
+                    stop.wait(idle())
         finally:
             if stop is self._stop:
                 # consume the signal on the way out: each stop() ends
@@ -423,6 +424,17 @@ class ThreadedExecutor:
         self._stage_slices: list[slice] = []
         self._stop = threading.Event()
         self._started = False
+
+    def reconfigure(self, tuning: TuningConfig) -> None:
+        """Apply runtime-tunable knobs at the next batch boundary.
+
+        The preprocessor loop reads ``self.config.batch_size`` once per
+        iteration, so swapping the immutable config is safe while the
+        stage threads run; the thread layout itself stays fixed.
+        """
+        self.config = dataclasses.replace(
+            self.config, batch_size=tuning.batch_size
+        )
 
     # ------------------------------------------------------------------
     # Stage layout
@@ -530,16 +542,17 @@ class ThreadedExecutor:
         ``on_cycle`` every ``idle_sleep`` seconds until the stop flag is
         set.  With an external ``stop_event`` the caller still owns the
         thread teardown: call :meth:`stop` after this returns to join
-        the stage threads.
+        the stage threads.  As in the synchronous driver, ``idle_sleep``
+        may be a zero-argument callable for live retuning.
         """
-        _require_float("idle_sleep", idle_sleep, 0.0, MAX_IDLE_SLEEP)
+        idle = _resolve_idle_sleep(idle_sleep)
         if not self._started:
             self.start()
         stop = stop_event if stop_event is not None else self._stop
         while not stop.is_set():
             if on_cycle is not None:
                 on_cycle()
-            stop.wait(idle_sleep)
+            stop.wait(idle())
 
     def wait_for(self, handles, timeout: float = 60.0) -> None:
         """Block until every handle completes.

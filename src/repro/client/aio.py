@@ -276,6 +276,17 @@ class AsyncRemoteConnection:
         """Convenience: new cursor, executemany, return it."""
         return await self.cursor().executemany(sql, seq_of_params)
 
+    # -- telemetry (docs/PROTOCOL.md section 9) ------------------------
+    async def stats(self) -> dict:
+        """The server warehouse's telemetry + decision-audit snapshot.
+
+        Same schema as local ``Connection.stats()``; the async client
+        always negotiates protocol v2, so no version gate is needed.
+        """
+        self._check_open()
+        reply = await self._request({"type": protocol.STATS})
+        return reply.get("stats", {})
+
 
 def _mapped_error(reply: dict) -> Error:
     detail = reply.get("error") or {}
@@ -520,6 +531,16 @@ class AsyncConnectionPool:
     async def executemany(self, sql: str, seq_of_params) -> AsyncCursor:
         """Convenience: new pooled cursor, executemany, return it."""
         return await self.cursor().executemany(sql, seq_of_params)
+
+    async def stats(self) -> dict:
+        """Telemetry snapshot via the pool's first connection.
+
+        Every pooled socket reaches the same warehouse, so one
+        connection's answer is the pool's answer.
+        """
+        if self._closed:
+            raise InterfaceError("connection pool is closed")
+        return await self._connections[0].stats()
 
     async def close(self) -> None:
         """Close every pooled connection (idempotent)."""

@@ -140,6 +140,20 @@ class Connection:
         return self.cursor().executemany(sql, seq_of_params)
 
     # ------------------------------------------------------------------
+    # Telemetry (docs/PROTOCOL.md section 9 schema, local transport)
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The warehouse telemetry + tuning-decision audit snapshot.
+
+        Same schema over every transport: ``latency``, ``pipeline``,
+        ``service``, ``tuning``, ``backend``, and ``autotune`` (the
+        adaptive controller's decision audit, DESIGN.md section 13).
+        """
+        self._check_open()
+        with translated():
+            return self.warehouse.stats()
+
+    # ------------------------------------------------------------------
     # Transactions (PEP 249 surface)
     # ------------------------------------------------------------------
     def commit(self) -> None:

@@ -265,6 +265,28 @@ class RemoteConnection:
         return self.cursor().executemany(sql, seq_of_params)
 
     # ------------------------------------------------------------------
+    # Telemetry (docs/PROTOCOL.md section 9)
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The server warehouse's telemetry + decision-audit snapshot.
+
+        Same schema as local ``Connection.stats()``.  Requires a v2
+        session; against a v1-only server this raises client-side
+        instead of burning a round trip on a guaranteed ERROR.
+
+        Raises:
+            NotSupportedError: on a protocol-v1 session.
+        """
+        self._check_open()
+        if self.protocol_version < 2:
+            raise NotSupportedError(
+                "stats() requires protocol version 2; this session "
+                f"negotiated version {self.protocol_version}"
+            )
+        reply = self._request({"type": protocol.STATS})
+        return reply.get("stats", {})
+
+    # ------------------------------------------------------------------
     # Transactions (PEP 249 surface)
     # ------------------------------------------------------------------
     def commit(self) -> None:

@@ -9,16 +9,20 @@ telemetry — is :class:`~repro.engine.service.WarehouseService`
 (DESIGN.md section 9).
 """
 
+from repro.engine.autotune import AutoTuner, TuningDecision, TuningPolicy
 from repro.engine.router import QueryRouter, RoutingDecision
 from repro.engine.service import WarehouseService
 from repro.engine.submission import Submission, SubmissionQueue
 from repro.engine.warehouse import Warehouse
 
 __all__ = [
+    "AutoTuner",
     "QueryRouter",
     "RoutingDecision",
     "Submission",
     "SubmissionQueue",
+    "TuningDecision",
+    "TuningPolicy",
     "Warehouse",
     "WarehouseService",
 ]

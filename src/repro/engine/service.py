@@ -41,22 +41,16 @@ from __future__ import annotations
 import threading
 from collections import deque
 
-from repro.cjoin.executor import (
-    DEFAULT_IDLE_SLEEP,
-    MAX_ADMISSION_QUEUE_DEPTH,
-    MAX_CONCURRENT_QUERIES,
-    MAX_IDLE_SLEEP,
-    SynchronousExecutor,
-    _require_float,
-    _require_int,
-)
+from repro.cjoin.executor import SynchronousExecutor
 from repro.cjoin.operator import CJoinOperator
 from repro.cjoin.registry import QueryHandle
 from repro.errors import AdmissionError, PipelineError
 from repro.query.star import StarQuery
-
-#: Default bound on submissions waiting for an in-flight slot.
-DEFAULT_ADMISSION_QUEUE_DEPTH = 1024
+from repro.tuning import (  # noqa: F401  (compatibility re-export)
+    DEFAULT_ADMISSION_QUEUE_DEPTH,
+    TuningConfig,
+    resolve_tuning,
+)
 
 
 class WarehouseService:
@@ -64,41 +58,36 @@ class WarehouseService:
 
     Args:
         operator: the always-on operator to drive.
-        max_in_flight: bound on concurrently registered queries;
-            defaults to (and is capped by) the operator's ``maxConc``.
-        idle_sleep: driver sleep, in seconds, between polls while no
-            query is registered (the idle throttle).
-        admission_queue_depth: bound on submissions waiting for a slot;
-            a full queue rejects further submissions with
-            :class:`~repro.errors.AdmissionError` (back-pressure).
+        tuning: the service's knobs as one validated
+            :class:`~repro.tuning.TuningConfig` — ``max_in_flight``
+            (bound on concurrently registered queries; None defaults
+            to, and any value is capped by, the operator's
+            ``maxConc``), ``idle_sleep`` (driver sleep between polls
+            while idle), and ``admission_queue_depth`` (bound on
+            submissions waiting for a slot; a full queue rejects with
+            :class:`~repro.errors.AdmissionError` back-pressure).
+            Runtime-mutable through :meth:`reconfigure`.
+
+    The pre-redesign keywords (``max_in_flight``, ``idle_sleep``,
+    ``admission_queue_depth``) are still accepted as deprecation shims
+    that emit :class:`DeprecationWarning` and map onto ``tuning``.
     """
 
     def __init__(
         self,
         operator: CJoinOperator,
-        max_in_flight: int | None = None,
-        idle_sleep: float = DEFAULT_IDLE_SLEEP,
-        admission_queue_depth: int = DEFAULT_ADMISSION_QUEUE_DEPTH,
+        tuning: TuningConfig | None = None,
+        **deprecated,
     ) -> None:
-        max_concurrent = operator.manager.allocator.max_concurrent
-        if max_in_flight is None:
-            max_in_flight = max_concurrent
-        _require_int("max_in_flight", max_in_flight, 1, MAX_CONCURRENT_QUERIES)
-        _require_float("idle_sleep", idle_sleep, 0.0, MAX_IDLE_SLEEP)
-        _require_int(
-            "admission_queue_depth",
-            admission_queue_depth,
-            1,
-            MAX_ADMISSION_QUEUE_DEPTH,
+        tuning = resolve_tuning(
+            tuning,
+            deprecated,
+            allowed=("max_in_flight", "idle_sleep", "admission_queue_depth"),
+            where="WarehouseService",
         )
         self.operator = operator
-        #: the operator can never register more than maxConc queries,
-        #: so a larger request silently clamps rather than guaranteeing
-        #: AdmissionError storms from the id allocator
-        self.max_in_flight = min(max_in_flight, max_concurrent)
-        self.idle_sleep = idle_sleep
-        self.admission_queue_depth = admission_queue_depth
         self._cond = threading.Condition()
+        self._apply_tuning(tuning)
         self._queue: deque[tuple[StarQuery, QueryHandle]] = deque()
         self._in_flight = 0
         #: True while the driver admits a submission it popped from the
@@ -107,6 +96,61 @@ class WarehouseService:
         self._stop_event = threading.Event()
         self._thread: threading.Thread | None = None
         self._driver_error: BaseException | None = None
+
+    def _apply_tuning(self, tuning: TuningConfig) -> None:
+        """Install a (validated) tuning config under the service lock."""
+        max_concurrent = self.operator.manager.allocator.max_concurrent
+        requested = (
+            tuning.max_in_flight
+            if tuning.max_in_flight is not None
+            else max_concurrent
+        )
+        with self._cond:
+            self._tuning = tuning
+            #: the operator can never register more than maxConc
+            #: queries, so a larger request silently clamps rather than
+            #: guaranteeing AdmissionError storms from the id allocator
+            self.max_in_flight = min(requested, max_concurrent)
+            self.idle_sleep = tuning.idle_sleep
+            self.admission_queue_depth = tuning.admission_queue_depth
+            self._cond.notify_all()
+
+    @property
+    def tuning(self) -> TuningConfig:
+        """The service's current tuning config (immutable snapshot)."""
+        with self._cond:
+            return self._tuning
+
+    def reconfigure(self, tuning: TuningConfig) -> None:
+        """Apply new service bounds to a *running* service, thread-safe.
+
+        Growing ``max_in_flight`` lets the driver's next admission pump
+        (once per scan cycle) drain the FIFO into the new slots;
+        shrinking stops further admissions until completions bring the
+        in-flight count under the new bound — registered queries are
+        never evicted.  Shrinking ``admission_queue_depth`` below the
+        current queue length keeps the queued entries and only rejects
+        new submissions.  ``idle_sleep`` reaches the live driver loop
+        through the callable handed to ``run_forever``.
+        """
+        self._apply_tuning(tuning)
+
+    def snapshot(self) -> dict:
+        """A JSON-able view of the service's live admission state.
+
+        The ``service`` section of ``Warehouse.stats()`` (DESIGN.md
+        section 13): the *effective* bounds (post-clamp), occupancy,
+        and queue depth at this instant.
+        """
+        with self._cond:
+            return {
+                "running": self.running,
+                "in_flight": self._in_flight,
+                "queued": len(self._queue),
+                "max_in_flight": self.max_in_flight,
+                "admission_queue_depth": self.admission_queue_depth,
+                "idle_sleep": self.idle_sleep,
+            }
 
     # ------------------------------------------------------------------
     # Introspection
@@ -303,7 +347,9 @@ class WarehouseService:
     def _drive(self) -> None:
         try:
             self.operator.executor.run_forever(
-                idle_sleep=self.idle_sleep,
+                # a callable, so reconfigure() retunes the idle
+                # throttle of the running driver (DESIGN.md section 13)
+                idle_sleep=lambda: self.idle_sleep,
                 on_cycle=self._pump_admissions,
                 stop_event=self._stop_event,
             )

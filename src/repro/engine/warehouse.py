@@ -19,13 +19,13 @@ Typical use::
 from __future__ import annotations
 
 import dataclasses
+import threading
 from collections import deque
 
 from repro.baseline.engine import EngineProfile, QueryAtATimeEngine
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import StarSchema
 from repro.cjoin.executor import (
-    DEFAULT_IDLE_SLEEP,
     MAX_CONCURRENT_QUERIES,
     ExecutorConfig,
     _require_int,
@@ -34,10 +34,8 @@ from repro.cjoin.operator import CJoinOperator
 from repro.cjoin.registry import QueryHandle
 from repro.cjoin.stats import QueryLatencyRecord
 from repro.engine.router import QueryRouter, RoutingDecision
-from repro.engine.service import (
-    DEFAULT_ADMISSION_QUEUE_DEPTH,
-    WarehouseService,
-)
+from repro.engine.service import WarehouseService
+from repro.tuning import TuningConfig, resolve_tuning
 from repro.engine.submission import (
     ROUTE_BASELINE,
     ROUTE_PROCESS,
@@ -71,10 +69,8 @@ class Warehouse:
         enable_updates: bool = False,
         execution: str | None = None,
         backend: str = "serial",
-        workers: int = 1,
-        max_in_flight: int | None = None,
-        idle_sleep: float = DEFAULT_IDLE_SLEEP,
-        admission_queue_depth: int = DEFAULT_ADMISSION_QUEUE_DEPTH,
+        tuning: TuningConfig | None = None,
+        **deprecated,
     ) -> None:
         """Args:
             execution: CJOIN execution granularity — 'tuple' for the
@@ -85,27 +81,42 @@ class Warehouse:
                 serial backend and 'batched' for the process backend
                 (which requires it).
             backend: 'serial' for the always-on in-process operator, or
-                'process' to drain CJOIN queries over ``workers`` fact
-                shards in worker processes (DESIGN.md section 8).  The
-                process backend admits queries at drain boundaries only
-                and is incompatible with ``enable_updates``.
-            workers: shard/worker-process count for backend='process'.
-            max_in_flight: service bound on concurrently registered
-                CJOIN queries (defaults to ``max_concurrent``); later
-                submissions wait FIFO in the admission queue
-                (DESIGN.md section 9).
-            idle_sleep: service driver sleep between polls while no
-                query is registered.
-            admission_queue_depth: bound on queries waiting for an
-                in-flight slot before submissions are rejected.
+                'process' to drain CJOIN queries over fact shards in
+                worker processes (DESIGN.md section 8).  The process
+                backend admits queries at drain boundaries only and is
+                incompatible with ``enable_updates``.
+            tuning: every runtime-tunable knob as one validated
+                :class:`~repro.tuning.TuningConfig` — the service
+                bounds (``max_in_flight``, ``admission_queue_depth``,
+                ``idle_sleep``, DESIGN.md section 9) plus the executor
+                knobs (``workers`` for backend='process',
+                ``batch_size``).  Mutable at runtime through
+                :meth:`reconfigure` (DESIGN.md section 13).
+
+        The pre-redesign keywords (``workers``, ``max_in_flight``,
+        ``idle_sleep``, ``admission_queue_depth``, ``batch_size``) are
+        still accepted as deprecation shims that emit
+        :class:`DeprecationWarning` and map onto ``tuning``.
         """
+        tuning = resolve_tuning(
+            tuning,
+            deprecated,
+            allowed=(
+                "workers",
+                "max_in_flight",
+                "idle_sleep",
+                "admission_queue_depth",
+                "batch_size",
+            ),
+            where="Warehouse",
+        )
         _require_int(
             "max_concurrent", max_concurrent, 1, MAX_CONCURRENT_QUERIES
         )
         if execution is None:
             execution = "batched" if backend == "process" else "tuple"
         self.executor_config = ExecutorConfig(
-            execution=execution, backend=backend, workers=workers
+            execution=execution, backend=backend, tuning=tuning
         )
         if backend == "process" and enable_updates:
             raise ConfigError(
@@ -124,13 +135,17 @@ class Warehouse:
             self.transactions = TransactionManager()
             self.versioned_fact = VersionedTable(catalog.table(star.fact.name))
         self.max_concurrent = max_concurrent
+        # the always-on operator is serial even when the offline drain
+        # is process-sharded, so its config takes batch_size only
         self.cjoin = CJoinOperator(
             catalog,
             star,
             buffer_pool=self.buffer_pool,
             max_concurrent=max_concurrent,
             versioned_fact=self.versioned_fact,
-            executor_config=ExecutorConfig(execution=execution),
+            executor_config=ExecutorConfig(
+                execution=execution, batch_size=tuning.batch_size
+            ),
         )
         self.baseline = QueryAtATimeEngine(
             catalog,
@@ -142,12 +157,14 @@ class Warehouse:
         #: the always-on serving surface (DESIGN.md section 9): owns
         #: the CJOIN admission queue; submit() delegates to it and
         #: run() drains through it
-        self.service = WarehouseService(
-            self.cjoin,
-            max_in_flight=max_in_flight,
-            idle_sleep=idle_sleep,
-            admission_queue_depth=admission_queue_depth,
-        )
+        self.service = WarehouseService(self.cjoin, tuning=tuning)
+        self._tuning = tuning
+        #: serializes reconfigure() against itself; each layer's apply
+        #: is internally thread-safe, the lock keeps the composite
+        #: (service + executors + self._tuning) atomic per caller
+        self._tuning_lock = threading.Lock()
+        #: the adaptive controller, when enabled (DESIGN.md section 13)
+        self.autotuner = None
         #: offline-route FIFOs: submissions waiting for the next drain
         #: boundary, with the same cancellation semantics as the
         #: service's admission queue (DESIGN.md section 10)
@@ -329,6 +346,126 @@ class Warehouse:
         """Stop the background driver cleanly (idempotent)."""
         self.service.stop()
 
+    # ------------------------------------------------------------------
+    # Runtime tuning (DESIGN.md section 13)
+    # ------------------------------------------------------------------
+    @property
+    def tuning(self) -> TuningConfig:
+        """The warehouse's current tuning config (immutable snapshot)."""
+        with self._tuning_lock:
+            return self._tuning
+
+    def reconfigure(self, tuning: TuningConfig) -> TuningConfig:
+        """Apply a new tuning config to the *live* warehouse.
+
+        Thread-safe, and safe mid-scan: each knob lands at its natural
+        boundary, so results stay reference-equal across a resize —
+
+        * service bounds (``max_in_flight``, ``admission_queue_depth``,
+          ``idle_sleep``) apply immediately; queued/registered queries
+          are never evicted, the driver's admission pump just sees the
+          new limits on its next scan cycle;
+        * ``batch_size`` reaches the serial executor at its next batch
+          boundary (the immutable-config swap);
+        * ``workers`` takes effect at the next process-backend drain —
+          shard pools are built per drain, so workers "join/retire" at
+          drain boundaries and the worker-count-independent merge
+          protocol keeps results identical.
+
+        Returns the applied config.  Raises
+        :class:`~repro.errors.ConfigError` before touching anything
+        when the config cannot fit this warehouse (e.g. ``workers > 1``
+        on the serial backend).
+        """
+        self._require_open()
+        with self._tuning_lock:
+            # validates workers-vs-backend up front; only then mutate
+            self.executor_config = ExecutorConfig(
+                execution=self.executor_config.execution,
+                backend=self.executor_config.backend,
+                tuning=tuning,
+            )
+            self.service.reconfigure(tuning)
+            self.cjoin.executor.reconfigure(tuning)
+            self._tuning = tuning
+        return tuning
+
+    def stats(self) -> dict:
+        """One JSON-able telemetry + decision-audit snapshot.
+
+        The canonical schema served identically over every transport
+        (the local ``Connection.stats()``, the wire STATS frame of
+        docs/PROTOCOL.md section 9, and the async client): latency
+        percentiles over all routes, pipeline counters, the service's
+        live admission state, the current tuning config, and the
+        adaptive controller's decision audit when one is enabled.
+        """
+        pipeline = self.cjoin.stats
+        with self._tuning_lock:
+            tuning = self._tuning.as_dict()
+            autotuner = self.autotuner
+        return {
+            "latency": self.latency_summary(),
+            "pipeline": {
+                "tuples_scanned": pipeline.tuples_scanned,
+                "tuples_distributed": pipeline.tuples_distributed,
+                "probes_total": pipeline.probes_total,
+                "queries_admitted": pipeline.queries_admitted,
+                "queries_completed": pipeline.queries_completed,
+                "queries_cancelled": pipeline.queries_cancelled,
+                "reoptimizations": pipeline.reoptimizations,
+            },
+            "service": self.service.snapshot(),
+            "tuning": tuning,
+            "backend": {
+                "backend": self.executor_config.backend,
+                "execution": self.executor_config.execution,
+                "workers": self.executor_config.workers,
+                "batch_size": self.executor_config.batch_size,
+                "pending_process": self.pending_submissions(ROUTE_PROCESS),
+                "pending_baseline": self.pending_submissions(ROUTE_BASELINE),
+            },
+            "autotune": {
+                "enabled": autotuner is not None and autotuner.running,
+                "decisions": (
+                    [d.as_dict() for d in autotuner.decisions]
+                    if autotuner is not None
+                    else []
+                ),
+            },
+        }
+
+    def enable_autotuning(
+        self, policy=None, interval: float = 0.25, **tuner_kwargs
+    ):
+        """Start the adaptive right-sizing controller (DESIGN.md §13).
+
+        Spawns the ``warehouse-autotuner`` thread sampling this
+        warehouse's own telemetry every ``interval`` seconds and
+        applying bounded resize actions through :meth:`reconfigure`.
+        Returns the :class:`~repro.engine.autotune.AutoTuner`; every
+        decision it takes lands in the audit ring served by
+        :meth:`stats`.  Idempotent while running.
+
+        Raises:
+            QueryError: when the warehouse has been closed.
+        """
+        from repro.engine.autotune import AutoTuner
+
+        self._require_open()
+        if self.autotuner is not None and self.autotuner.running:
+            return self.autotuner
+        self.autotuner = AutoTuner(
+            self, policy=policy, interval=interval, **tuner_kwargs
+        )
+        self.autotuner.start()
+        return self.autotuner
+
+    def disable_autotuning(self) -> None:
+        """Stop the controller thread (idempotent); audit is retained."""
+        if self.autotuner is not None:
+            self.autotuner.stop()
+
     def run(self, max_in_flight_baseline: int | None = None) -> None:
         """Run all submitted queries to completion.
 
@@ -433,6 +570,7 @@ class Warehouse:
         if self._closed:
             return
         self._closed = True
+        self.disable_autotuning()
         self.service.stop()
         for queue in self._offline_queues.values():
             queue.cancel_all()

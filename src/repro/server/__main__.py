@@ -24,11 +24,8 @@ import signal
 import threading
 
 from repro.engine.warehouse import Warehouse
-from repro.server.tcp import (
-    DEFAULT_MAX_IN_FLIGHT_PER_CONNECTION,
-    DEFAULT_PORT,
-    WarehouseServer,
-)
+from repro.server.tcp import DEFAULT_PORT, WarehouseServer
+from repro.tuning import DEFAULT_MAX_IN_FLIGHT_PER_CONNECTION, TuningConfig
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,6 +59,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_MAX_IN_FLIGHT_PER_CONNECTION,
         help="per-connection admission bound (fairness across clients)",
     )
+    parser.add_argument(
+        "--autotune",
+        action="store_true",
+        help="enable the adaptive right-sizing controller "
+        "(DESIGN.md section 13); decisions are auditable through "
+        "connection.stats()",
+    )
     return parser
 
 
@@ -71,12 +75,18 @@ def main(argv: list[str] | None = None) -> int:
         f"loading SSB at scale factor {args.scale_factor} "
         f"(seed {args.seed}, execution={args.execution})..."
     )
+    tuning = TuningConfig()
+    if args.max_in_flight is not None:
+        tuning = tuning.replace(max_in_flight=args.max_in_flight)
     warehouse = Warehouse.from_ssb(
         scale_factor=args.scale_factor,
         seed=args.seed,
         execution=args.execution,
-        max_in_flight=args.max_in_flight,
+        tuning=tuning,
     )
+    if args.autotune:
+        warehouse.enable_autotuning()
+        print("adaptive right-sizing controller enabled")
     server = WarehouseServer(
         warehouse,
         host=args.host,

@@ -414,6 +414,9 @@ class AsyncWarehouseServer:
         if kind == protocol.CLOSE:
             await conn.outbox.put(_tag(session.close(frame), request_id))
             return False
+        if kind == protocol.STATS:
+            await conn.outbox.put(_tag(session.stats(frame), request_id))
+            return False
         raise ProtocolError(f"unknown frame type {kind!r}")
 
     async def _dispatch_fetch(

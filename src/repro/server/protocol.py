@@ -60,6 +60,9 @@ EXECUTE = "execute"
 FETCH = "fetch"
 CANCEL = "cancel"
 CLOSE = "close"
+#: STATS requires protocol version 2 (docs/PROTOCOL.md section 9); a
+#: v1 session receives a clean NotSupportedError ERROR frame instead.
+STATS = "stats"
 
 #: Server-to-client frame types.
 HELLO_OK = "hello_ok"
@@ -67,6 +70,7 @@ EXECUTE_OK = "execute_ok"
 ROWS = "rows"
 CANCEL_OK = "cancel_ok"
 CLOSE_OK = "close_ok"
+STATS_OK = "stats_ok"
 ERROR = "error"
 
 #: The error-class names an ERROR frame may carry (docs/PROTOCOL.md

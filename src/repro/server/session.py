@@ -296,6 +296,25 @@ class ServerSession:
             "more": state.offset < len(state.rows),
         }
 
+    # -- STATS ---------------------------------------------------------
+    def stats(self, frame: dict) -> dict:
+        """Answer a STATS frame with the warehouse telemetry snapshot.
+
+        Version-gated (docs/PROTOCOL.md section 9): a v1 peer that
+        sends STATS anyway gets a clean ``NotSupportedError`` ERROR
+        frame — the connection keeps serving.
+        """
+        if self.version < 2:
+            from repro.client.exceptions import NotSupportedError
+
+            raise NotSupportedError(
+                "the stats frame requires protocol version 2; this "
+                f"session negotiated version {self.version}"
+            )
+        with translated():
+            snapshot = self.server.warehouse.stats()
+        return {"type": protocol.STATS_OK, "stats": snapshot}
+
     # -- CANCEL / CLOSE ------------------------------------------------
     def cancel(self, frame: dict) -> dict:
         _, state = self.lookup(frame)

@@ -45,11 +45,12 @@ from repro.server import protocol
 from repro.server.protocol import ProtocolError
 from repro.server.session import CloseConnection, ServerSession
 
+# the per-connection fairness bound lives with every other tuning
+# constant now (repro.tuning); re-exported for existing importers
+from repro.tuning import DEFAULT_MAX_IN_FLIGHT_PER_CONNECTION  # noqa: F401
+
 #: Default TCP port of ``python -m repro.server``.
 DEFAULT_PORT = 5477
-
-#: Default bound on one connection's queries inside the warehouse.
-DEFAULT_MAX_IN_FLIGHT_PER_CONNECTION = 16
 
 #: Handler threads poll completion/shutdown at this cadence while a
 #: FETCH blocks, so ``stop()`` never waits for a client timeout.
@@ -178,6 +179,8 @@ class _Connection:
             return session.cancel(frame)
         if kind == protocol.CLOSE:
             return session.close(frame)
+        if kind == protocol.STATS:
+            return session.stats(frame)
         raise ProtocolError(f"unknown frame type {kind!r}")
 
     def _handle_fetch(self, frame: dict) -> dict:
