@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Fail when a headline performance ratio regresses > 20% vs baseline.
 
-Three ratios are tracked (ratios, not absolute seconds, so the gate
-is meaningful across machines of different speeds):
+Tracked ratios (ratios, not absolute seconds, so the gate is
+meaningful across machines of different speeds):
 
 * ``batch_vs_tuple_speedup`` — the PR-1 vectorized drain vs the
   reference tuple-at-a-time drain (benchmarks/bench_batch_vs_tuple.py);
@@ -24,7 +24,14 @@ is meaningful across machines of different speeds):
   (benchmarks/bench_burst_recovery.py).  Deliberately inverted —
   static over adaptive — so that, like every other tracked ratio,
   higher is better: 1.0 = the controller matched the static config,
-  above 1.0 it relieved the burst.
+  above 1.0 it relieved the burst;
+* ``kernel_per_tuple_cost`` — drain cost per scanned tuple with the
+  batch kernels off over the same cost with the default kernel
+  (benchmarks/bench_kernel_cost.py; above 1.0 the kernels make every
+  scanned tuple cheaper);
+* ``shm_vs_pickle_transport`` — per-drain shard-handoff seconds of
+  the pickle process transport over the warm shared-memory transport
+  (same bench; above 1.0 shm hands workers their shards faster).
 
 Each measured ratio is compared against BENCH_baseline.json at the
 repository root; a measurement below ``baseline * (1 - tolerance)``
@@ -40,7 +47,13 @@ intentional performance change, run on a quiet multi-core host::
 review the diff to BENCH_baseline.json, and commit it together with
 the change that moved the numbers.  ``--update`` only overwrites
 metrics that are measurable on the current host, so a 2-core laptop
-refreshing the batch ratio will not clobber the parallel one.
+refreshing the batch ratio will not clobber the parallel one.  To
+refresh a subset without re-measuring (or touching) the rest —
+e.g. after a change that only moves the kernel ratio, or to protect
+floor-seeded metrics — name the metrics to run::
+
+    python scripts/check_bench_regression.py --update \\
+        --only kernel_per_tuple_cost --only shm_vs_pickle_transport
 """
 
 from __future__ import annotations
@@ -65,55 +78,112 @@ def _ensure_import_paths() -> None:
             sys.path.insert(0, path)
 
 
-def measure_metrics() -> dict[str, float | None]:
-    """Run the tracked benchmarks; None marks unmeasurable-here metrics."""
-    _ensure_import_paths()
-    from benchmarks.bench_batch_vs_tuple import measure_batch_vs_tuple
-    from benchmarks.bench_burst_recovery import measure_burst_recovery
-    from benchmarks.bench_open_loop_latency import measure_open_loop
-    from benchmarks.bench_parallel_scaleup import WORKERS, measure_scaleup
-    from benchmarks.bench_remote_concurrency import measure_async_sessions
+#: every metric measure_metrics() knows how to produce, in run order
+TRACKED_METRICS = (
+    "batch_vs_tuple_speedup",
+    "parallel_scaleup_speedup",
+    "open_loop_flatness",
+    "async_session_flatness",
+    "burst_recovery_ratio",
+    "kernel_per_tuple_cost",
+    "shm_vs_pickle_transport",
+)
 
+
+def measure_metrics(
+    only: tuple[str, ...] | None = None,
+) -> dict[str, float | None]:
+    """Run the tracked benchmarks; None marks unmeasurable-here metrics.
+
+    ``only`` restricts both measurement and the returned dict to the
+    named metrics — metrics left out are neither run nor reported, so
+    ``--update --only ...`` cannot clobber them.
+    """
+    _ensure_import_paths()
+    wanted = set(TRACKED_METRICS if only is None else only)
     metrics: dict[str, float | None] = {}
-    batch = measure_batch_vs_tuple()
-    if not batch["identical"]:
-        raise AssertionError("batched drain produced different results")
-    metrics["batch_vs_tuple_speedup"] = round(batch["speedup"], 3)
-    if (os.cpu_count() or 1) >= WORKERS:
-        scaleup = measure_scaleup()
-        if not scaleup["identical"]:
-            raise AssertionError("parallel drain produced different results")
-        metrics["parallel_scaleup_speedup"] = round(scaleup["speedup"], 3)
-    else:
-        metrics["parallel_scaleup_speedup"] = None
-    open_loop = measure_open_loop()
-    if not open_loop["identical"]:
-        raise AssertionError("open-loop service results diverged from reference")
-    metrics["open_loop_flatness"] = round(open_loop["flatness"], 3)
-    async_sessions = measure_async_sessions()
-    if not async_sessions["rows_ok"]:
-        raise AssertionError("async session rows diverged from reference")
-    if not async_sessions["sustained_target"]:
-        raise AssertionError(
-            "async server failed to hold the full session rung "
-            f"({async_sessions['peak_sessions']} < "
-            f"{async_sessions['sessions']})"
+    if "batch_vs_tuple_speedup" in wanted:
+        from benchmarks.bench_batch_vs_tuple import measure_batch_vs_tuple
+
+        batch = measure_batch_vs_tuple()
+        if not batch["identical"]:
+            raise AssertionError("batched drain produced different results")
+        metrics["batch_vs_tuple_speedup"] = round(batch["speedup"], 3)
+    if "parallel_scaleup_speedup" in wanted:
+        from benchmarks.bench_parallel_scaleup import WORKERS, measure_scaleup
+
+        if (os.cpu_count() or 1) >= WORKERS:
+            scaleup = measure_scaleup()
+            if not scaleup["identical"]:
+                raise AssertionError(
+                    "parallel drain produced different results"
+                )
+            metrics["parallel_scaleup_speedup"] = round(
+                scaleup["speedup"], 3
+            )
+        else:
+            metrics["parallel_scaleup_speedup"] = None
+    if "open_loop_flatness" in wanted:
+        from benchmarks.bench_open_loop_latency import measure_open_loop
+
+        open_loop = measure_open_loop()
+        if not open_loop["identical"]:
+            raise AssertionError(
+                "open-loop service results diverged from reference"
+            )
+        metrics["open_loop_flatness"] = round(open_loop["flatness"], 3)
+    if "async_session_flatness" in wanted:
+        from benchmarks.bench_remote_concurrency import (
+            measure_async_sessions,
         )
-    if not (
-        async_sessions["tasks_clean"] and async_sessions["threads_clean"]
-    ):
-        raise AssertionError("async session bench leaked tasks or threads")
-    metrics["async_session_flatness"] = round(
-        async_sessions["flatness"], 3
-    )
-    burst = measure_burst_recovery()
-    if not burst["identical"]:
-        raise AssertionError("burst-recovery results diverged from reference")
-    if not burst["resized"]:
-        raise AssertionError(
-            "adaptive controller applied no resize during the burst"
+
+        async_sessions = measure_async_sessions()
+        if not async_sessions["rows_ok"]:
+            raise AssertionError("async session rows diverged from reference")
+        if not async_sessions["sustained_target"]:
+            raise AssertionError(
+                "async server failed to hold the full session rung "
+                f"({async_sessions['peak_sessions']} < "
+                f"{async_sessions['sessions']})"
+            )
+        if not (
+            async_sessions["tasks_clean"] and async_sessions["threads_clean"]
+        ):
+            raise AssertionError("async session bench leaked tasks or threads")
+        metrics["async_session_flatness"] = round(
+            async_sessions["flatness"], 3
         )
-    metrics["burst_recovery_ratio"] = round(burst["ratio"], 3)
+    if "burst_recovery_ratio" in wanted:
+        from benchmarks.bench_burst_recovery import measure_burst_recovery
+
+        burst = measure_burst_recovery()
+        if not burst["identical"]:
+            raise AssertionError(
+                "burst-recovery results diverged from reference"
+            )
+        if not burst["resized"]:
+            raise AssertionError(
+                "adaptive controller applied no resize during the burst"
+            )
+        metrics["burst_recovery_ratio"] = round(burst["ratio"], 3)
+    if "kernel_per_tuple_cost" in wanted:
+        from benchmarks.bench_kernel_cost import measure_kernel_cost
+
+        kernel = measure_kernel_cost()
+        if not kernel["identical"]:
+            raise AssertionError(
+                "batch kernels produced different results than the loops"
+            )
+        metrics["kernel_per_tuple_cost"] = round(kernel["cost_ratio"], 3)
+    if "shm_vs_pickle_transport" in wanted:
+        from benchmarks.bench_kernel_cost import measure_shard_transport
+
+        transport = measure_shard_transport()
+        if not transport["identical"]:
+            raise AssertionError(
+                "shm shard slices diverged from the pickled shards"
+            )
+        metrics["shm_vs_pickle_transport"] = round(transport["speedup"], 3)
     return metrics
 
 
@@ -125,7 +195,10 @@ def check(
     """Return failure messages (empty = all tracked ratios hold up)."""
     problems = []
     for name, reference in baseline.get("metrics", {}).items():
-        value = measured.get(name)
+        if name not in measured:
+            print(f"{name}: skipped (not selected by --only)")
+            continue
+        value = measured[name]
         if reference is None:
             print(f"{name}: skipped (no committed baseline; see --update)")
             continue
@@ -171,9 +244,17 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_TOLERANCE,
         help="allowed fractional loss vs baseline (default 0.2)",
     )
+    parser.add_argument(
+        "--only",
+        action="append",
+        choices=TRACKED_METRICS,
+        metavar="METRIC",
+        help="measure (and with --update, overwrite) only this metric; "
+        "repeatable",
+    )
     args = parser.parse_args(argv)
     baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
-    measured = measure_metrics()
+    measured = measure_metrics(tuple(args.only) if args.only else None)
     if args.update:
         update_baseline(measured)
         return 0

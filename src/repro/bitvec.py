@@ -18,6 +18,7 @@ query ``Q_i`` owns bit ``i - 1``.
 from __future__ import annotations
 
 from collections.abc import Iterator
+from operator import and_ as _and
 
 #: The all-zeroes bit-vector (the paper's ``0`` symbol).
 EMPTY: int = 0
@@ -128,6 +129,27 @@ def bulk_and(left, right) -> list[int]:
     return [a & b for a, b in zip(left, right)]
 
 
+def bulk_and_lookup(vectors, keys, masks_of) -> list[int]:
+    """AND each bit-vector with the mask its row's key maps to.
+
+    The batch-kernel filtering primitive (DESIGN.md section 14):
+    ``vectors[i] & masks_of[keys[i]]`` for every position, produced by
+    two C-level ``map`` passes — the dict lookup and the AND — with no
+    Python-level loop body.  ``masks_of`` must cover every key (the
+    kernels build it from the deduplicated probe results, so it does
+    by construction).
+
+    Raises:
+        ValueError: on a length mismatch (a silent zip would mask a
+            batch bookkeeping bug).
+    """
+    if len(vectors) != len(keys):
+        raise ValueError(
+            f"bulk_and_lookup length mismatch: {len(vectors)} vs {len(keys)}"
+        )
+    return list(map(_and, vectors, map(masks_of.__getitem__, keys)))
+
+
 def bulk_popcount(vectors) -> int:
     """Total number of set bits across a sequence of bit-vectors."""
     return sum(vector.bit_count() for vector in vectors)
@@ -138,11 +160,10 @@ def pack_positions(positions) -> int:
 
     The inverse of :func:`iter_set_positions`; used to build the
     dropped-rows mask a Filter subtracts from a batch's alive mask.
+    Positions are distinct bits, so summing the shifted singletons
+    equals OR-ing them — and ``sum(map(...))`` runs at C level.
     """
-    mask = 0
-    for position in positions:
-        mask |= 1 << position
-    return mask
+    return sum(map((1).__lshift__, positions))
 
 
 def iter_set_positions(mask: int) -> Iterator[int]:

@@ -20,6 +20,8 @@ because shards are contiguous spans of the same scan order.
 
 from __future__ import annotations
 
+from operator import itemgetter
+
 from repro.catalog.schema import StarSchema
 from repro.cjoin.tuples import FactTuple
 from repro.errors import PipelineError
@@ -38,6 +40,36 @@ def _make_extractor(ref: ColumnRef, query: StarQuery, star: StarSchema):
     return lambda fact_tuple: fact_tuple.dim_rows[name][index]
 
 
+def _make_row_getter_factory(
+    ref: ColumnRef, query: StarQuery, star: StarSchema, dim_names: list[str]
+):
+    """Compile a ColumnRef into a lookup-state -> (row -> value) factory.
+
+    The columnar twin of :func:`_make_extractor` (DESIGN.md section
+    14).  Getters read the fact *row tuple* directly — fact attributes
+    via a C-level ``itemgetter``, dimension attributes through the
+    batch-level ``(fk index, key -> row)`` join lookup — so they
+    depend only on the dimension lookup snapshots, not on the batch:
+    one compile serves every batch until a registration change swaps
+    the snapshots (see ``OutputOperator._compiled_row_getters``).
+    Dimension tables read this way are appended to ``dim_names``.
+    """
+    if ref.table == query.fact_table:
+        getter = itemgetter(star.fact.column_index(ref.column))
+        return lambda lookup_of: getter
+    dimension = star.dimension(ref.table)
+    index = dimension.column_index(ref.column)
+    name = ref.table
+    if name not in dim_names:
+        dim_names.append(name)
+
+    def dim_factory(lookup_of):
+        fk_index, rows_of = lookup_of[name]
+        return lambda row: rows_of[row[fk_index]][index]
+
+    return dim_factory
+
+
 def _make_aggregate_input(spec: AggregateSpec, query: StarQuery, star: StarSchema):
     """Compile an aggregate's input expression into a closure."""
     if spec.is_count_star:
@@ -51,8 +83,90 @@ def _make_aggregate_input(spec: AggregateSpec, query: StarQuery, star: StarSchem
     )
 
 
+def _count_star_getter(_row: tuple):
+    return 0  # any non-None marker
+
+
+def _make_aggregate_row_input_factory(
+    spec: AggregateSpec, query: StarQuery, star: StarSchema,
+    dim_names: list[str],
+):
+    """Columnar twin of :func:`_make_aggregate_input`."""
+    if spec.is_count_star:
+        return lambda lookup_of: _count_star_getter
+    first = _make_row_getter_factory(
+        ColumnRef(spec.table, spec.column), query, star, dim_names
+    )
+    if spec.column2 is None:
+        return first
+    second = _make_row_getter_factory(
+        ColumnRef(spec.table, spec.column2), query, star, dim_names
+    )
+    combine = spec.combine_values
+
+    def factory(lookup_of):
+        get_first = first(lookup_of)
+        get_second = second(lookup_of)
+        return lambda row: combine(get_first(row), get_second(row))
+
+    return factory
+
+
+def _compile_row_getter_factories(query: StarQuery, star: StarSchema):
+    """(dim names, (key, select, aggregate-input) factory lists)."""
+    dim_names: list[str] = []
+    factories = (
+        [
+            _make_row_getter_factory(ref, query, star, dim_names)
+            for ref in query.group_by
+        ],
+        [
+            _make_row_getter_factory(ref, query, star, dim_names)
+            for ref in query.select
+        ],
+        [
+            _make_aggregate_row_input_factory(spec, query, star, dim_names)
+            for spec in query.aggregates
+        ],
+    )
+    return tuple(dim_names), factories
+
+
 class OutputOperator:
     """Base class: consumes routed fact tuples, produces result rows."""
+
+    #: single-slot (dim lookup state, compiled getters) memo.  Row
+    #: getters read the fact row tuple, so they depend only on the
+    #: dimension lookup snapshots attached to batches — and those are
+    #: identity-stable between registration changes (the dimension
+    #: table caches them), so the state comparison is a handful of
+    #: pointer checks and recompiles happen per query-set epoch, not
+    #: per batch
+    _getter_cache: tuple = (None, None)
+
+    def _compiled_row_getters(self, batch):
+        """The (key, select, input) row getters for ``batch``.
+
+        Returns None when a dimension this operator reads has no
+        batch-level lookup attached (callers fall back to the
+        materializing path — only reachable off the kernel route).
+        """
+        state = batch.dim_lookup_state(self._dim_names)
+        if state is None:
+            return None
+        cached_state, getters = self._getter_cache
+        if cached_state != state:
+            lookup_of = dict(zip(self._dim_names, state))
+            key_factories, select_factories, input_factories = (
+                self._row_getter_factories
+            )
+            getters = (
+                [factory(lookup_of) for factory in key_factories],
+                [factory(lookup_of) for factory in select_factories],
+                [factory(lookup_of) for factory in input_factories],
+            )
+            self._getter_cache = (state, getters)
+        return getters
 
     def consume(self, fact_tuple: FactTuple) -> None:
         """Fold one routed fact tuple into the operator state."""
@@ -66,6 +180,18 @@ class OutputOperator:
         """
         for fact_tuple in fact_tuples:
             self.consume(fact_tuple)
+
+    def consume_rows(self, batch, row_indices: list[int]) -> None:
+        """Fold batch rows columnar, without materializing tuples.
+
+        The kernel-path routing entry point (DESIGN.md section 14):
+        ``row_indices`` are the batch rows routed to this query, in
+        scan order.  The default materializes and defers to
+        :meth:`consume_batch` so tuple-shaped subclasses stay correct;
+        the built-in operators override with getters compiled straight
+        against the batch's columns.
+        """
+        self.consume_batch([batch.materialize(r) for r in row_indices])
 
     def partial_state(self):
         """Export the un-finalized state for cross-process merging.
@@ -104,6 +230,9 @@ class AggregationOperator(OutputOperator):
         self._aggregate_inputs = [
             _make_aggregate_input(spec, query, star) for spec in query.aggregates
         ]
+        self._dim_names, self._row_getter_factories = (
+            _compile_row_getter_factories(query, star)
+        )
         self._groups: dict[tuple, list] = {}
 
     def consume(self, fact_tuple: FactTuple) -> None:
@@ -143,6 +272,26 @@ class AggregationOperator(OutputOperator):
                 aggregate_inputs, state[1]
             ):
                 accumulator.add(extract_input(fact_tuple))
+
+    def consume_rows(self, batch, row_indices: list[int]) -> None:
+        getters = self._compiled_row_getters(batch)
+        if getters is None:
+            super().consume_rows(batch, row_indices)
+            return
+        key_getters, select_getters, input_getters = getters
+        groups = self._groups
+        groups_get = groups.get
+        specs = self.query.aggregates
+        for row in map(batch.rows.__getitem__, row_indices):
+            key = tuple(get(row) for get in key_getters)
+            state = groups_get(key)
+            if state is None:
+                state = groups[key] = [
+                    tuple(get(row) for get in select_getters),
+                    [make_accumulator(spec) for spec in specs],
+                ]
+            for get_input, accumulator in zip(input_getters, state[1]):
+                accumulator.add(get_input(row))
 
     def partial_state(self) -> dict[tuple, tuple]:
         """Compact group table: key -> (select values, state tuples).
@@ -209,6 +358,9 @@ class SortAggregationOperator(OutputOperator):
         self._aggregate_inputs = [
             _make_aggregate_input(spec, query, star) for spec in query.aggregates
         ]
+        self._dim_names, self._row_getter_factories = (
+            _compile_row_getter_factories(query, star)
+        )
         #: buffered (group key, select values, aggregate inputs) rows
         self._buffer: list[tuple] = []
 
@@ -233,6 +385,21 @@ class SortAggregationOperator(OutputOperator):
                 tuple(extract(fact_tuple) for extract in aggregate_inputs),
             )
             for fact_tuple in fact_tuples
+        )
+
+    def consume_rows(self, batch, row_indices: list[int]) -> None:
+        getters = self._compiled_row_getters(batch)
+        if getters is None:
+            super().consume_rows(batch, row_indices)
+            return
+        key_getters, select_getters, input_getters = getters
+        self._buffer.extend(
+            (
+                tuple(get(row) for get in key_getters),
+                tuple(get(row) for get in select_getters),
+                tuple(get(row) for get in input_getters),
+            )
+            for row in map(batch.rows.__getitem__, row_indices)
         )
 
     def partial_state(self) -> list[tuple]:
@@ -282,6 +449,15 @@ class ListingOperator(OutputOperator):
         self._select_extractors = [
             _make_extractor(ref, query, star) for ref in query.select
         ]
+        # the shared getter memo's triple shape, with only selects used
+        dim_names: list[str] = []
+        self._row_getter_factories = (
+            [],
+            [_make_row_getter_factory(ref, query, star, dim_names)
+             for ref in query.select],
+            [],
+        )
+        self._dim_names = tuple(dim_names)
         self._rows: list[tuple] = []
 
     def consume(self, fact_tuple: FactTuple) -> None:
@@ -294,6 +470,17 @@ class ListingOperator(OutputOperator):
         self._rows.extend(
             tuple(extract(fact_tuple) for extract in select_extractors)
             for fact_tuple in fact_tuples
+        )
+
+    def consume_rows(self, batch, row_indices: list[int]) -> None:
+        getters = self._compiled_row_getters(batch)
+        if getters is None:
+            super().consume_rows(batch, row_indices)
+            return
+        select_getters = getters[1]
+        self._rows.extend(
+            tuple(get(row) for get in select_getters)
+            for row in map(batch.rows.__getitem__, row_indices)
         )
 
     def partial_state(self) -> list[tuple]:

@@ -16,6 +16,31 @@ A batch is parallel arrays plus two liveness views of the same state:
   alive), maintained with :mod:`repro.bitvec` bulk operations so
   invariants are cheap to check and cheap to reason about.
 
+``sequences`` and ``positions`` are ``array('q')`` buffers: machine
+i64 columns (8 bytes/row instead of a PyObject* plus an int object),
+sharing small-int objects on element access and supporting the
+buffer protocol, so the shared-memory shard transport
+(:mod:`repro.storage.shm`) and the numpy kernels
+(:mod:`repro.cjoin.kernels`) can view them zero-copy.  ``rows`` and
+``bitvectors`` stay plain lists — rows are heterogeneous tuples, and
+bit-vectors are arbitrary-precision ints (queries beyond bit 63 must
+not overflow silently).
+
+Dimension attachments come in two granularities (section 3.2.2):
+
+* per-row dicts (``ensure_dim_rows``) — the reference loops attach
+  the joining dimension row to each surviving fact row individually;
+* per-batch lookups (``attach_dim_lookup``) — the batch kernels
+  attach one O(1) ``(foreign-key column index, key -> dimension
+  row)`` pair per dimension per batch, and the output operators
+  re-derive the join on demand through getters compiled against
+  :meth:`dim_lookup_state`.  One constant-time attachment per batch
+  replaces one dict insert per surviving row.
+
+Both are lazy: a batch whose rows never join a stored dimension row
+allocates neither.  :meth:`materialize` merges the two views back
+into the per-tuple shape at the batch/tuple seams.
+
 Batches never cross a control tuple: the Preprocessor flushes the
 current batch before emitting QueryStart/QueryEnd, so re-serializing by
 envelope id in the threaded executor preserves the section 3.3.3
@@ -23,6 +48,9 @@ control-tuple ordering exactly as in the tuple path.
 """
 
 from __future__ import annotations
+
+from functools import reduce
+from operator import itemgetter, or_ as _or
 
 from repro import bitvec
 from repro.cjoin.tuples import FactTuple
@@ -36,16 +64,17 @@ class FactBatch:
         "positions",
         "rows",
         "bitvectors",
-        "dim_rows",
         "live",
         "alive",
+        "_dim_rows",
+        "_dim_lookups",
         "_key_columns",
     )
 
     def __init__(
         self,
-        sequences: list[int],
-        positions: list[int],
+        sequences,
+        positions,
         rows: list[tuple],
         bitvectors: list[int],
     ) -> None:
@@ -53,13 +82,19 @@ class FactBatch:
             len(sequences) == len(positions) == len(rows) == len(bitvectors)
         ):
             raise ValueError("FactBatch columns must have equal length")
+        #: scan sequence / scan position columns; ``array('q')`` on the
+        #: production path (the Preprocessor), any indexable works
         self.sequences = sequences
         self.positions = positions
         self.rows = rows
         self.bitvectors = bitvectors
         #: per-row dimension attachments (section 3.2.2 pointer rows);
-        #: None until a Filter attaches the first pointer for that row
-        self.dim_rows: list[dict[str, tuple] | None] = [None] * len(rows)
+        #: the whole list is None until the first attach (most batches
+        #: in selective workloads never allocate it)
+        self._dim_rows: list[dict[str, tuple] | None] | None = None
+        #: per-batch dimension attachments from the batch kernels:
+        #: dimension name -> (fk column index, key -> dimension row)
+        self._dim_lookups: dict[str, tuple] = {}
         #: still-alive row indices in scan order (the hot-loop view)
         self.live: list[int] = list(range(len(rows)))
         #: the same liveness as a bit-mask — the batch's shared BitVec.
@@ -77,17 +112,57 @@ class FactBatch:
         """Number of rows still in flight."""
         return len(self.live)
 
+    @property
+    def dim_rows(self) -> list[dict[str, tuple] | None] | None:
+        """The per-row attachment list, or None while nothing attached."""
+        return self._dim_rows
+
+    def ensure_dim_rows(self) -> list[dict[str, tuple] | None]:
+        """The per-row attachment list, allocated on first use."""
+        dim_rows = self._dim_rows
+        if dim_rows is None:
+            dim_rows = self._dim_rows = [None] * len(self.rows)
+        return dim_rows
+
     def key_column(self, column_index: int) -> list:
         """The batch's values for fact column ``column_index``.
 
         Extracted once per batch and cached, so every Filter probing
-        the same foreign-key column shares one extraction pass.
+        the same foreign-key column shares one extraction pass (and
+        the Distributor's columnar consumers reuse it as the fact
+        value column).
         """
         column = self._key_columns.get(column_index)
         if column is None:
-            column = [row[column_index] for row in self.rows]
+            column = list(map(itemgetter(column_index), self.rows))
             self._key_columns[column_index] = column
         return column
+
+    def attach_dim_lookup(
+        self, name: str, fk_index: int, rows_of: dict
+    ) -> None:
+        """Attach one dimension's joins for the whole batch at once.
+
+        O(1) — just ``(foreign-key column index, key -> stored row)``;
+        consumers re-derive the key from the fact row on access.  Any
+        consumer reading dimension ``name`` for a routed row is
+        guaranteed a hit: a row whose key missed the hash table had
+        every bit of a query referencing ``name`` cleared by that
+        Filter, so no such query can be routed to it.
+        """
+        self._dim_lookups[name] = (fk_index, rows_of)
+
+    def dim_lookup_state(self, names) -> tuple | None:
+        """The attached ``(fk index, key -> row)`` lookups for ``names``.
+
+        None when any named dimension has no batch-level attachment
+        (the caller must fall back to :meth:`materialize`).  The
+        returned tuple is the output operators' getter-cache key: its
+        elements wrap identity-stable snapshot dicts, so comparing
+        states costs a few pointer checks per routed batch.
+        """
+        state = tuple(map(self._dim_lookups.get, names))
+        return None if None in state else state
 
     def drop_rows(self, dropped_mask: int, survivors: list[int]) -> None:
         """Install a Filter's verdict: clear dropped bits, shrink live.
@@ -98,15 +173,32 @@ class FactBatch:
         self.alive &= ~dropped_mask
         self.live = survivors
 
+    def replace_live(self, survivors: list[int]) -> None:
+        """Install a Filter's verdict from the surviving side.
+
+        Equivalent to :meth:`drop_rows` but rebuilds the alive mask
+        from the survivors — the cheaper side when a Filter drops most
+        of a batch.
+        """
+        self.alive = bitvec.pack_positions(survivors)
+        self.live = survivors
+
     def union_bits(self) -> int:
-        """OR of the live rows' bit-vectors (the batch relevance union)."""
-        return bitvec.or_reduce_at(self.bitvectors, self.live)
+        """OR of the live rows' bit-vectors (the batch relevance union).
+
+        Reduced over the *full* column at C level: every drop path
+        writes the zero bit-vector back before clearing liveness, so
+        dead rows cannot contribute and no index gather is needed.
+        """
+        return reduce(_or, self.bitvectors, 0)
 
     def materialize(self, row_index: int) -> FactTuple:
         """Build the equivalent :class:`FactTuple` for one row.
 
-        Used at the batch/tuple seams: routing survivors into per-query
-        operators and feeding the optimizer's tuple-shaped profiler.
+        Used at the batch/tuple seams: routing survivors into
+        operators that only understand tuples and feeding the
+        optimizer's tuple-shaped profiler.  Merges both attachment
+        granularities into the tuple's per-row ``dim_rows`` dict.
         """
         fact_tuple = FactTuple(
             self.sequences[row_index],
@@ -114,11 +206,22 @@ class FactBatch:
             self.rows[row_index],
             self.bitvectors[row_index],
         )
-        fact_tuple.dim_rows = self.dim_rows[row_index]
+        dim_rows = (
+            self._dim_rows[row_index] if self._dim_rows is not None else None
+        )
+        if self._dim_lookups:
+            merged = dict(dim_rows) if dim_rows else {}
+            row = self.rows[row_index]
+            for name, (fk_index, rows_of) in self._dim_lookups.items():
+                dim_row = rows_of.get(row[fk_index])
+                if dim_row is not None:
+                    merged[name] = dim_row
+            dim_rows = merged or None
+        fact_tuple.dim_rows = dim_rows
         return fact_tuple
 
     def __repr__(self) -> str:
         return (
             f"FactBatch(rows={len(self.rows)}, live={len(self.live)}, "
-            f"seq={self.sequences[0] if self.sequences else '-'}..)"
+            f"seq={self.sequences[0] if len(self.sequences) else '-'}..)"
         )

@@ -45,6 +45,9 @@ class DimensionHashTable:
         self.name = schema.name
         self._key_index = schema.column_index(schema.primary_key)
         self._entries: dict[object, _DimEntry] = {}
+        #: lazily rebuilt (key -> bits, key -> row) snapshot for the
+        #: batch kernels; invalidated whenever stored bits change
+        self._columnar_cache: tuple[dict, dict] | None = None
         #: the paper's b_Dj: bit i set iff Q_i does NOT reference this dim
         self.complement_bitmap: int = 0
 
@@ -72,6 +75,26 @@ class DimensionHashTable:
         """
         return self._entries
 
+    def columnar_view(self) -> tuple[dict, dict]:
+        """``(key -> bits, key -> row)`` snapshot dicts for the kernels.
+
+        Plain dicts let the batch kernels drive the whole probe/AND
+        pass through C-level ``map`` calls (``dict.get`` with the
+        complement bitmap as the miss default) with no per-row entry
+        attribute access.  The snapshot is rebuilt lazily after a
+        registration change and shared by every batch in between —
+        registration is per *query*, so the rebuild amortizes over the
+        hundreds of batches scanned while the query mix is stable.
+        """
+        cache = self._columnar_cache
+        if cache is None:
+            entries = self._entries
+            cache = self._columnar_cache = (
+                {key: entry.bits for key, entry in entries.items()},
+                {key: entry.row for key, entry in entries.items()},
+            )
+        return cache
+
     # ------------------------------------------------------------------
     # Registration bookkeeping (Algorithms 1 and 2)
     # ------------------------------------------------------------------
@@ -82,9 +105,11 @@ class DimensionHashTable:
         must also show bit n, since the query implicitly selects all
         dimension tuples.
         """
-        self.complement_bitmap = bitvec.set_bit(self.complement_bitmap, query_id)
+        bit = bitvec.bit_for_query(query_id)
+        self.complement_bitmap |= bit
+        self._columnar_cache = None
         for entry in self._entries.values():
-            entry.bits = bitvec.set_bit(entry.bits, query_id)
+            entry.bits |= bit
 
     def mark_query_referencing(self, query_id: int) -> None:
         """Record that an admitted query references this dimension.
@@ -103,13 +128,18 @@ class DimensionHashTable:
         registered.
         """
         count = 0
+        self._columnar_cache = None
+        bit = bitvec.bit_for_query(query_id)
+        key_index = self._key_index
+        entries = self._entries
+        entries_get = entries.get
+        complement = self.complement_bitmap
         for row in rows:
-            key = row[self._key_index]
-            entry = self._entries.get(key)
+            key = row[key_index]
+            entry = entries_get(key)
             if entry is None:
-                entry = _DimEntry(row, self.complement_bitmap)
-                self._entries[key] = entry
-            entry.bits = bitvec.set_bit(entry.bits, query_id)
+                entry = entries[key] = _DimEntry(row, complement)
+            entry.bits |= bit
             count += 1
         return count
 
@@ -126,11 +156,13 @@ class DimensionHashTable:
         a clean slate on reuse.  Entries whose bit-vector drops to
         zero are garbage-collected (section 3.3.2).
         """
-        self.complement_bitmap = bitvec.clear_bit(self.complement_bitmap, query_id)
+        mask = ~bitvec.bit_for_query(query_id)
+        self.complement_bitmap &= mask
+        self._columnar_cache = None
         dead_keys = []
         for key, entry in self._entries.items():
-            entry.bits = bitvec.clear_bit(entry.bits, query_id)
-            if entry.bits == 0:
+            entry.bits = bits = entry.bits & mask
+            if not bits:
                 dead_keys.append(key)
         for key in dead_keys:
             del self._entries[key]

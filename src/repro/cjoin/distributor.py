@@ -28,6 +28,12 @@ from repro.errors import PipelineError
 #: per routed tuple even for operators whose results() rescan state.
 DEFAULT_STREAM_INTERVAL = 256
 
+#: Bound on the decoded bit-vector -> query-id tuple cache.  Distinct
+#: surviving bit-vectors are usually few (rows that passed the same
+#: predicates share b_tau), but a pathological churn of query sets
+#: could grow the cache without bound; past this it is simply reset.
+DECODE_CACHE_LIMIT = 4096
+
 
 class Distributor:
     """Terminal pipeline component: routing plus query lifecycle."""
@@ -39,6 +45,7 @@ class Distributor:
         on_query_finished: Callable[[int], None] | None = None,
         aggregation_mode: str = "hash",
         stream_interval: int = DEFAULT_STREAM_INTERVAL,
+        kernel=None,
     ) -> None:
         self.star = star
         self.stats = stats
@@ -47,8 +54,16 @@ class Distributor:
         #: routed tuples between handle partial-snapshot refreshes for
         #: handles that asked to stream (DESIGN.md section 10)
         self.stream_interval = max(stream_interval, 1)
+        #: batch kernel from :func:`repro.cjoin.kernels.resolve`, or
+        #: None for the materializing reference path (kernel='off')
+        self.kernel = kernel
         self._operators: dict[int, OutputOperator] = {}
         self._registrations: dict[int, RegisteredQuery] = {}
+        #: bit-vector -> decoded query-id tuple; the same surviving
+        #: b_tau values recur batch after batch, so decoding is paid
+        #: once per distinct bit-vector per query-set epoch, not once
+        #: per batch group
+        self._decoded_ids: dict[int, tuple[int, ...]] = {}
         #: per query: (tuples routed since the last partial snapshot,
         #: current refresh threshold — doubles after every snapshot)
         self._since_snapshot: dict[int, tuple[int, int]] = {}
@@ -90,39 +105,65 @@ class Distributor:
         Surviving rows of one batch often share the exact same
         ``b_tau`` (they passed the same predicates), so the per-tuple
         query-id enumeration of :meth:`_route` is amortized: decode
-        each distinct bit-vector once and hand every operator its rows
-        as one :meth:`~OutputOperator.consume_batch` call.
+        each distinct bit-vector once — cached across batches, since
+        the same surviving bit-vectors recur for the life of a query
+        set — and hand every operator its rows in one call.  With a
+        batch kernel installed the call is the columnar
+        :meth:`~OutputOperator.consume_rows` (row indices against the
+        batch's columns, no :class:`FactTuple` allocated); the
+        reference path (kernel='off') materializes and feeds
+        :meth:`~OutputOperator.consume_batch`.
         """
         live = batch.live
         if not live:
             return
         self.stats.tuples_distributed += len(live)
+        kernel = self.kernel
         bitvectors = batch.bitvectors
-        groups: dict[int, list[int]] = {}
-        for row_index in live:
-            bits = bitvectors[row_index]
-            group = groups.get(bits)
-            if group is None:
-                groups[bits] = [row_index]
-            else:
-                group.append(row_index)
+        if kernel is not None:
+            groups = kernel.group_rows_by_bits(bitvectors, live)
+        else:
+            groups = {}
+            for row_index in live:
+                bits = bitvectors[row_index]
+                group = groups.get(bits)
+                if group is None:
+                    groups[bits] = [row_index]
+                else:
+                    group.append(row_index)
         operators = self._operators
         registrations = self._registrations
         for bits, row_indices in groups.items():
-            fact_tuples = [batch.materialize(r) for r in row_indices]
-            for query_id in bitvec.iter_query_ids(bits):
+            fact_tuples = (
+                None
+                if kernel is not None
+                else [batch.materialize(r) for r in row_indices]
+            )
+            routed = len(row_indices)
+            for query_id in self._decode_query_ids(bits):
                 operator = operators.get(query_id)
                 if operator is None:
                     raise PipelineError(
                         f"fact tuple routed to unregistered query {query_id}"
                     )
-                operator.consume_batch(fact_tuples)
+                if fact_tuples is None:
+                    operator.consume_rows(batch, row_indices)
+                else:
+                    operator.consume_batch(fact_tuples)
                 registration = registrations[query_id]
-                registration.tuples_streamed += len(fact_tuples)
+                registration.tuples_streamed += routed
                 if registration.handle._stream_partials:
-                    self._feed_partial(
-                        query_id, operator, len(fact_tuples)
-                    )
+                    self._feed_partial(query_id, operator, routed)
+
+    def _decode_query_ids(self, bits: int) -> tuple[int, ...]:
+        """Decoded query ids of ``bits``, cached across batches."""
+        decoded = self._decoded_ids
+        ids = decoded.get(bits)
+        if ids is None:
+            if len(decoded) >= DECODE_CACHE_LIMIT:
+                decoded.clear()
+            ids = decoded[bits] = tuple(bitvec.iter_query_ids(bits))
+        return ids
 
     def _feed_partial(
         self, query_id: int, operator: OutputOperator, routed: int

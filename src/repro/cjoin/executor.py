@@ -67,6 +67,8 @@ from repro.errors import ConfigError, PipelineError
 from repro.tuning import (  # noqa: F401  (compatibility re-exports)
     DEFAULT_BATCH_SIZE,
     DEFAULT_IDLE_SLEEP,
+    DEFAULT_KERNEL,
+    KERNEL_MODES,
     MAX_ADMISSION_QUEUE_DEPTH,
     MAX_BATCH_SIZE,
     MAX_CONCURRENT_QUERIES,
@@ -102,10 +104,15 @@ class ExecutorConfig:
             attempts (0 disables on-line reordering).
         profile_sample_rate: profile every k-th tuple for the ordering
             policy (0 disables profiling).
+        kernel: batch-kernel mode for the vectorized hot path —
+            'auto', 'python', 'numpy', or 'off' (DESIGN.md section
+            14).  Only meaningful with ``execution='batched'``; the
+            tuple path always runs the reference loops.
         tuning: init-only; a :class:`~repro.tuning.TuningConfig` whose
-            ``workers`` and ``batch_size`` override the keywords above
-            — the bridge from the unified runtime-tuning surface
-            (DESIGN.md section 13) into this low-level config.
+            ``workers``, ``batch_size``, and ``kernel`` override the
+            keywords above — the bridge from the unified runtime-
+            tuning surface (DESIGN.md section 13) into this low-level
+            config.
     """
 
     mode: str = "synchronous"
@@ -117,12 +124,14 @@ class ExecutorConfig:
     batch_size: int = DEFAULT_BATCH_SIZE
     reoptimize_interval: int = 4096
     profile_sample_rate: int = 64
+    kernel: str = DEFAULT_KERNEL
     tuning: InitVar[TuningConfig | None] = None
 
     def __post_init__(self, tuning: TuningConfig | None = None) -> None:
         if tuning is not None:
             object.__setattr__(self, "workers", tuning.workers)
             object.__setattr__(self, "batch_size", tuning.batch_size)
+            object.__setattr__(self, "kernel", tuning.kernel)
         if self.mode not in ("synchronous", "horizontal", "vertical", "hybrid"):
             raise ConfigError(f"unknown executor mode {self.mode!r}")
         if self.execution not in ("tuple", "batched"):
@@ -137,6 +146,11 @@ class ExecutorConfig:
             )
         _require_int("workers", self.workers, 1, MAX_WORKERS)
         _require_int("batch_size", self.batch_size, 1, MAX_BATCH_SIZE)
+        if self.kernel not in KERNEL_MODES:
+            raise ConfigError(
+                f"kernel must be one of {KERNEL_MODES}, "
+                f"got {self.kernel!r}"
+            )
         if self.backend == "process":
             if self.execution != "batched":
                 raise ConfigError(

@@ -20,6 +20,16 @@ tested once against the batch's bit-vector union, the probe loop runs
 against the hash table's entry view directly (no per-row method call
 or result allocation), and liveness is folded into the batch's alive
 mask (DESIGN.md section 5).
+
+When a batch kernel is installed (``kernel=`` knob, DESIGN.md section
+14), :meth:`Filter.process_batch` delegates the probe/AND/compact
+passes to :meth:`~repro.cjoin.kernels.PythonKernel.filter_batch`:
+each *distinct* key probed once per batch, the bit-vector column
+ANDed in bulk, survivors compacted without per-row appends, and the
+joining dimension rows attached once per batch
+(:meth:`~repro.cjoin.batch.FactBatch.attach_dim_lookup`) instead of
+once per surviving row.  ``kernel='off'`` keeps the per-row loop
+below — the reference the per-tuple-cost microbench measures against.
 """
 
 from __future__ import annotations
@@ -41,6 +51,7 @@ class Filter:
         star: StarSchema,
         pipeline_stats=None,
         probe_skip: bool = True,
+        kernel=None,
     ) -> None:
         self.hash_table = hash_table
         self.name = hash_table.name
@@ -49,6 +60,9 @@ class Filter:
         self.pipeline_stats = pipeline_stats
         #: section 3.2.2 optimization toggle (off only for ablation)
         self.probe_skip = probe_skip
+        #: batch kernel from :func:`repro.cjoin.kernels.resolve`, or
+        #: None to keep the per-row reference loop (kernel='off')
+        self.kernel = kernel
 
     def process(self, fact_tuple: FactTuple) -> bool:
         """Filter one tuple in place; return True iff it survives.
@@ -112,6 +126,19 @@ class Filter:
             if pipeline_stats is not None:
                 pipeline_stats.probe_skips_total += len(live)
             return
+        if self.kernel is not None:
+            count = len(live)
+            probes, skips, distinct = self.kernel.filter_batch(
+                batch, self.fk_index, table, probe_skip, self.name
+            )
+            stats.probes += probes
+            stats.probe_skips += skips
+            stats.distinct_probes += distinct
+            stats.tuples_dropped += count - len(batch.live)
+            if pipeline_stats is not None:
+                pipeline_stats.probes_total += probes
+                pipeline_stats.probe_skips_total += skips
+            return
         keys = batch.key_column(self.fk_index)
         dim_rows = batch.dim_rows
         entries_get = table.entries_view().get
@@ -169,6 +196,10 @@ class Filter:
                 dropped.append(row_index)
                 continue
             if dim_row is not None:
+                if dim_rows is None:
+                    # allocated on the batch's first pointer attach
+                    # only — selective batches never pay for the list
+                    dim_rows = batch.ensure_dim_rows()
                 attachments = dim_rows[row_index]
                 if attachments is None:
                     dim_rows[row_index] = {name: dim_row}

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import StarSchema
+from repro.cjoin import kernels
 from repro.cjoin.distributor import Distributor
 from repro.cjoin.executor import (
     ExecutorConfig,
@@ -77,8 +78,19 @@ class CJoinOperator:
         self.preprocessor = Preprocessor(
             self.scan, self.star, self.stats, versioned_fact
         )
+        config = executor_config if executor_config is not None else ExecutorConfig()
+        #: resolved batch kernel (DESIGN.md section 14); None on the
+        #: tuple path and under kernel='off'
+        self.kernel = (
+            kernels.resolve(config.kernel)
+            if config.execution == "batched"
+            else None
+        )
         self.distributor = Distributor(
-            self.star, self.stats, aggregation_mode=aggregation_mode
+            self.star,
+            self.stats,
+            aggregation_mode=aggregation_mode,
+            kernel=self.kernel,
         )
         self.pipeline = CJoinPipeline(
             self.preprocessor, self.distributor, self.stats
@@ -92,10 +104,10 @@ class CJoinOperator:
             max_concurrent=max_concurrent,
             ordering_policy=ordering_policy,
             probe_skip=probe_skip,
+            kernel=self.kernel,
         )
         self.distributor.on_query_finished = self.manager.on_query_finished
         self._rate_anchor: tuple[float, int] | None = None
-        config = executor_config if executor_config is not None else ExecutorConfig()
         if config.mode == "synchronous":
             self.executor = SynchronousExecutor(self.pipeline, self.manager, config)
         else:

@@ -31,8 +31,15 @@ Transports:
 * ``'fork'`` (default where available) — workers inherit the parent's
   catalog via copy-on-write fork memory, so no fact rows are pickled;
   only spans go in and partial states come back;
+* ``'shm'`` (default where fork is not) — the fact table is laid out
+  once as typed shared-memory columns (:mod:`repro.storage.shm`,
+  DESIGN.md section 14) and the published segment is cached per fact
+  table, so repeat drains skip the encode; spawn workers attach the
+  segment read-only and decode only their shard slice, so fact rows
+  never cross a pipe even without fork;
 * ``'pickle'`` — spawn-safe: explicit picklable shard tasks carrying
-  the row snapshots (portable, slower);
+  the row snapshots (portable, slower; kept as the reference the
+  shared-memory transport is benchmarked against);
 * ``'inprocess'`` — the same shard/merge protocol on the calling
   thread; used for ``workers=1``, as the graceful fallback for
   unpicklable workloads or pool failures, and for deterministic
@@ -48,11 +55,13 @@ attached).
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import pickle
 import sys
 import threading
+import weakref
 from dataclasses import dataclass
 
 from repro.catalog.catalog import Catalog
@@ -62,7 +71,13 @@ from repro.cjoin.executor import DEFAULT_BATCH_SIZE, ExecutorConfig
 from repro.errors import ConfigError
 from repro.query.star import StarQuery
 from repro.storage.partition import contiguous_spans
+from repro.storage.shm import (
+    ShmLayout,
+    attach_fact_slice,
+    publish_fact_rows,
+)
 from repro.storage.table import Table
+from repro.tuning import DEFAULT_KERNEL
 
 #: Default cap on queries drained concurrently inside one shard
 #: pipeline (the worker-side ``maxConc``); larger query sets are
@@ -82,13 +97,43 @@ class ShardTask:
     batch_size: int
     aggregation_mode: str
     max_concurrent: int
+    kernel: str = DEFAULT_KERNEL
+
+
+@dataclass(frozen=True)
+class ShmShardTask:
+    """Picklable payload for one worker under the 'shm' transport.
+
+    Carries the shared-memory layout descriptor and the worker's
+    ``[start, end)`` span instead of fact rows — the whole point of
+    the transport (DESIGN.md section 14).  Dimension rows still ride
+    along pickled: they are orders of magnitude smaller than the fact
+    table and each worker needs them whole.
+    """
+
+    shard_index: int
+    star: StarSchema
+    layout: ShmLayout
+    span: tuple[int, int]
+    dimension_rows: tuple[tuple[str, tuple[tuple, ...]], ...]
+    queries: tuple[StarQuery, ...]
+    batch_size: int
+    aggregation_mode: str
+    max_concurrent: int
+    kernel: str = DEFAULT_KERNEL
 
 
 def default_transport() -> str:
-    """'fork' where the OS supports it, else 'pickle'."""
+    """'fork' where the OS supports it, else 'shm'.
+
+    Copy-on-write fork memory is still the cheapest way to hand
+    workers the catalog; where only spawn exists (Windows, macOS
+    default), the shared-memory column transport replaces the old
+    row-pickling default.
+    """
     if "fork" in multiprocessing.get_all_start_methods():
         return "fork"
-    return "pickle"
+    return "shm"
 
 
 # ----------------------------------------------------------------------
@@ -121,6 +166,7 @@ def _drain_shard(
     batch_size: int,
     aggregation_mode: str,
     max_concurrent: int,
+    kernel: str = DEFAULT_KERNEL,
 ) -> list:
     """Run the batched pipeline over one shard; return partial states.
 
@@ -139,7 +185,7 @@ def _drain_shard(
             star,
             max_concurrent=max_concurrent,
             executor_config=ExecutorConfig(
-                execution="batched", batch_size=batch_size
+                execution="batched", batch_size=batch_size, kernel=kernel
             ),
             aggregation_mode=aggregation_mode,
         )
@@ -167,6 +213,32 @@ def _run_shard_task(task: ShardTask) -> list:
         task.batch_size,
         task.aggregation_mode,
         task.max_concurrent,
+        task.kernel,
+    )
+
+
+def _run_shm_task(task: ShmShardTask) -> list:
+    """Shm-transport worker body: attach, decode the slice, drain.
+
+    Only this worker's ``[start, end)`` rows are ever decoded into
+    Python objects; the segment is detached again before the drain
+    starts.
+    """
+    start, end = task.span
+    fact_rows = attach_fact_slice(task.layout, start, end)
+    dimension_tables = {
+        name: Table.from_validated_rows(task.star.dimension(name), list(rows))
+        for name, rows in task.dimension_rows
+    }
+    catalog = _shard_catalog(task.star, fact_rows, dimension_tables)
+    return _drain_shard(
+        catalog,
+        task.star,
+        task.queries,
+        task.batch_size,
+        task.aggregation_mode,
+        task.max_concurrent,
+        task.kernel,
     )
 
 
@@ -185,11 +257,12 @@ def _run_shard_span(span: tuple[int, int]) -> list:
     if _FORK_STATE is None:  # pragma: no cover - coordinator bug guard
         raise ConfigError("fork worker started without coordinator state")
     (star, fact_rows, dimension_tables, queries, batch_size,
-     aggregation_mode, max_concurrent) = _FORK_STATE
+     aggregation_mode, max_concurrent, kernel) = _FORK_STATE
     start, end = span
     catalog = _shard_catalog(star, fact_rows[start:end], dimension_tables)
     return _drain_shard(
-        catalog, star, queries, batch_size, aggregation_mode, max_concurrent
+        catalog, star, queries, batch_size, aggregation_mode,
+        max_concurrent, kernel,
     )
 
 
@@ -227,6 +300,7 @@ def execute_process_parallel(
     aggregation_mode: str = "hash",
     max_concurrent: int = DEFAULT_MAX_CONCURRENT,
     transport: str | None = None,
+    kernel: str = DEFAULT_KERNEL,
 ) -> list[list[tuple]]:
     """Drain ``queries`` over ``workers`` fact shards; merge results.
 
@@ -237,34 +311,40 @@ def execute_process_parallel(
     Args:
         workers: shard count = worker process count.  ``workers=1``
             runs in-process (no pool).
-        transport: 'fork', 'pickle', 'inprocess', or None to pick the
-            platform default.  Pool or serialization failures under
-            either process transport fall back to 'inprocess'
+        transport: 'fork', 'shm', 'pickle', 'inprocess', or None to
+            pick the platform default.  Pool or serialization failures
+            under any process transport fall back to 'inprocess'
             transparently — same protocol, same results.
+        kernel: batch-kernel mode for the shard pipelines (DESIGN.md
+            section 14), resolved inside each worker process so
+            'auto' adapts to what the worker can import.
 
     Raises:
-        ConfigError: on an invalid worker count or unknown transport.
+        ConfigError: on an invalid worker count, unknown transport, or
+            unknown kernel mode.
     """
     queries = tuple(queries)
     if transport is None:
         transport = default_transport()
-    if transport not in ("fork", "pickle", "inprocess"):
+    if transport not in ("fork", "shm", "pickle", "inprocess"):
         raise ConfigError(
-            f"unknown transport {transport!r}; expected 'fork', "
+            f"unknown transport {transport!r}; expected 'fork', 'shm', "
             f"'pickle', or 'inprocess'"
         )
-    # validates workers/batch_size ranges with actionable messages
+    # validates workers/batch_size/kernel ranges with actionable messages
     ExecutorConfig(
         execution="batched",
         backend="process",
         workers=workers,
         batch_size=batch_size,
+        kernel=kernel,
     )
     for query in queries:
         query.validate(star)
     if not queries:
         return []
-    fact_rows = catalog.table(star.fact.name).all_rows()
+    fact_table = catalog.table(star.fact.name)
+    fact_rows = fact_table.all_rows()
     dimension_tables = {
         name: catalog.table(name) for name in star.dimension_names()
     }
@@ -272,24 +352,30 @@ def execute_process_parallel(
     if workers == 1 or transport == "inprocess":
         shard_states = _run_inprocess(
             star, fact_rows, dimension_tables, queries, spans,
-            batch_size, aggregation_mode, max_concurrent,
+            batch_size, aggregation_mode, max_concurrent, kernel,
         )
     elif transport == "fork":
         shard_states = _run_fork_pool(
             star, fact_rows, dimension_tables, queries, spans,
-            batch_size, aggregation_mode, max_concurrent,
+            batch_size, aggregation_mode, max_concurrent, kernel,
+        )
+    elif transport == "shm":
+        shard_states = _run_shm_pool(
+            star, fact_rows, dimension_tables, queries, spans,
+            batch_size, aggregation_mode, max_concurrent, kernel,
+            fact_table=fact_table,
         )
     else:
         shard_states = _run_pickle_pool(
             star, fact_rows, dimension_tables, queries, spans,
-            batch_size, aggregation_mode, max_concurrent,
+            batch_size, aggregation_mode, max_concurrent, kernel,
         )
     return merge_shard_states(star, queries, shard_states, aggregation_mode)
 
 
 def _run_inprocess(
     star, fact_rows, dimension_tables, queries, spans,
-    batch_size, aggregation_mode, max_concurrent,
+    batch_size, aggregation_mode, max_concurrent, kernel=DEFAULT_KERNEL,
 ) -> list[list]:
     """The shard/merge protocol on the calling thread (no processes)."""
     shard_states = []
@@ -298,7 +384,7 @@ def _run_inprocess(
         shard_states.append(
             _drain_shard(
                 shard, star, queries, batch_size, aggregation_mode,
-                max_concurrent,
+                max_concurrent, kernel,
             )
         )
     return shard_states
@@ -306,7 +392,7 @@ def _run_inprocess(
 
 def _run_fork_pool(
     star, fact_rows, dimension_tables, queries, spans,
-    batch_size, aggregation_mode, max_concurrent,
+    batch_size, aggregation_mode, max_concurrent, kernel=DEFAULT_KERNEL,
 ) -> list[list]:
     """Fan out over a fork pool; fall back in-process on failure.
 
@@ -320,7 +406,7 @@ def _run_fork_pool(
     with _FORK_LOCK:
         _FORK_STATE = (
             star, fact_rows, dimension_tables, queries, batch_size,
-            aggregation_mode, max_concurrent,
+            aggregation_mode, max_concurrent, kernel,
         )
         try:
             with context.Pool(processes=len(spans)) as pool:
@@ -328,7 +414,7 @@ def _run_fork_pool(
         except Exception:
             return _run_inprocess(
                 star, fact_rows, dimension_tables, queries, spans,
-                batch_size, aggregation_mode, max_concurrent,
+                batch_size, aggregation_mode, max_concurrent, kernel,
             )
         finally:
             _FORK_STATE = None
@@ -350,7 +436,7 @@ def _spawn_is_safe() -> bool:
 
 def _run_pickle_pool(
     star, fact_rows, dimension_tables, queries, spans,
-    batch_size, aggregation_mode, max_concurrent,
+    batch_size, aggregation_mode, max_concurrent, kernel=DEFAULT_KERNEL,
 ) -> list[list]:
     """Fan out over a spawn pool with explicit picklable shard tasks.
 
@@ -361,7 +447,7 @@ def _run_pickle_pool(
     if not _spawn_is_safe():
         return _run_inprocess(
             star, fact_rows, dimension_tables, queries, spans,
-            batch_size, aggregation_mode, max_concurrent,
+            batch_size, aggregation_mode, max_concurrent, kernel,
         )
     dimension_rows = tuple(
         (name, tuple(table.all_rows()))
@@ -377,6 +463,7 @@ def _run_pickle_pool(
             batch_size=batch_size,
             aggregation_mode=aggregation_mode,
             max_concurrent=max_concurrent,
+            kernel=kernel,
         )
         for index, (start, end) in enumerate(spans)
     ]
@@ -390,5 +477,119 @@ def _run_pickle_pool(
     except Exception:
         return _run_inprocess(
             star, fact_rows, dimension_tables, queries, spans,
-            batch_size, aggregation_mode, max_concurrent,
+            batch_size, aggregation_mode, max_concurrent, kernel,
         )
+
+
+#: Published-segment cache for the 'shm' transport: the fact table is
+#: laid out in shared memory ONCE and every subsequent drain reattaches
+#: the same segment, so repeat drains pay only the per-worker slice
+#: decode.  Single slot (one warehouse serves one star); keyed by the
+#: :class:`~repro.storage.table.Table` identity (held weakly) plus its
+#: row count — tables are insert-only, so (same object, same count)
+#: implies identical rows.  Guarded by :data:`_SHM_LOCK`; the segment
+#: is unlinked on replacement and at interpreter exit.
+_SHM_CACHE: tuple | None = None
+_SHM_LOCK = threading.Lock()
+
+
+def _discard_shm_cache() -> None:
+    """Unlink the cached fact-table segment (idempotent)."""
+    global _SHM_CACHE
+    with _SHM_LOCK:
+        cached, _SHM_CACHE = _SHM_CACHE, None
+    if cached is not None:
+        _, _, segment, _ = cached
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+atexit.register(_discard_shm_cache)
+
+
+def _published_layout(fact_table, fact_rows, column_count: int) -> ShmLayout:
+    """Return the cached layout for ``fact_table``, publishing on miss."""
+    global _SHM_CACHE
+    with _SHM_LOCK:
+        if _SHM_CACHE is not None:
+            table_ref, row_count, segment, layout = _SHM_CACHE
+            if table_ref() is fact_table and row_count == len(fact_rows):
+                return layout
+            _SHM_CACHE = None
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        segment, layout = publish_fact_rows(fact_rows, column_count)
+        _SHM_CACHE = (
+            weakref.ref(fact_table), len(fact_rows), segment, layout,
+        )
+        return layout
+
+
+def _run_shm_pool(
+    star, fact_rows, dimension_tables, queries, spans,
+    batch_size, aggregation_mode, max_concurrent, kernel=DEFAULT_KERNEL,
+    fact_table=None,
+) -> list[list]:
+    """Fan out over a spawn pool with the fact table in shared memory.
+
+    The fact table is encoded into typed shared-memory columns once
+    per table (see :data:`_SHM_CACHE`); each worker's task carries
+    only the layout descriptor and its span, so per-worker pipe
+    traffic is independent of fact-table size and repeat drains skip
+    the encode entirely.  Unpicklable workloads and pool failures
+    fall back to the in-process protocol like every other transport.
+    """
+    if not _spawn_is_safe():
+        return _run_inprocess(
+            star, fact_rows, dimension_tables, queries, spans,
+            batch_size, aggregation_mode, max_concurrent, kernel,
+        )
+    dimension_rows = tuple(
+        (name, tuple(table.all_rows()))
+        for name, table in dimension_tables.items()
+    )
+    segment = None  # owned by this drain only when there is no cache key
+    try:
+        # same workload preflight as the pickle transport
+        pickle.dumps(queries)
+        if fact_table is not None:
+            layout = _published_layout(
+                fact_table, fact_rows, star.fact.arity
+            )
+        else:
+            # no table identity to cache under: publish for this drain
+            # only and unlink when it ends
+            segment, layout = publish_fact_rows(fact_rows, star.fact.arity)
+        tasks = [
+            ShmShardTask(
+                shard_index=index,
+                star=star,
+                layout=layout,
+                span=(start, end),
+                dimension_rows=dimension_rows,
+                queries=queries,
+                batch_size=batch_size,
+                aggregation_mode=aggregation_mode,
+                max_concurrent=max_concurrent,
+                kernel=kernel,
+            )
+            for index, (start, end) in enumerate(spans)
+        ]
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(processes=len(tasks)) as pool:
+            return pool.map(_run_shm_task, tasks)
+    except Exception:
+        return _run_inprocess(
+            star, fact_rows, dimension_tables, queries, spans,
+            batch_size, aggregation_mode, max_concurrent, kernel,
+        )
+    finally:
+        if segment is not None:
+            segment.close()
+            segment.unlink()

@@ -21,6 +21,7 @@ item production holds the same lock.
 from __future__ import annotations
 
 import threading
+from array import array
 from collections import deque
 
 from repro import bitvec
@@ -241,8 +242,11 @@ class Preprocessor:
             budget = max_rows - len(items)
             stats = self.stats
             scan = self.scan
-            sequences: list[int] = []
-            positions: list[int] = []
+            # machine i64 columns (DESIGN.md section 14): 8 bytes per
+            # row, bulk range-extends, and buffer-protocol views for
+            # the kernels and the shared-memory transport
+            sequences = array("q")
+            positions = array("q")
             rows: list[tuple] = []
             bitvectors: list[int] = []
             # hoisted bit sources; refreshed whenever a wraparound can
@@ -255,14 +259,14 @@ class Preprocessor:
                 if rows:
                     items.append(
                         FactBatch(
-                            list(sequences),
-                            list(positions),
+                            sequences[:],
+                            positions[:],
                             list(rows),
                             list(bitvectors),
                         )
                     )
-                    sequences.clear()
-                    positions.clear()
+                    del sequences[:]
+                    del positions[:]
                     rows.clear()
                     bitvectors.clear()
 

@@ -78,6 +78,10 @@ class FilterStats:
     tuples_dropped: int = 0
     probes: int = 0
     probe_skips: int = 0
+    #: hash-table lookups the batch kernels actually paid (one per
+    #: *distinct* key per batch); ``probes`` stays the logical per-row
+    #: count so drop rates and probes_per_tuple are kernel-independent
+    distinct_probes: int = 0
 
     @property
     def pass_rate(self) -> float:
@@ -99,6 +103,7 @@ class FilterStats:
         self.tuples_dropped = 0
         self.probes = 0
         self.probe_skips = 0
+        self.distinct_probes = 0
 
 
 @dataclass

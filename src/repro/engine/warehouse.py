@@ -503,6 +503,7 @@ class Warehouse:
             workers=self.executor_config.workers,
             batch_size=self.executor_config.batch_size,
             max_concurrent=self.max_concurrent,
+            kernel=self.executor_config.kernel,
         )
 
     def _drain_offline(self, route: str, executor) -> None:

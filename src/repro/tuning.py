@@ -63,6 +63,18 @@ DEFAULT_ADMISSION_QUEUE_DEPTH = 1024
 #: (the server-side fairness layer, docs/ARCHITECTURE.md section 4).
 DEFAULT_MAX_IN_FLIGHT_PER_CONNECTION = 16
 
+#: Batch-kernel selection modes (DESIGN.md section 14): 'auto' picks
+#: the pure-Python kernels (measured fastest — the hot passes are
+#: already C-level map traffic, and numpy's per-batch array builds
+#: cost more than its vector AND saves); 'python' / 'numpy' force one
+#: implementation ('numpy' is the opt-in accelerator and requires an
+#: importable numpy); 'off' keeps the per-row reference loops (the
+#: comparison base for benchmarks/bench_kernel_cost.py).
+KERNEL_MODES = ("auto", "python", "numpy", "off")
+
+#: Default kernel mode: the batch kernels, always correct everywhere.
+DEFAULT_KERNEL = "auto"
+
 
 def _require_int(name: str, value, low: int, high: int) -> None:
     """Range-check an integer config field with an actionable message."""
@@ -110,6 +122,8 @@ class TuningConfig:
         workers: fact-table shards / worker processes for the process
             backend; must stay 1 for the serial backend.
         batch_size: items per preprocessor batch (both backends).
+        kernel: batch-kernel mode for the vectorized hot path, one of
+            :data:`KERNEL_MODES` (DESIGN.md section 14).
     """
 
     max_in_flight: int | None = None
@@ -117,6 +131,7 @@ class TuningConfig:
     idle_sleep: float = DEFAULT_IDLE_SLEEP
     workers: int = 1
     batch_size: int = DEFAULT_BATCH_SIZE
+    kernel: str = DEFAULT_KERNEL
 
     def __post_init__(self) -> None:
         if self.max_in_flight is not None:
@@ -132,6 +147,10 @@ class TuningConfig:
         _require_float("idle_sleep", self.idle_sleep, 0.0, MAX_IDLE_SLEEP)
         _require_int("workers", self.workers, 1, MAX_WORKERS)
         _require_int("batch_size", self.batch_size, 1, MAX_BATCH_SIZE)
+        if self.kernel not in KERNEL_MODES:
+            raise ConfigError(
+                f"kernel must be one of {KERNEL_MODES}, got {self.kernel!r}"
+            )
 
     def replace(self, **changes) -> "TuningConfig":
         """A new config with ``changes`` applied (and re-validated)."""

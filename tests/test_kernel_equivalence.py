@@ -1,0 +1,173 @@
+"""Batch kernels vs reference loops: whole-pipeline equivalence.
+
+The kernels (DESIGN.md section 14) are a raw-speed re-expression of
+the batched pipeline's hot loops — for every workload, kernel mode,
+batch size, and admission interleaving they must produce results
+byte-identical to the batched reference loops (``kernel='off'``) and
+to the tuple-at-a-time path.  These property tests drive all paths
+over randomized SSB workloads and the hand-checkable tiny star,
+including the degenerate batches (empty tables, batches whose rows
+all drop at one Filter) and the forced no-numpy probe.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.cjoin import CJoinOperator, kernels
+from repro.cjoin.executor import ExecutorConfig
+from repro.query.aggregates import AggregateSpec
+from repro.query.predicate import Comparison
+from repro.query.star import ColumnRef, StarQuery
+from repro.ssb.queries import ssb_workload_generator
+from tests.conftest import make_tiny_star
+
+#: every way to run the batched executor; 'off' is the reference
+KERNEL_MODES = ("off", "python", "auto") + (
+    ("numpy",) if kernels.HAS_NUMPY else ()
+)
+
+
+def _run_all(catalog, star, queries, config):
+    operator = CJoinOperator(catalog, star, executor_config=config)
+    handles = [operator.submit(query) for query in queries]
+    operator.run_until_drained()
+    return [handle.results() for handle in handles]
+
+
+def _batched(batch_size, kernel):
+    return ExecutorConfig(
+        execution="batched", batch_size=batch_size, kernel=kernel
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    count=st.integers(min_value=1, max_value=10),
+    selectivity=st.sampled_from([0.02, 0.1, 0.4]),
+    batch_size=st.sampled_from([1, 3, 64, 256]),
+)
+def test_kernel_modes_equivalent_on_random_workloads(
+    ssb_small, seed, count, selectivity, batch_size
+):
+    """Every kernel mode matches the tuple path on random workloads."""
+    catalog, star = ssb_small
+    queries = ssb_workload_generator(seed=seed, catalog=catalog).generate(
+        count, selectivity=selectivity
+    )
+    reference = _run_all(
+        catalog, star, queries, ExecutorConfig(batch_size=batch_size)
+    )
+    for mode in KERNEL_MODES:
+        assert (
+            _run_all(catalog, star, queries, _batched(batch_size, mode))
+            == reference
+        ), f"kernel={mode!r} diverged"
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    steps_between=st.integers(min_value=0, max_value=7),
+    batch_size=st.sampled_from([2, 5, 64]),
+)
+def test_mid_scan_admission_equivalent_under_kernels(
+    ssb_small, seed, steps_between, batch_size
+):
+    """Kernels respect control-tuple seams exactly like the loops."""
+    catalog, star = ssb_small
+    queries = ssb_workload_generator(seed=seed, catalog=catalog).generate(
+        4, selectivity=0.1
+    )
+
+    def staggered(config):
+        operator = CJoinOperator(catalog, star, executor_config=config)
+        handles = []
+        for query in queries:
+            handles.append(operator.submit(query))
+            for _ in range(steps_between):
+                operator.executor.step()
+        operator.run_until_drained()
+        return [handle.results() for handle in handles]
+
+    reference = staggered(_batched(batch_size, "off"))
+    for mode in KERNEL_MODES[1:]:
+        assert staggered(_batched(batch_size, mode)) == reference
+
+
+@pytest.mark.parametrize("mode", KERNEL_MODES)
+def test_all_rows_dropped_at_one_filter(mode):
+    """A predicate matching nothing drops every batch in full.
+
+    Exercises the kernel's all-dropped compaction (``replace_live``
+    with an empty survivor list) and the Distributor's empty-batch
+    early-out; the query must still complete with zero rows.
+    """
+    catalog, star = make_tiny_star()
+    matching = StarQuery.build(
+        "sales",
+        dimension_predicates={"store": Comparison("s_city", "=", "lyon")},
+        aggregates=[AggregateSpec("count")],
+    )
+    empty = StarQuery.build(
+        "sales",
+        dimension_predicates={"store": Comparison("s_city", "=", "atlantis")},
+        aggregates=[AggregateSpec("count")],
+    )
+    results = _run_all(
+        catalog, star, [matching, empty], _batched(4, mode)
+    )
+    assert results[0] == [(5,)]  # lyon sales: rows 0, 1, 5, 8, 11
+    assert results[1] == []
+
+
+@pytest.mark.parametrize("mode", KERNEL_MODES)
+def test_empty_fact_table_drains_clean(mode):
+    """Zero fact batches: submission still completes everywhere."""
+    from repro.catalog.catalog import Catalog
+    from repro.catalog.schema import StarSchema
+    from repro.storage.table import Table
+
+    catalog, star = make_tiny_star()
+    empty_catalog = Catalog()
+    for name in ("store", "product"):
+        empty_catalog.register_table(catalog.table(name))
+    empty_catalog.register_table(
+        Table.from_rows(star.fact, [], rows_per_page=4)
+    )
+    empty_star = StarSchema(fact=star.fact, dimensions=star.dimensions)
+    empty_catalog.register_star(empty_star)
+    query = StarQuery.build(
+        "sales",
+        dimension_predicates={"store": Comparison("s_city", "=", "lyon")},
+        aggregates=[AggregateSpec("count")],
+    )
+    assert _run_all(
+        empty_catalog, empty_star, [query], _batched(4, mode)
+    ) == [[]]
+
+
+def test_auto_without_numpy_matches_reference(ssb_small, monkeypatch):
+    """The forced no-numpy probe: 'auto' degrades, results identical."""
+    catalog, star = ssb_small
+    queries = ssb_workload_generator(seed=7, catalog=catalog).generate(
+        5, selectivity=0.1
+    )
+    reference = _run_all(catalog, star, queries, _batched(64, "off"))
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    importlib.reload(kernels)
+    try:
+        assert not kernels.HAS_NUMPY
+        assert kernels.resolve("auto").name == "python"
+        assert (
+            _run_all(catalog, star, queries, _batched(64, "auto"))
+            == reference
+        )
+    finally:
+        monkeypatch.delenv("REPRO_NO_NUMPY")
+        importlib.reload(kernels)

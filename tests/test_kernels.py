@@ -1,0 +1,384 @@
+"""Unit tests for the batch kernels and the shm shard transport.
+
+Covers the PR-8 raw-speed layer piece by piece (DESIGN.md section
+14): kernel resolution and the ``REPRO_NO_NUMPY`` probe, the bulk
+bit-vector primitives, the filter kernel against the reference
+per-row loop on hand-checkable data, the numpy kernel's per-call
+fallbacks, the dimension table's columnar snapshot cache, the batch's
+per-batch join attachments, and the shared-memory column codecs.  The
+whole-pipeline equivalence properties live in
+tests/test_kernel_equivalence.py.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pickle
+
+import pytest
+
+from repro import bitvec
+from repro.cjoin import kernels
+from repro.cjoin.batch import FactBatch
+from repro.cjoin.dimtable import DimensionHashTable
+from repro.cjoin.filter import Filter
+from repro.cjoin.kernels import (
+    HAS_NUMPY,
+    PythonKernel,
+    group_rows_by_bits,
+    resolve,
+)
+from repro.errors import ConfigError
+from repro.storage.shm import (
+    attach_fact_slice,
+    decode_rows,
+    publish_fact_rows,
+    published_fact_table,
+)
+from tests.conftest import make_tiny_star
+
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="numpy unavailable")
+
+
+# ----------------------------------------------------------------------
+# Kernel resolution
+# ----------------------------------------------------------------------
+class TestResolve:
+    def test_off_returns_none(self):
+        assert resolve("off") is None
+
+    def test_python_is_the_pure_kernel(self):
+        # resolve through the module: another test file's forced-reload
+        # fixture rebinds the kernel classes, so the module attribute is
+        # the truth and the import-time name may be a stale twin
+        kernel = resolve("python")
+        assert type(kernel) is kernels.PythonKernel
+        assert kernel.name == "python"
+
+    def test_auto_prefers_the_python_kernel(self):
+        # 'auto' is the measured-fastest portable choice, not "numpy
+        # when importable" — the accelerator is an explicit opt-in
+        assert resolve("auto") is resolve("python")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError, match="unknown kernel mode"):
+            resolve("simd")
+
+    @needs_numpy
+    def test_numpy_mode_resolves_when_available(self):
+        kernel = resolve("numpy")
+        assert type(kernel) is kernels.NumpyKernel
+        assert kernel.name == "numpy"
+
+    def test_no_numpy_env_hides_the_accelerator(self, monkeypatch):
+        """REPRO_NO_NUMPY forces the probe down the pure-Python path."""
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        importlib.reload(kernels)
+        try:
+            assert not kernels.HAS_NUMPY
+            assert type(kernels.resolve("auto")) is kernels.PythonKernel
+            with pytest.raises(ConfigError, match="requires numpy"):
+                kernels.resolve("numpy")
+        finally:
+            monkeypatch.delenv("REPRO_NO_NUMPY")
+            importlib.reload(kernels)
+
+
+# ----------------------------------------------------------------------
+# Bulk bit-vector primitives
+# ----------------------------------------------------------------------
+class TestBulkPrimitives:
+    def test_bulk_and_lookup(self):
+        masks = {"a": 0b011, "b": 0b110}
+        vectors = [0b111, 0b101, 0b010]
+        assert bitvec.bulk_and_lookup(
+            vectors, ["a", "b", "a"], masks
+        ) == [0b011, 0b100, 0b010]
+
+    def test_bulk_and_lookup_length_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            bitvec.bulk_and_lookup([1, 2], ["a"], {"a": 1})
+
+    def test_pack_positions_matches_or_loop(self):
+        positions = [0, 3, 17, 200]
+        expected = 0
+        for position in positions:
+            expected |= 1 << position
+        assert bitvec.pack_positions(positions) == expected
+        assert bitvec.pack_positions([]) == 0
+
+
+# ----------------------------------------------------------------------
+# Routing group discovery
+# ----------------------------------------------------------------------
+class TestGroupRowsByBits:
+    BITVECTORS = [0b01, 0b10, 0b01, 0b11, 0b10, 0b01]
+
+    def test_first_occurrence_order_and_scan_order(self):
+        groups = group_rows_by_bits(self.BITVECTORS, [0, 1, 2, 3, 4, 5])
+        assert list(groups) == [0b01, 0b10, 0b11]
+        assert groups == {0b01: [0, 2, 5], 0b10: [1, 4], 0b11: [3]}
+
+    def test_respects_live_subset(self):
+        groups = group_rows_by_bits(self.BITVECTORS, [1, 3, 5])
+        assert groups == {0b10: [1], 0b11: [3], 0b01: [5]}
+
+    @needs_numpy
+    def test_numpy_grouping_matches_reference(self):
+        kernel = resolve("numpy")
+        for live in ([0, 1, 2, 3, 4, 5], [1, 3, 5], [2], []):
+            assert kernel.group_rows_by_bits(
+                self.BITVECTORS, live
+            ) == group_rows_by_bits(self.BITVECTORS, live)
+
+    @needs_numpy
+    def test_numpy_grouping_falls_back_on_wide_bits(self):
+        bitvectors = [1 << 80, 0b1, 1 << 80]
+        live = [0, 1, 2]
+        assert resolve("numpy").group_rows_by_bits(
+            bitvectors, live
+        ) == group_rows_by_bits(bitvectors, live)
+
+
+# ----------------------------------------------------------------------
+# Filter kernel vs the reference per-row loop
+# ----------------------------------------------------------------------
+def _store_table() -> DimensionHashTable:
+    """store dim with Q1 selecting lyon+paris, Q2 not referencing."""
+    _, star = make_tiny_star()
+    table = DimensionHashTable(star.dimension("store"))
+    table.mark_query_referencing(1)
+    table.register_selected_rows(1, [(1, "lyon", 100), (2, "paris", 250)])
+    table.mark_query_not_referencing(2)
+    return table
+
+
+def _sales_batch() -> FactBatch:
+    catalog, _ = make_tiny_star()
+    rows = catalog.table("sales").all_rows()
+    return FactBatch(
+        list(range(len(rows))),
+        list(range(len(rows))),
+        rows,
+        [0b11] * len(rows),
+    )
+
+
+def _apply_reference(batch: FactBatch, table: DimensionHashTable) -> Filter:
+    _, star = make_tiny_star()
+    reference = Filter(table, star, kernel=None)
+    reference.process_batch(batch)
+    return reference
+
+
+@pytest.mark.parametrize("mode", ["python", "numpy"])
+def test_filter_kernel_matches_reference_loop(mode):
+    if mode == "numpy" and not HAS_NUMPY:
+        pytest.skip("numpy unavailable")
+    table = _store_table()
+    _, star = make_tiny_star()
+    expected = _sales_batch()
+    reference = _apply_reference(expected, table)
+    batch = _sales_batch()
+    filtered = Filter(table, star, kernel=resolve(mode))
+    filtered.process_batch(batch)
+    assert batch.bitvectors == expected.bitvectors
+    assert batch.live == expected.live
+    assert batch.alive == expected.alive
+    assert filtered.stats.probes == reference.stats.probes
+    assert filtered.stats.probe_skips == reference.stats.probe_skips
+    def snapshot(filtered_batch):
+        return [
+            (t.sequence, t.position, t.row, t.bitvector, t.dim_rows)
+            for t in map(filtered_batch.materialize, filtered_batch.live)
+        ]
+
+    assert snapshot(batch) == snapshot(expected)
+
+
+def test_filter_kernel_alive_mask_tracks_live_list():
+    """Both compaction sides keep alive == pack(live) (mostly-dropped
+    batches go through replace_live, mostly-kept through drop_rows)."""
+    _, star = make_tiny_star()
+    # keep-most: only store 3's sales drop
+    keep_table = DimensionHashTable(star.dimension("store"))
+    keep_table.mark_query_referencing(1)
+    keep_table.register_selected_rows(
+        1, [(1, "lyon", 100), (2, "paris", 250)]
+    )
+    # drop-most: only store 3's sales survive
+    drop_table = DimensionHashTable(star.dimension("store"))
+    drop_table.mark_query_referencing(1)
+    drop_table.register_selected_rows(1, [(3, "nice", 50)])
+    for table in (keep_table, drop_table):
+        batch = _sales_batch()
+        for row_index in range(len(batch)):
+            batch.bitvectors[row_index] = 0b1
+        batch.replace_live(batch.live)  # normalize through the API
+        Filter(table, star, kernel=resolve("python")).process_batch(batch)
+        assert batch.alive == bitvec.pack_positions(batch.live)
+        assert all(batch.bitvectors[r] for r in batch.live)
+
+
+def test_filter_kernel_distinct_probes_counted():
+    """Dedup probing reports the deduplicated hash-table traffic."""
+    table = _store_table()
+    _, star = make_tiny_star()
+    batch = _sales_batch()
+    filtered = Filter(table, star, kernel=resolve("python"))
+    filtered.process_batch(batch)
+    # 12 logical probes but only 3 distinct store keys in the batch
+    assert filtered.stats.probes == 12
+    assert 0 < filtered.stats.distinct_probes <= 3
+
+
+@needs_numpy
+def test_numpy_and_pass_falls_back_on_wide_bitvectors():
+    """Bit-vectors beyond 64 bits use the pure pass, same results."""
+    wide = 1 << 70
+    in_bits = [wide | 0b1, 0b1, wide]
+    keys = ["a", "b", "a"]
+    bits_by_key = {"a": wide | 0b1, "b": 0b0}
+    python_out = PythonKernel()._and_pass(in_bits, keys, bits_by_key, 0, True)
+    numpy_out = resolve("numpy")._and_pass(in_bits, keys, bits_by_key, 0, True)
+    assert numpy_out == python_out
+    assert numpy_out[0] == [wide | 0b1, 0, wide]
+
+
+# ----------------------------------------------------------------------
+# Columnar snapshot cache on the dimension table
+# ----------------------------------------------------------------------
+class TestColumnarView:
+    def test_snapshot_matches_entries(self):
+        table = _store_table()
+        bits_by_key, rows_by_key = table.columnar_view()
+        assert bits_by_key == {
+            key: table.bits_for_key(key) for key in rows_by_key
+        }
+        assert rows_by_key == {
+            key: entry.row for key, entry in table.entries_view().items()
+        }
+
+    def test_snapshot_identity_stable_between_changes(self):
+        table = _store_table()
+        assert table.columnar_view()[1] is table.columnar_view()[1]
+
+    def test_registration_changes_invalidate(self):
+        table = _store_table()
+        before = table.columnar_view()
+        table.register_selected_rows(3, [(3, "nice", 50)])
+        after = table.columnar_view()
+        assert after[0] is not before[0]
+        assert 3 in after[1]
+        table.unregister_query(3)
+        rebuilt = table.columnar_view()
+        assert rebuilt is not after
+        # the entry survives (Q2's implicit all-rows selection holds a
+        # bit on it) but the snapshot must show query 3's bit cleared
+        assert rebuilt[0][3] == table.bits_for_key(3)
+        assert not bitvec.test_bit(rebuilt[0][3], 3)
+        table.mark_query_not_referencing(4)
+        assert table.columnar_view() is not rebuilt
+
+    def test_unregister_garbage_collects_dead_entries(self):
+        _, star = make_tiny_star()
+        table = DimensionHashTable(star.dimension("store"))
+        table.mark_query_referencing(1)
+        table.register_selected_rows(1, [(3, "nice", 50)])
+        table.unregister_query(1)
+        assert table.is_empty
+        assert table.complement_bitmap == 0
+
+
+# ----------------------------------------------------------------------
+# Per-batch join attachments
+# ----------------------------------------------------------------------
+class TestBatchAttachments:
+    def test_dim_lookup_state_requires_every_name(self):
+        batch = _sales_batch()
+        rows_of = {1: (1, "lyon", 100)}
+        batch.attach_dim_lookup("store", 0, rows_of)
+        state = batch.dim_lookup_state(("store",))
+        assert state == ((0, rows_of),)
+        assert batch.dim_lookup_state(("store", "product")) is None
+        assert batch.dim_lookup_state(()) == ()
+
+    def test_materialize_merges_batch_level_lookups(self):
+        batch = _sales_batch()
+        store_row = (1, "lyon", 100)
+        batch.attach_dim_lookup("store", 0, {1: store_row})
+        fact_tuple = batch.materialize(0)  # sale (1, 10, 2, 10)
+        assert fact_tuple.dim_rows == {"store": store_row}
+        # row 2 joins store 2, absent from the lookup: nothing attached
+        assert batch.materialize(2).dim_rows is None
+
+    def test_replace_live_rebuilds_alive_mask(self):
+        batch = _sales_batch()
+        batch.replace_live([1, 4, 7])
+        assert batch.live == [1, 4, 7]
+        assert batch.alive == bitvec.pack_positions([1, 4, 7])
+        assert batch.live_count == 3
+
+
+# ----------------------------------------------------------------------
+# Shared-memory column codecs
+# ----------------------------------------------------------------------
+class TestShmTransport:
+    def test_codec_selection_and_round_trip(self):
+        rows = [
+            (1, 2.5, "lyon", [1]),
+            (-(2**40), 0.0, "paris", [2, 3]),
+            (7, -1.25, "lyon", []),
+        ]
+        with published_fact_table(rows, 4) as layout:
+            kinds = [spec.kind for spec in layout.columns]
+            assert kinds == ["i64", "f64", "dict", "pickle"]
+            assert attach_fact_slice(layout, 0, 3) == rows
+            assert attach_fact_slice(layout, 1, 3) == rows[1:]
+            assert attach_fact_slice(layout, 2, 2) == []
+
+    def test_beyond_int64_falls_to_dictionary(self):
+        rows = [(2**64,), (2**64,), (5,)]
+        with published_fact_table(rows, 1) as layout:
+            assert layout.columns[0].kind == "dict"
+            assert attach_fact_slice(layout, 0, 3) == rows
+
+    def test_bool_is_not_packed_as_int(self):
+        # bool is an int subclass; packing True as 1 would change the
+        # decoded rows, so the exact-type scan must reject it
+        rows = [(True,), (False,), (True,)]
+        with published_fact_table(rows, 1) as layout:
+            assert layout.columns[0].kind != "i64"
+            assert attach_fact_slice(layout, 0, 3) == rows
+
+    def test_empty_table_publishes_and_decodes(self):
+        with published_fact_table([], 3) as layout:
+            assert layout.row_count == 0
+            assert [spec.kind for spec in layout.columns] == ["dict"] * 3
+            assert attach_fact_slice(layout, 0, 0) == []
+
+    def test_out_of_bounds_slices_rejected(self):
+        rows = [(1,), (2,)]
+        with published_fact_table(rows, 1) as layout:
+            for start, end in ((0, 3), (-1, 2), (2, 1)):
+                with pytest.raises(ValueError, match="outside"):
+                    decode_rows(layout, b"\x00" * 16, start, end)
+
+    def test_segment_unlinked_after_context(self):
+        rows = [(1,), (2,)]
+        with published_fact_table(rows, 1) as layout:
+            pass
+        with pytest.raises(FileNotFoundError):
+            attach_fact_slice(layout, 0, 2)
+
+    def test_layout_descriptor_stays_small(self):
+        """What crosses the pipe is the descriptor, not the rows."""
+        rows = [(i, float(i), "x" if i % 2 else "y") for i in range(5000)]
+        segment, layout = publish_fact_rows(rows, 3)
+        try:
+            descriptor = len(pickle.dumps(layout, pickle.HIGHEST_PROTOCOL))
+            full_rows = len(pickle.dumps(rows, pickle.HIGHEST_PROTOCOL))
+            assert descriptor * 100 < full_rows
+        finally:
+            segment.close()
+            segment.unlink()

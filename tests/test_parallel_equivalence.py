@@ -188,6 +188,44 @@ def test_pickle_pool_equivalent(ssb_small, ssb_workload):
     assert parallel == serial
 
 
+def test_shm_pool_equivalent(ssb_small, ssb_workload):
+    """The shared-memory transport (DESIGN.md section 14) matches."""
+    catalog, star = ssb_small
+    queries = ssb_workload[:4]
+    serial = _run_serial(catalog, star, queries, "batched")
+    parallel = execute_process_parallel(
+        catalog, star, queries, workers=2, transport="shm"
+    )
+    assert parallel == serial
+
+
+def test_shm_publish_cache_reused_across_drains(ssb_small, ssb_workload):
+    """Repeat shm drains reattach the same published segment.
+
+    The fact table is laid out in shared memory once; the second drain
+    must hit the publish cache (same segment name in the layout) and
+    still produce correct results.
+    """
+    from repro.cjoin import parallel as parallel_module
+
+    catalog, star = ssb_small
+    queries = ssb_workload[:2]
+    serial = _run_serial(catalog, star, queries, "batched")
+    first = execute_process_parallel(
+        catalog, star, queries, workers=2, transport="shm"
+    )
+    with parallel_module._SHM_LOCK:
+        assert parallel_module._SHM_CACHE is not None
+        first_layout = parallel_module._SHM_CACHE[3]
+    second = execute_process_parallel(
+        catalog, star, queries, workers=2, transport="shm"
+    )
+    with parallel_module._SHM_LOCK:
+        assert parallel_module._SHM_CACHE[3] is first_layout
+    assert first == serial
+    assert second == serial
+
+
 # ----------------------------------------------------------------------
 # Fallback and protocol plumbing
 # ----------------------------------------------------------------------
