@@ -25,6 +25,11 @@ meaningful across machines of different speeds):
   static over adaptive — so that, like every other tracked ratio,
   higher is better: 1.0 = the controller matched the static config,
   above 1.0 it relieved the burst;
+* ``ingest_flatness`` — open-loop query p95 with no ingest over p95
+  while a producer streams >= 2k appended fact rows per second
+  through the bounded ingest buffer, applied at scan boundaries
+  (benchmarks/bench_ingest_flatness.py; 1.0 = streaming writes are
+  free, the streaming-ingest predictability claim);
 * ``kernel_per_tuple_cost`` — drain cost per scanned tuple with the
   batch kernels off over the same cost with the default kernel
   (benchmarks/bench_kernel_cost.py; above 1.0 the kernels make every
@@ -85,6 +90,7 @@ TRACKED_METRICS = (
     "open_loop_flatness",
     "async_session_flatness",
     "burst_recovery_ratio",
+    "ingest_flatness",
     "kernel_per_tuple_cost",
     "shm_vs_pickle_transport",
 )
@@ -166,6 +172,24 @@ def measure_metrics(
                 "adaptive controller applied no resize during the burst"
             )
         metrics["burst_recovery_ratio"] = round(burst["ratio"], 3)
+    if "ingest_flatness" in wanted:
+        from benchmarks.bench_ingest_flatness import measure_ingest_flatness
+
+        ingest = measure_ingest_flatness()
+        if not ingest["identical"]:
+            raise AssertionError(
+                "ingest-race results diverged from reference"
+            )
+        racing = ingest["racing"]
+        if not racing["probe_saw_rows"]:
+            raise AssertionError(
+                "acked ingest rows were not visible to the probe"
+            )
+        if racing["rows_applied"] <= 0:
+            raise AssertionError(
+                "ingest producer applied no rows; the race never happened"
+            )
+        metrics["ingest_flatness"] = round(ingest["flatness"], 3)
     if "kernel_per_tuple_cost" in wanted:
         from benchmarks.bench_kernel_cost import measure_kernel_cost
 

@@ -44,7 +44,8 @@ from repro.engine import (
     WarehouseService,
 )
 from repro.server import AsyncWarehouseServer, WarehouseServer
-from repro.errors import ReproError
+from repro.errors import IngestBackpressureError, IngestError, ReproError
+from repro.ingest import IngestWriter
 from repro.tuning import TuningConfig
 from repro.query import (
     AggregateSpec,
@@ -80,6 +81,9 @@ __all__ = [
     "ForeignKey",
     "GalaxySchema",
     "InList",
+    "IngestBackpressureError",
+    "IngestError",
+    "IngestWriter",
     "Not",
     "Or",
     "QueryHandle",

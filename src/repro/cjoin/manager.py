@@ -28,6 +28,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from contextlib import contextmanager
 
 from repro import bitvec
 from repro.catalog.catalog import Catalog
@@ -443,6 +444,24 @@ class PipelineManager:
                 scan_position_at_admission=registration.start_position or 0,
             )
         )
+
+    # ------------------------------------------------------------------
+    # External writers (streaming ingest, DESIGN.md section 15)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def write_barrier(self):
+        """Serialize an external catalog mutation against admissions.
+
+        Every admission — including its dimension subqueries and hash
+        table builds — runs under the manager lock, so a writer holding
+        this barrier mutates tables atomically with respect to query
+        admission: a query admitted before the barrier saw none of the
+        write set, one admitted after sees all of it.  The caller must
+        still stall the Preprocessor around mutations the *scan* could
+        observe mid-item (fact appends with their version stamps).
+        """
+        with self._lock:
+            yield
 
     # ------------------------------------------------------------------
     # Run-time optimization (section 3.4)

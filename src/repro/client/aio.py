@@ -287,6 +287,40 @@ class AsyncRemoteConnection:
         reply = await self._request({"type": protocol.STATS})
         return reply.get("stats", {})
 
+    # -- streaming ingest (docs/PROTOCOL.md section 10) ----------------
+    async def ingest(
+        self,
+        fact_rows=None,
+        dim_upserts=None,
+        timeout: float | None = None,
+    ) -> dict:
+        """Ship a write set; the INGEST_OK ack means it is applied.
+
+        Same receipt schema (``rows``, ``snapshot_id``,
+        ``generation``) as the sync clients; the async client always
+        negotiates protocol v2, so no version gate is needed.  The
+        ack multiplexes like any other reply, so queries on this
+        connection keep flowing while the batch waits for its scan
+        boundary.
+        """
+        self._check_open()
+        payload: dict = {"type": protocol.INGEST}
+        if fact_rows is not None:
+            payload["fact_rows"] = [list(row) for row in fact_rows]
+        if dim_upserts is not None:
+            payload["dim_upserts"] = {
+                name: [list(row) for row in rows]
+                for name, rows in dim_upserts.items()
+            }
+        if timeout is not None:
+            payload["timeout"] = timeout
+        reply = await self._request(payload)
+        return {
+            "rows": reply.get("rows"),
+            "snapshot_id": reply.get("snapshot_id"),
+            "generation": reply.get("generation"),
+        }
+
 
 def _mapped_error(reply: dict) -> Error:
     detail = reply.get("error") or {}
@@ -541,6 +575,26 @@ class AsyncConnectionPool:
         if self._closed:
             raise InterfaceError("connection pool is closed")
         return await self._connections[0].stats()
+
+    async def ingest(
+        self,
+        fact_rows=None,
+        dim_upserts=None,
+        timeout: float | None = None,
+    ) -> dict:
+        """Ship a write set via the next pool connection (round-robin).
+
+        Writes from many producers spread across the pool's sockets
+        exactly like cursors; each batch's per-connection admission
+        bound applies to the socket that carried it.
+        """
+        if self._closed:
+            raise InterfaceError("connection pool is closed")
+        connection = self._connections[self._next % len(self._connections)]
+        self._next += 1
+        return await connection.ingest(
+            fact_rows=fact_rows, dim_upserts=dim_upserts, timeout=timeout
+        )
 
     async def close(self) -> None:
         """Close every pooled connection (idempotent)."""

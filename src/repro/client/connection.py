@@ -154,6 +154,51 @@ class Connection:
             return self.warehouse.stats()
 
     # ------------------------------------------------------------------
+    # Streaming ingest (docs/PROTOCOL.md section 10, local transport)
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        fact_rows=None,
+        dim_upserts=None,
+        timeout: float | None = DEFAULT_FETCH_TIMEOUT,
+    ) -> dict:
+        """Stage a write set, wait for its scan-boundary apply.
+
+        Same receipt schema over every transport: ``rows``,
+        ``snapshot_id``, ``generation``.  With the background driver
+        running the apply lands at the next scan boundary; without one
+        this call applies the batch itself (DESIGN.md section 15).
+
+        Raises:
+            OperationalError: on back-pressure (the bounded ingest
+                buffer is full) or when the apply misses ``timeout``.
+            ProgrammingError: when a row does not match its table's
+                schema or names an unknown dimension.
+        """
+        self._check_open()
+        with translated():
+            ticket = self.warehouse.ingest(
+                fact_rows=fact_rows, dim_upserts=dim_upserts
+            )
+            if not self.warehouse.service.running:
+                self.warehouse.apply_pending_ingest()
+            result = ticket.result(timeout)
+        return {
+            "rows": result["rows"],
+            "snapshot_id": result["snapshot_id"],
+            "generation": result["generation"],
+        }
+
+    def writer(self, batch_rows: int | None = None):
+        """An :class:`~repro.ingest.writer.IngestWriter` over this
+        connection's warehouse (auto-batching convenience surface)."""
+        self._check_open()
+        with translated():
+            if batch_rows is None:
+                return self.warehouse.writer()
+            return self.warehouse.writer(batch_rows=batch_rows)
+
+    # ------------------------------------------------------------------
     # Transactions (PEP 249 surface)
     # ------------------------------------------------------------------
     def commit(self) -> None:

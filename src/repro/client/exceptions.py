@@ -19,6 +19,7 @@ from repro.errors import (
     AdmissionError,
     CancelledError,
     ConfigError,
+    IngestError,
     PipelineError,
     QueryError,
     ReproError,
@@ -82,7 +83,9 @@ def translated():
     except (QueryError, SchemaError) as error:
         # QueryError covers ParseError; both are statement mistakes
         raise ProgrammingError(str(error)) from error
-    except (AdmissionError, ConfigError, PipelineError) as error:
+    except (AdmissionError, ConfigError, IngestError, PipelineError) as error:
+        # IngestError covers IngestBackpressureError: a full ingest
+        # buffer is operational back-pressure, retryable after a cycle
         raise OperationalError(str(error)) from error
     except ReproError as error:
         raise DatabaseError(str(error)) from error

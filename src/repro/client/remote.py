@@ -287,6 +287,54 @@ class RemoteConnection:
         return reply.get("stats", {})
 
     # ------------------------------------------------------------------
+    # Streaming ingest (docs/PROTOCOL.md section 10)
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        fact_rows=None,
+        dim_upserts=None,
+        timeout: float | None = None,
+    ) -> dict:
+        """Ship a write set; block until the server acks its apply.
+
+        ``fact_rows`` is a list of fact-table rows; ``dim_upserts``
+        maps dimension names to lists of full rows (upserted by
+        primary key).  The INGEST_OK ack means the batch is applied
+        and visible to queries admitted from now on — same receipt
+        schema (``rows``, ``snapshot_id``, ``generation``) as local
+        ``Connection.ingest()``.  Requires a v2 session; against a
+        v1-only server this raises client-side instead of burning a
+        round trip on a guaranteed ERROR.
+
+        Raises:
+            NotSupportedError: on a protocol-v1 session.
+            OperationalError: on back-pressure (the per-connection or
+                buffer bound is full) or a missed ``timeout``.
+        """
+        self._check_open()
+        if self.protocol_version < 2:
+            raise NotSupportedError(
+                "ingest() requires protocol version 2; this session "
+                f"negotiated version {self.protocol_version}"
+            )
+        payload: dict = {"type": protocol.INGEST}
+        if fact_rows is not None:
+            payload["fact_rows"] = [list(row) for row in fact_rows]
+        if dim_upserts is not None:
+            payload["dim_upserts"] = {
+                name: [list(row) for row in rows]
+                for name, rows in dim_upserts.items()
+            }
+        if timeout is not None:
+            payload["timeout"] = timeout
+        reply = self._request(payload)
+        return {
+            "rows": reply.get("rows"),
+            "snapshot_id": reply.get("snapshot_id"),
+            "generation": reply.get("generation"),
+        }
+
+    # ------------------------------------------------------------------
     # Transactions (PEP 249 surface)
     # ------------------------------------------------------------------
     def commit(self) -> None:

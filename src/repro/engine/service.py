@@ -96,6 +96,12 @@ class WarehouseService:
         self._stop_event = threading.Event()
         self._thread: threading.Thread | None = None
         self._driver_error: BaseException | None = None
+        #: optional scan-boundary callback, run on the driving thread
+        #: right before each admission pump (so admissions stamped in
+        #: the same boundary see its effects).  The warehouse installs
+        #: its ingest apply here (DESIGN.md section 15); it fires on
+        #: every drive path — background driver, drain(), and pump().
+        self.cycle_hook = None
 
     def _apply_tuning(self, tuning: TuningConfig) -> None:
         """Install a (validated) tuning config under the service lock."""
@@ -283,6 +289,13 @@ class WarehouseService:
             registration.query_id, registration
         )
 
+    def _on_cycle(self) -> int:
+        """The per-cycle driver callback: scan-boundary hook, then pump."""
+        hook = self.cycle_hook
+        if hook is not None:
+            hook()
+        return self._pump_admissions()
+
     def _pump_admissions(self) -> int:
         """Admit queued submissions while slots are free (FIFO).
 
@@ -350,7 +363,7 @@ class WarehouseService:
                 # a callable, so reconfigure() retunes the idle
                 # throttle of the running driver (DESIGN.md section 13)
                 idle_sleep=lambda: self.idle_sleep,
-                on_cycle=self._pump_admissions,
+                on_cycle=self._on_cycle,
                 stop_event=self._stop_event,
             )
         except BaseException as error:  # keep stop()/drain() informative
@@ -430,7 +443,7 @@ class WarehouseService:
                 "synchronous executor; call start() for threaded modes"
             )
         while True:
-            self._pump_admissions()
+            self._on_cycle()
             executor.run_until_drained()
             self.operator.manager.process_finished()
             with self._cond:
@@ -458,6 +471,6 @@ class WarehouseService:
             raise PipelineError("pump() requires the synchronous executor")
         handled = 0
         for _ in range(batches):
-            self._pump_admissions()
+            self._on_cycle()
             handled += executor.step()
         return handled

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+import time
 from collections import deque
 
 from repro.baseline.engine import EngineProfile, QueryAtATimeEngine
@@ -43,7 +44,14 @@ from repro.engine.submission import (
     Submission,
     SubmissionQueue,
 )
-from repro.errors import ConfigError, QueryError
+from repro.errors import ConfigError, QueryError, SchemaError
+from repro.ingest.buffer import (
+    DEFAULT_BUFFER_ROWS,
+    IngestBatch,
+    IngestBuffer,
+    IngestTicket,
+)
+from repro.ingest.writer import DEFAULT_WRITER_BATCH_ROWS, IngestWriter
 from repro.query.star import StarQuery
 from repro.storage.buffer import BufferPool
 from repro.storage.iostats import IOStats
@@ -70,6 +78,7 @@ class Warehouse:
         execution: str | None = None,
         backend: str = "serial",
         tuning: TuningConfig | None = None,
+        ingest_buffer_rows: int = DEFAULT_BUFFER_ROWS,
         **deprecated,
     ) -> None:
         """Args:
@@ -92,6 +101,10 @@ class Warehouse:
                 knobs (``workers`` for backend='process',
                 ``batch_size``).  Mutable at runtime through
                 :meth:`reconfigure` (DESIGN.md section 13).
+            ingest_buffer_rows: bound on staged-but-unapplied streaming
+                writes (DESIGN.md section 15); a full buffer rejects
+                :meth:`ingest` with
+                :class:`~repro.errors.IngestBackpressureError`.
 
         The pre-redesign keywords (``workers``, ``max_in_flight``,
         ``idle_sleep``, ``admission_queue_depth``, ``batch_size``) are
@@ -158,6 +171,13 @@ class Warehouse:
         #: the CJOIN admission queue; submit() delegates to it and
         #: run() drains through it
         self.service = WarehouseService(self.cjoin, tuning=tuning)
+        #: streaming-write staging (DESIGN.md section 15): batches wait
+        #: here until the scan-boundary hook lands them atomically
+        self.ingest_buffer = IngestBuffer(ingest_buffer_rows)
+        #: serializes apply rounds against each other (close() vs the
+        #: driver's hook); the pipeline locks are taken inside it
+        self._ingest_apply_lock = threading.Lock()
+        self.service.cycle_hook = self.apply_pending_ingest
         self._tuning = tuning
         #: serializes reconfigure() against itself; each layer's apply
         #: is internally thread-safe, the lock keeps the composite
@@ -416,6 +436,10 @@ class Warehouse:
                 "reoptimizations": pipeline.reoptimizations,
             },
             "service": self.service.snapshot(),
+            "ingest": {
+                **self.ingest_buffer.stats(),
+                "snapshot_id": self.current_snapshot_id,
+            },
             "tuning": tuning,
             "backend": {
                 "backend": self.executor_config.backend,
@@ -481,6 +505,9 @@ class Warehouse:
                 guarantees queued offline submissions never complete).
         """
         self._require_open()
+        # staged writes land first, so offline drains (and the service
+        # boundary below, via its cycle hook) query the freshest data
+        self.apply_pending_ingest()
         self._drain_offline(
             ROUTE_PROCESS,
             lambda queries: self._execute_process(queries),
@@ -573,6 +600,15 @@ class Warehouse:
         self._closed = True
         self.disable_autotuning()
         self.service.stop()
+        # the ingest buffer drains deterministically: everything that
+        # can land at this boundary is applied, the remainder (e.g.
+        # non-MVCC batches stuck behind still-registered queries) is
+        # rejected with a typed IngestError — no write is silently
+        # dropped after a clean close() returns
+        self.apply_pending_ingest()
+        self.ingest_buffer.reject_all(
+            "warehouse closed before the batch could be applied"
+        )
         for queue in self._offline_queues.values():
             queue.cancel_all()
 
@@ -637,3 +673,133 @@ class Warehouse:
         if self.transactions is None:
             return 0
         return self.transactions.current_snapshot().snapshot_id
+
+    # ------------------------------------------------------------------
+    # Streaming ingest (DESIGN.md section 15)
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        fact_rows: list[tuple] | None = None,
+        dim_upserts: dict[str, list[tuple]] | None = None,
+        owner: object = None,
+    ) -> IngestTicket:
+        """Stage one write set; returns its ticket immediately.
+
+        ``fact_rows`` append to the fact table; ``dim_upserts`` maps
+        dimension names to rows inserted-or-replaced by primary key.
+        The whole batch is validated here (so a bad row never fails
+        late on the driver thread), staged in the bounded buffer, and
+        applied atomically at the next scan boundary — on the service
+        driver when one runs, inside :meth:`run` /
+        :meth:`apply_pending_ingest` otherwise.  ``owner`` tags the
+        batch for connection-scoped discard (server teardown).
+
+        Raises:
+            QueryError: when the warehouse has been closed.
+            SchemaError: on a row that does not fit its schema, an
+                unknown dimension, or an upsert against an unkeyed
+                table.
+            IngestError: on an empty batch.
+            IngestBackpressureError: when the staging buffer is full.
+        """
+        self._require_open()
+        batch = IngestBatch(fact_rows, dim_upserts)
+        self._validate_ingest(batch)
+        return self.ingest_buffer.offer(batch, owner=owner)
+
+    def writer(self, batch_rows: int = DEFAULT_WRITER_BATCH_ROWS) -> IngestWriter:
+        """A batching :class:`~repro.ingest.writer.IngestWriter`.
+
+        One writer per producing thread; ``batch_rows`` sets how many
+        rows accumulate locally before a batch is staged.
+        """
+        self._require_open()
+        return IngestWriter(self, batch_rows)
+
+    def _validate_ingest(self, batch: IngestBatch) -> None:
+        fact_schema = self.star.fact
+        for row in batch.fact_rows:
+            fact_schema.validate_row(row)
+        for name, rows in batch.dim_upserts.items():
+            dimension = self.star.dimensions.get(name)
+            if dimension is None:
+                raise SchemaError(
+                    f"unknown dimension {name!r}; this star joins "
+                    f"{sorted(self.star.dimensions)}"
+                )
+            if dimension.primary_key is None:
+                raise SchemaError(
+                    f"dimension {name!r} has no primary key to upsert by"
+                )
+            for row in rows:
+                dimension.validate_row(row)
+
+    def apply_pending_ingest(self) -> int:
+        """Land every staged batch at this scan boundary; returns rows.
+
+        The scan-boundary hook (installed as the service's
+        ``cycle_hook``, also run by :meth:`run` and writer flushes).
+        The apply holds the Pipeline Manager's write barrier — so it is
+        atomic against admissions and their dimension reads — and
+        stalls the Preprocessor around the mutations, so the scan never
+        observes a half-written row/version pair.  Under MVCC
+        (``enable_updates=True``) fact appends commit through the
+        transaction manager and stay invisible to already-stamped
+        queries; without MVCC there is no visibility predicate to hide
+        new rows behind, so batches wait for a boundary with no
+        registered query (drain-boundary semantics).
+        """
+        buffer = self.ingest_buffer
+        if buffer.pending_batches == 0:
+            return 0
+        manager = self.cjoin.manager
+        preprocessor = self.cjoin.preprocessor
+        applied_rows = 0
+        with self._ingest_apply_lock, manager.write_barrier():
+            if (
+                self.versioned_fact is None
+                and manager.active_query_count > 0
+            ):
+                return 0
+            taken = buffer.take_all()
+            if not taken:
+                return 0
+            preprocessor.stall()
+            try:
+                for batch, ticket in taken:
+                    started = time.perf_counter()
+                    try:
+                        snapshot_id = self._apply_ingest_batch(batch)
+                    except BaseException as error:
+                        buffer.record_failure(ticket, error)
+                        continue
+                    buffer.record_apply(
+                        ticket, snapshot_id, time.perf_counter() - started
+                    )
+                    applied_rows += ticket.rows
+            finally:
+                preprocessor.resume()
+        return applied_rows
+
+    def _apply_ingest_batch(self, batch: IngestBatch) -> int:
+        """Apply one validated batch; returns the commit snapshot id.
+
+        Dimension upserts land first (in-place by primary key, so scan
+        order never changes); queries admitted after this boundary see
+        the whole write set, in-flight queries keep the dimension hash
+        tables they materialized at admission.
+        """
+        for name, rows in batch.dim_upserts.items():
+            table = self.catalog.table(name)
+            for row in rows:
+                table.upsert(row)
+        if batch.fact_rows:
+            if self.versioned_fact is not None:
+                snapshot = self.transactions.commit(
+                    self.versioned_fact, inserts=batch.fact_rows
+                )
+                return snapshot.snapshot_id
+            fact_table = self.catalog.table(self.star.fact.name)
+            for row in batch.fact_rows:
+                fact_table.insert(row)
+        return self.current_snapshot_id

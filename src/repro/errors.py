@@ -84,5 +84,18 @@ class ConfigError(PipelineError):
     """
 
 
+class IngestError(ReproError):
+    """A streaming-ingest operation failed (batch rejected at close,
+    invalid write set, apply failure, ...)."""
+
+
+class IngestBackpressureError(IngestError):
+    """The bounded ingest buffer is full; the write was not staged.
+
+    Back-pressure, not failure: retry after the scan-boundary apply
+    drains the buffer, or raise the buffer capacity.
+    """
+
+
 class BenchmarkError(ReproError):
     """An experiment harness was configured with invalid parameters."""

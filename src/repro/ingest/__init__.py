@@ -1,0 +1,39 @@
+"""Streaming ingestion: continuous updates racing the continuous scan.
+
+The paper's §3.5 sketches mid-scan updates under snapshot isolation;
+:mod:`repro.storage.mvcc` implements the visibility machinery.  This
+package is the write *path* on top of it (DESIGN.md section 15): a
+bounded in-memory WAL-style staging buffer (:class:`IngestBuffer`)
+that accepts batched fact appends and dimension upserts from any
+thread, and an apply step that lands every staged batch at a scan
+boundary — on the service driver thread, under the Pipeline Manager's
+admission lock and the Preprocessor's stall protocol — so in-flight
+queries never observe a torn write.
+
+Write side::
+
+    with warehouse.writer() as writer:
+        writer.append((1, 10, 2, 10))            # fact row
+        writer.upsert("store", (3, "nice", 60))  # dimension row
+    # the context exit flushes and blocks until applied
+
+or one-shot::
+
+    ticket = warehouse.ingest(fact_rows=[...])
+    ticket.result(timeout=5.0)   # {'rows': ..., 'snapshot_id': ...}
+
+A full buffer raises :class:`~repro.errors.IngestBackpressureError`
+(typed back-pressure, same philosophy as admission queues); a closed
+warehouse rejects still-pending batches deterministically with
+:class:`~repro.errors.IngestError`.
+"""
+
+from repro.ingest.buffer import IngestBatch, IngestBuffer, IngestTicket
+from repro.ingest.writer import IngestWriter
+
+__all__ = [
+    "IngestBatch",
+    "IngestBuffer",
+    "IngestTicket",
+    "IngestWriter",
+]

@@ -1,0 +1,298 @@
+"""The bounded staging buffer between writers and the scan boundary.
+
+Writers (local threads, server sessions) stage :class:`IngestBatch`
+write sets here from any thread; the warehouse's apply hook takes the
+whole pending queue at a scan boundary and lands it under the pipeline
+locks.  The buffer owns the WAL-style lifecycle invariant: a staged
+batch is at every instant either *pending* (still discardable, e.g.
+when the connection that staged it dies) or *taken* for apply —
+never half of each — because both transitions happen under one lock.
+
+Telemetry (rows/sec applied, apply latency, depth, generation) lives
+here too, feeding the ``ingest`` section of ``Warehouse.stats()``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.errors import IngestBackpressureError, IngestError
+
+#: Default bound on staged-but-unapplied rows across all writers.
+DEFAULT_BUFFER_ROWS = 65536
+
+#: Apply-latency samples retained for the stats mean.
+LATENCY_SAMPLES = 256
+
+
+class IngestBatch:
+    """One write set: fact appends plus per-dimension upserts."""
+
+    __slots__ = ("fact_rows", "dim_upserts", "rows")
+
+    def __init__(
+        self,
+        fact_rows: list[tuple] | None = None,
+        dim_upserts: dict[str, list[tuple]] | None = None,
+    ) -> None:
+        self.fact_rows = [tuple(row) for row in (fact_rows or [])]
+        self.dim_upserts = {
+            name: [tuple(row) for row in rows]
+            for name, rows in (dim_upserts or {}).items()
+        }
+        self.rows = len(self.fact_rows) + sum(
+            len(rows) for rows in self.dim_upserts.values()
+        )
+
+
+class IngestTicket:
+    """The caller's handle on one staged batch.
+
+    Resolves exactly once: *applied* (carrying the commit snapshot id
+    and the apply generation), *rejected* (discarded before apply —
+    dead connection, warehouse close), or *failed* (the apply itself
+    raised).  ``wait``/``result`` block; ``on_done`` registers a
+    callback for event-loop transports, fired immediately when the
+    ticket already resolved (mirroring ``QueryHandle.on_complete``).
+    """
+
+    def __init__(self, rows: int) -> None:
+        self.rows = rows
+        self.snapshot_id: int | None = None
+        self.generation: int | None = None
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._callbacks: list = []
+        self._error: IngestError | None = None
+
+    @property
+    def done(self) -> bool:
+        """True once the ticket resolved (applied, rejected, or failed)."""
+        return self._event.is_set()
+
+    @property
+    def applied(self) -> bool:
+        """True iff the batch landed in the warehouse."""
+        return self._event.is_set() and self._error is None
+
+    @property
+    def error(self) -> IngestError | None:
+        """The rejection/failure, or None."""
+        return self._error
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until resolved; True iff resolved within ``timeout``."""
+        return self._event.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> dict:
+        """Block for the apply receipt.
+
+        Returns ``{'rows', 'snapshot_id', 'generation'}``.
+
+        Raises:
+            IngestError: when the batch was rejected, the apply failed,
+                or ``timeout`` expired first.
+        """
+        if not self._event.wait(timeout):
+            raise IngestError(
+                f"ingest batch ({self.rows} rows) not applied within "
+                f"{timeout} seconds"
+            )
+        if self._error is not None:
+            raise self._error
+        return {
+            "rows": self.rows,
+            "snapshot_id": self.snapshot_id,
+            "generation": self.generation,
+        }
+
+    def on_done(self, callback) -> None:
+        """Run ``callback(ticket)`` at resolution (now, if resolved)."""
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    def _resolve(
+        self, error: IngestError | None, snapshot_id: int | None = None,
+        generation: int | None = None,
+    ) -> None:
+        with self._lock:
+            if self._event.is_set():
+                return
+            self._error = error
+            self.snapshot_id = snapshot_id
+            self.generation = generation
+            callbacks, self._callbacks = self._callbacks, []
+            self._event.set()
+        for callback in callbacks:
+            callback(self)
+
+
+class IngestBuffer:
+    """Bounded FIFO of staged batches awaiting the next scan boundary.
+
+    Args:
+        capacity_rows: bound on pending (staged-but-unapplied) rows
+            summed over all batches; :meth:`offer` raises
+            :class:`~repro.errors.IngestBackpressureError` beyond it.
+    """
+
+    def __init__(self, capacity_rows: int = DEFAULT_BUFFER_ROWS) -> None:
+        if capacity_rows < 1:
+            raise IngestError(
+                f"ingest buffer capacity must be >= 1 row, got {capacity_rows}"
+            )
+        self.capacity_rows = capacity_rows
+        self._lock = threading.Lock()
+        self._pending: deque[tuple[IngestBatch, IngestTicket, object]] = deque()
+        self._pending_rows = 0
+        # telemetry, guarded by the same lock
+        self._rows_applied = 0
+        self._batches_applied = 0
+        self._batches_rejected = 0
+        self._generation = 0
+        self._apply_seconds: deque[float] = deque(maxlen=LATENCY_SAMPLES)
+        self._first_apply: float | None = None
+        self._last_apply: float | None = None
+
+    # ------------------------------------------------------------------
+    # Staging (any thread)
+    # ------------------------------------------------------------------
+    def offer(self, batch: IngestBatch, owner: object = None) -> IngestTicket:
+        """Stage ``batch``; returns its ticket.
+
+        ``owner`` tags the batch so :meth:`discard_owner` can reject a
+        dead connection's still-pending writes without touching anyone
+        else's.
+
+        Raises:
+            IngestError: on an empty batch.
+            IngestBackpressureError: when the buffer is full.
+        """
+        if batch.rows == 0:
+            raise IngestError("ingest batch is empty: nothing to apply")
+        ticket = IngestTicket(batch.rows)
+        with self._lock:
+            if self._pending_rows + batch.rows > self.capacity_rows:
+                raise IngestBackpressureError(
+                    f"ingest buffer is full ({self._pending_rows} rows "
+                    f"pending, capacity {self.capacity_rows}); wait for "
+                    f"the next scan-boundary apply or raise the capacity"
+                )
+            self._pending.append((batch, ticket, owner))
+            self._pending_rows += batch.rows
+        return ticket
+
+    # ------------------------------------------------------------------
+    # Apply side (the warehouse's scan-boundary hook)
+    # ------------------------------------------------------------------
+    def take_all(self) -> list[tuple[IngestBatch, IngestTicket]]:
+        """Claim every pending batch for apply, FIFO order.
+
+        Once taken, a batch is no longer discardable: the apply path
+        resolves its ticket.
+        """
+        with self._lock:
+            taken = [(batch, ticket) for batch, ticket, _ in self._pending]
+            self._pending.clear()
+            self._pending_rows = 0
+        return taken
+
+    def record_apply(
+        self, ticket: IngestTicket, snapshot_id: int, seconds: float
+    ) -> None:
+        """Resolve one applied batch and fold it into the telemetry."""
+        with self._lock:
+            self._generation += 1
+            generation = self._generation
+            self._rows_applied += ticket.rows
+            self._batches_applied += 1
+            self._apply_seconds.append(seconds)
+            now = time.monotonic()
+            if self._first_apply is None:
+                self._first_apply = now
+            self._last_apply = now
+        ticket._resolve(None, snapshot_id=snapshot_id, generation=generation)
+
+    def record_failure(self, ticket: IngestTicket, error: BaseException) -> None:
+        """Resolve one taken batch whose apply raised."""
+        with self._lock:
+            self._batches_rejected += 1
+        if not isinstance(error, IngestError):
+            error = IngestError(f"ingest apply failed: {error}")
+        ticket._resolve(error)
+
+    # ------------------------------------------------------------------
+    # Rejection (dead connections, warehouse close)
+    # ------------------------------------------------------------------
+    def discard_owner(self, owner: object, reason: str) -> int:
+        """Reject ``owner``'s still-pending batches; returns rows dropped.
+
+        Batches already taken for apply are untouched — they resolve
+        through the apply path (the ack then simply has nowhere to go).
+        """
+        return self._discard(lambda entry: entry[2] is owner, reason)
+
+    def reject_all(self, reason: str) -> int:
+        """Reject every still-pending batch (the close() path)."""
+        return self._discard(lambda entry: True, reason)
+
+    def _discard(self, predicate, reason: str) -> int:
+        with self._lock:
+            kept, dropped = deque(), []
+            for entry in self._pending:
+                (dropped if predicate(entry) else kept).append(entry)
+            self._pending = kept
+            self._pending_rows = sum(batch.rows for batch, _, _ in kept)
+            self._batches_rejected += len(dropped)
+        rows = 0
+        for batch, ticket, _ in dropped:
+            rows += batch.rows
+            ticket._resolve(IngestError(f"ingest batch discarded: {reason}"))
+        return rows
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_rows(self) -> int:
+        """Rows staged and not yet taken for apply."""
+        with self._lock:
+            return self._pending_rows
+
+    @property
+    def pending_batches(self) -> int:
+        """Batches staged and not yet taken for apply."""
+        with self._lock:
+            return len(self._pending)
+
+    def stats(self) -> dict:
+        """The ``ingest`` section of ``Warehouse.stats()`` (JSON-able)."""
+        with self._lock:
+            samples = list(self._apply_seconds)
+            window = (
+                (self._last_apply - self._first_apply)
+                if self._first_apply is not None
+                else 0.0
+            )
+            # over a sub-resolution window, charge the measured apply
+            # cost itself so rows/sec stays meaningful for one burst
+            denominator = max(window, sum(samples), 1e-9)
+            return {
+                "rows_applied": self._rows_applied,
+                "batches_applied": self._batches_applied,
+                "batches_rejected": self._batches_rejected,
+                "rows_per_second": self._rows_applied / denominator,
+                "apply_latency_last": samples[-1] if samples else 0.0,
+                "apply_latency_mean": (
+                    sum(samples) / len(samples) if samples else 0.0
+                ),
+                "buffer_rows": self._pending_rows,
+                "buffer_batches": len(self._pending),
+                "buffer_capacity": self.capacity_rows,
+                "generation": self._generation,
+            }

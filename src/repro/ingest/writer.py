@@ -1,0 +1,118 @@
+"""The batching writer over ``Warehouse.ingest()``.
+
+:class:`IngestWriter` is the produce-side convenience: it accumulates
+fact appends and dimension upserts locally, stages a batch whenever
+``batch_rows`` accumulate (amortizing the staging lock the way the
+read path amortizes per-tuple dispatch into batches), and tracks the
+outstanding tickets so ``flush()`` gives the caller one durable ack
+for everything written so far.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IngestError
+
+#: Rows accumulated locally before a batch is staged automatically.
+DEFAULT_WRITER_BATCH_ROWS = 1024
+
+
+class IngestWriter:
+    """Accumulate writes; stage in batches; flush for the ack.
+
+    Single-threaded by design, like a cursor: one writer per producing
+    thread, all sharing the warehouse's one staging buffer.  Usable as
+    a context manager — the exit flushes (blocking until every staged
+    batch applied) unless the body raised.
+    """
+
+    def __init__(
+        self, warehouse, batch_rows: int = DEFAULT_WRITER_BATCH_ROWS
+    ) -> None:
+        if batch_rows < 1:
+            raise IngestError(
+                f"writer batch_rows must be >= 1, got {batch_rows}"
+            )
+        self.warehouse = warehouse
+        self.batch_rows = batch_rows
+        self._fact_rows: list[tuple] = []
+        self._dim_upserts: dict[str, list[tuple]] = {}
+        self._tickets: list = []
+        self.rows_written = 0
+        #: the receipt of the most recent flush() — how a context-
+        #: manager caller reads the ack the implicit exit flush earned
+        self.last_receipt: dict | None = None
+
+    def append(self, row: tuple) -> None:
+        """Buffer one fact-table append."""
+        self._fact_rows.append(tuple(row))
+        self._note_row()
+
+    def upsert(self, dimension: str, row: tuple) -> None:
+        """Buffer one dimension upsert (insert-or-replace by primary key)."""
+        self._dim_upserts.setdefault(dimension, []).append(tuple(row))
+        self._note_row()
+
+    def _note_row(self) -> None:
+        self.rows_written += 1
+        if self._buffered_rows() >= self.batch_rows:
+            self._stage()
+
+    def _buffered_rows(self) -> int:
+        return len(self._fact_rows) + sum(
+            len(rows) for rows in self._dim_upserts.values()
+        )
+
+    def _stage(self) -> None:
+        """Hand the local accumulation to the warehouse buffer.
+
+        Raises:
+            IngestBackpressureError: when the staging buffer is full;
+                the local accumulation is kept, so the caller can back
+                off and retry the triggering ``append``/``flush``.
+        """
+        if not self._buffered_rows():
+            return
+        ticket = self.warehouse.ingest(
+            fact_rows=self._fact_rows, dim_upserts=self._dim_upserts
+        )
+        self._fact_rows = []
+        self._dim_upserts = {}
+        self._tickets.append(ticket)
+
+    def flush(self, timeout: float | None = 30.0) -> dict:
+        """Stage the remainder and block until every batch applied.
+
+        Without a running service driver the apply is driven inline on
+        this thread (the embedded/offline mode); with one, the driver
+        lands the batches at its next scan boundary.
+
+        Returns ``{'rows', 'batches', 'snapshot_id'}`` covering every
+        batch this writer staged since the last flush.
+
+        Raises:
+            IngestError: when a batch was rejected/failed, or the
+                driver did not apply within ``timeout``.
+        """
+        self._stage()
+        tickets, self._tickets = self._tickets, []
+        if tickets and not self.warehouse.service.running:
+            self.warehouse.apply_pending_ingest()
+        snapshot_id = None
+        rows = 0
+        for ticket in tickets:
+            receipt = ticket.result(timeout)
+            rows += receipt["rows"]
+            snapshot_id = receipt["snapshot_id"]
+        self.last_receipt = {
+            "rows": rows,
+            "batches": len(tickets),
+            "snapshot_id": snapshot_id,
+        }
+        return self.last_receipt
+
+    def __enter__(self) -> "IngestWriter":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if exc_type is None:
+            self.flush()

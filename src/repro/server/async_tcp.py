@@ -44,10 +44,15 @@ from repro.client.exceptions import (
 )
 from repro.cjoin.registry import QueryHandle
 from repro.engine.submission import ROUTE_BASELINE, ROUTE_PROCESS
+from repro.ingest.buffer import IngestTicket
 from repro.engine.warehouse import Warehouse
 from repro.server import protocol
 from repro.server.protocol import ProtocolError
-from repro.server.session import CloseConnection, ServerSession
+from repro.server.session import (
+    DEFAULT_MAX_PENDING_INGEST_ROWS,
+    CloseConnection,
+    ServerSession,
+)
 from repro.server.tcp import DEFAULT_MAX_IN_FLIGHT_PER_CONNECTION, _tag
 
 #: Reply frames a connection's outbox may hold before the enqueuer
@@ -124,6 +129,10 @@ class AsyncWarehouseServer:
             enqueuers wait on the writer.
         max_pending_fetches: still-running FETCH waiters per
             connection before the reader pauses.
+        max_pending_ingest_rows_per_connection: bound on one
+            connection's unacknowledged INGEST rows (the write
+            admission layer, shared with the threaded server via the
+            session core).
     """
 
     def __init__(
@@ -137,6 +146,9 @@ class AsyncWarehouseServer:
         ),
         outbox_frames: int = DEFAULT_OUTBOX_FRAMES,
         max_pending_fetches: int = DEFAULT_MAX_PENDING_FETCHES,
+        max_pending_ingest_rows_per_connection: int = (
+            DEFAULT_MAX_PENDING_INGEST_ROWS
+        ),
     ) -> None:
         if max_in_flight_per_connection < 1:
             raise InterfaceError(
@@ -147,10 +159,18 @@ class AsyncWarehouseServer:
             raise InterfaceError(
                 "outbox_frames and max_pending_fetches must be >= 1"
             )
+        if max_pending_ingest_rows_per_connection < 1:
+            raise InterfaceError(
+                f"max_pending_ingest_rows_per_connection must be >= 1, "
+                f"got {max_pending_ingest_rows_per_connection}"
+            )
         self.warehouse = warehouse
         self.max_in_flight_per_connection = max_in_flight_per_connection
         self.outbox_frames = outbox_frames
         self.max_pending_fetches = max_pending_fetches
+        self.max_pending_ingest_rows_per_connection = (
+            max_pending_ingest_rows_per_connection
+        )
         self._requested = (host, port)
         self._owns_warehouse = owns_warehouse
         self._thread: threading.Thread | None = None
@@ -417,6 +437,9 @@ class AsyncWarehouseServer:
         if kind == protocol.STATS:
             await conn.outbox.put(_tag(session.stats(frame), request_id))
             return False
+        if kind == protocol.INGEST:
+            await self._dispatch_ingest(conn, frame, request_id)
+            return False
         raise ProtocolError(f"unknown frame type {kind!r}")
 
     async def _dispatch_fetch(
@@ -474,6 +497,104 @@ class AsyncWarehouseServer:
             await conn.outbox.put(_tag(reply, request_id))
         finally:
             conn.fetch_slots.release()
+
+    async def _dispatch_ingest(
+        self, conn: _AsyncConnection, frame: dict, request_id: int | None
+    ) -> None:
+        """Stage a write set, park a waiter for its apply (section 10).
+
+        ``session.ingest`` gates on protocol v2 — a v1 peer raises
+        NotSupportedError before anything is staged — so every staged
+        ticket belongs to a multiplexed connection and can park a
+        waiter task exactly like a v2 FETCH, sharing the same parked-
+        waiter budget.
+        """
+        ticket = conn.session.ingest(frame)
+        timeout = frame.get("timeout")
+        if timeout is not None and (
+            isinstance(timeout, bool)
+            or not isinstance(timeout, (int, float))
+        ):
+            raise ProtocolError("ingest timeout must be a number or null")
+        await conn.fetch_slots.acquire()
+        task = asyncio.get_running_loop().create_task(
+            self._ingest_waiter(conn, request_id, ticket, timeout)
+        )
+        conn.fetch_tasks.add(task)
+        task.add_done_callback(conn.fetch_tasks.discard)
+
+    async def _ingest_waiter(
+        self, conn, request_id, ticket: IngestTicket, timeout
+    ) -> None:
+        try:
+            try:
+                await self._await_ingest(ticket, timeout)
+                reply = conn.session.ingest_reply(ticket)
+            except Error as error:
+                reply = protocol.error_payload(
+                    type(error).__name__, str(error)
+                )
+            await conn.outbox.put(_tag(reply, request_id))
+        finally:
+            conn.fetch_slots.release()
+
+    async def _await_ingest(
+        self, ticket: IngestTicket, timeout: float | None
+    ) -> None:
+        """Park until the staged batch resolves — no thread consumed.
+
+        The ticket's completion callback (fired on whichever thread
+        applies the batch) sets an asyncio event via
+        ``call_soon_threadsafe``; shutdown wakes every waiter through
+        the server-wide closing event.  Only while no service driver
+        runs (process-backend servers, stopped drivers) does the wait
+        fall back to the poll cadence, pushing the scan-boundary
+        ``apply_pending_ingest`` onto the default executor so the loop
+        never blocks.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = (
+            None if timeout is None else loop.time() + float(timeout)
+        )
+        event = asyncio.Event()
+
+        def _notify(_ticket: IngestTicket) -> None:
+            try:
+                loop.call_soon_threadsafe(event.set)
+            except RuntimeError:
+                pass  # loop closed first; the waiter was cancelled
+
+        ticket.on_done(_notify)
+        while not ticket.done:
+            if self._closing.is_set():
+                raise OperationalError("server is shutting down")
+            if not self.warehouse.service.running:
+                await loop.run_in_executor(
+                    None, self._apply_ingest_blocking
+                )
+            if ticket.done:
+                return
+            remaining = (
+                None if deadline is None else deadline - loop.time()
+            )
+            if remaining is not None and remaining <= 0:
+                raise OperationalError(
+                    f"ingest batch was not applied within {timeout} "
+                    f"seconds"
+                )
+            wait_slice = remaining
+            if not self.warehouse.service.running:
+                wait_slice = (
+                    _FETCH_POLL_SECONDS
+                    if wait_slice is None
+                    else min(wait_slice, _FETCH_POLL_SECONDS)
+                )
+            await self._sleep_until(event, wait_slice)
+
+    def _apply_ingest_blocking(self) -> None:
+        with self._run_lock:
+            with translated():
+                self.warehouse.apply_pending_ingest()
 
     async def _await_done(
         self,

@@ -63,6 +63,10 @@ CLOSE = "close"
 #: STATS requires protocol version 2 (docs/PROTOCOL.md section 9); a
 #: v1 session receives a clean NotSupportedError ERROR frame instead.
 STATS = "stats"
+#: INGEST requires protocol version 2 too (docs/PROTOCOL.md section
+#: 10): a batched write set (fact appends + dimension upserts) staged
+#: for the next scan-boundary apply; the INGEST_OK ack means applied.
+INGEST = "ingest"
 
 #: Server-to-client frame types.
 HELLO_OK = "hello_ok"
@@ -71,6 +75,7 @@ ROWS = "rows"
 CANCEL_OK = "cancel_ok"
 CLOSE_OK = "close_ok"
 STATS_OK = "stats_ok"
+INGEST_OK = "ingest_ok"
 ERROR = "error"
 
 #: The error-class names an ERROR frame may carry (docs/PROTOCOL.md

@@ -27,7 +27,7 @@ from repro.client.cursor import describe
 from repro.client.exceptions import InterfaceError, translated
 from repro.cjoin.registry import QueryHandle
 from repro.engine.submission import Submission, SubmissionQueue
-from repro.errors import AdmissionError, ReproError
+from repro.errors import AdmissionError, IngestBackpressureError, ReproError
 from repro.server import protocol
 from repro.server.protocol import ProtocolError
 from repro.sql.parser import bind_parameters, bind_star_query, parse_select
@@ -35,6 +35,12 @@ from repro.sql.parser import bind_parameters, bind_star_query, parse_select
 #: Upper bound a FETCH frame may request for one page; also the cap on
 #: one partial-mode snapshot (docs/PROTOCOL.md section 6).
 MAX_PAGE_ROWS = 65536
+
+#: Default per-connection bound on staged-but-unacked INGEST rows (the
+#: write-side twin of ``max_in_flight_per_connection``); servers may
+#: override it with a ``max_pending_ingest_rows_per_connection``
+#: attribute (docs/PROTOCOL.md section 10).
+DEFAULT_MAX_PENDING_INGEST_ROWS = 65536
 
 
 class ServerQuery:
@@ -74,6 +80,9 @@ class ServerSession:
         self._next_query_id = 1
         #: 0 until HELLO succeeds, then the negotiated version
         self.version = 0
+        #: tickets of this connection's staged INGEST batches; pruned
+        #: as they resolve, discarded wholesale at teardown
+        self.ingest_tickets: list = []
 
     @property
     def greeted(self) -> bool:
@@ -315,6 +324,91 @@ class ServerSession:
             snapshot = self.server.warehouse.stats()
         return {"type": protocol.STATS_OK, "stats": snapshot}
 
+    # -- INGEST --------------------------------------------------------
+    def ingest(self, frame: dict):
+        """Validate and stage one INGEST write set; returns its ticket.
+
+        Version-gated like STATS (docs/PROTOCOL.md section 10): a v1
+        peer gets a clean ``NotSupportedError`` ERROR frame and the
+        connection keeps serving.  The transport waits on the returned
+        ticket with its own blocking strategy and acks with INGEST_OK
+        only once the batch *applied* — an acked write is a visible
+        write, and an unacked one is discardable at teardown.
+
+        Write admission is per-connection: staged-but-unresolved rows
+        from this session are bounded (the write-side twin of the
+        statement fairness bound), so one firehose client cannot fill
+        the shared staging buffer for everyone.
+        """
+        if self.version < 2:
+            from repro.client.exceptions import NotSupportedError
+
+            raise NotSupportedError(
+                "the ingest frame requires protocol version 2; this "
+                f"session negotiated version {self.version}"
+            )
+        fact_rows = frame.get("fact_rows") or []
+        dim_upserts = frame.get("dim_upserts") or {}
+        if not isinstance(fact_rows, list) or not all(
+            isinstance(row, list) for row in fact_rows
+        ):
+            raise ProtocolError(
+                "ingest frame 'fact_rows' must be a list of row arrays"
+            )
+        if not isinstance(dim_upserts, dict) or not all(
+            isinstance(name, str)
+            and isinstance(rows, list)
+            and all(isinstance(row, list) for row in rows)
+            for name, rows in dim_upserts.items()
+        ):
+            raise ProtocolError(
+                "ingest frame 'dim_upserts' must map dimension names "
+                "to lists of row arrays"
+            )
+        rows = len(fact_rows) + sum(len(v) for v in dim_upserts.values())
+        bound = getattr(
+            self.server,
+            "max_pending_ingest_rows_per_connection",
+            DEFAULT_MAX_PENDING_INGEST_ROWS,
+        )
+        self.ingest_tickets = [
+            ticket for ticket in self.ingest_tickets if not ticket.done
+        ]
+        pending = sum(ticket.rows for ticket in self.ingest_tickets)
+        with translated():
+            if pending + rows > bound:
+                raise IngestBackpressureError(
+                    f"connection has {pending} unacked ingest rows "
+                    f"staged (bound {bound}); wait for INGEST_OK acks "
+                    f"before writing more"
+                )
+            ticket = self.server.warehouse.ingest(
+                fact_rows=[tuple(row) for row in fact_rows],
+                dim_upserts={
+                    name: [tuple(row) for row in batch_rows]
+                    for name, batch_rows in dim_upserts.items()
+                },
+                owner=self,
+            )
+        self.ingest_tickets.append(ticket)
+        return ticket
+
+    def ingest_reply(self, ticket) -> dict:
+        """The INGEST_OK payload for a resolved ticket.
+
+        Raises (through :func:`translated`) when the batch was
+        rejected or its apply failed.
+        """
+        with translated():
+            if ticket.error is not None:
+                raise ticket.error
+        return {
+            "type": protocol.INGEST_OK,
+            "rows": ticket.rows,
+            "snapshot_id": ticket.snapshot_id,
+            "generation": ticket.generation,
+        }
+
     # -- CANCEL / CLOSE ------------------------------------------------
     def cancel(self, frame: dict) -> dict:
         _, state = self.lookup(frame)
@@ -347,3 +441,10 @@ class ServerSession:
             if not state.handle.done:
                 state.handle.cancel()
         self.queries.clear()
+        # buffered-but-unacked writes die with the connection: batches
+        # this session staged that have not been taken for apply are
+        # discarded (already-applied ones simply lose their ack)
+        self.server.warehouse.ingest_buffer.discard_owner(
+            self, "connection closed before the batch was applied"
+        )
+        self.ingest_tickets.clear()

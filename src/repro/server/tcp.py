@@ -43,7 +43,11 @@ from repro.engine.submission import ROUTE_BASELINE, ROUTE_PROCESS
 from repro.engine.warehouse import Warehouse
 from repro.server import protocol
 from repro.server.protocol import ProtocolError
-from repro.server.session import CloseConnection, ServerSession
+from repro.server.session import (
+    DEFAULT_MAX_PENDING_INGEST_ROWS,
+    CloseConnection,
+    ServerSession,
+)
 
 # the per-connection fairness bound lives with every other tuning
 # constant now (repro.tuning); re-exported for existing importers
@@ -181,6 +185,8 @@ class _Connection:
             return session.close(frame)
         if kind == protocol.STATS:
             return session.stats(frame)
+        if kind == protocol.INGEST:
+            return self._handle_ingest(frame)
         raise ProtocolError(f"unknown frame type {kind!r}")
 
     def _handle_fetch(self, frame: dict) -> dict:
@@ -192,6 +198,41 @@ class _Connection:
         if state.rows is None:
             self._wait_done(state.handle, timeout)
         return self.session.page_reply(query_id, state, max_rows)
+
+    def _handle_ingest(self, frame: dict) -> dict:
+        """Stage, wait for the scan-boundary apply, ack (section 10)."""
+        ticket = self.session.ingest(frame)
+        timeout = frame.get("timeout")
+        if timeout is not None and (
+            isinstance(timeout, bool)
+            or not isinstance(timeout, (int, float))
+        ):
+            raise ProtocolError("ingest timeout must be a number or null")
+        self._wait_ingest(ticket, timeout)
+        return self.session.ingest_reply(ticket)
+
+    def _wait_ingest(self, ticket, timeout: float | None) -> None:
+        """Block until the staged batch resolves, driving the apply.
+
+        With the service driver running, its cycle hook lands the
+        batch; without one (process-backend servers, stopped drivers)
+        this handler thread applies at the boundary itself.  Polls so
+        it aborts promptly on server shutdown.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + float(timeout)
+        )
+        while not ticket.done:
+            if self.server._closing.is_set():
+                raise OperationalError("server is shutting down")
+            if not self.server.warehouse.service.running:
+                with translated():
+                    self.server.warehouse.apply_pending_ingest()
+            if deadline is not None and time.monotonic() >= deadline:
+                raise OperationalError(
+                    f"ingest batch was not applied within {timeout} seconds"
+                )
+            ticket.wait(_FETCH_POLL_SECONDS)
 
     def _wait_done(self, handle: QueryHandle, timeout: float | None) -> None:
         """Block until the handle completes, pumping admissions.
@@ -238,6 +279,10 @@ class WarehouseServer:
         max_in_flight_per_connection: bound on one connection's
             concurrently submitted queries; the per-connection
             admission queue holds the rest (fairness across clients).
+        max_pending_ingest_rows_per_connection: bound on one
+            connection's staged-but-unacked INGEST rows (the
+            write-side fairness twin, docs/PROTOCOL.md section 10);
+            beyond it the connection gets typed back-pressure.
 
     Usage::
 
@@ -255,14 +300,25 @@ class WarehouseServer:
         max_in_flight_per_connection: int = (
             DEFAULT_MAX_IN_FLIGHT_PER_CONNECTION
         ),
+        max_pending_ingest_rows_per_connection: int = (
+            DEFAULT_MAX_PENDING_INGEST_ROWS
+        ),
     ) -> None:
         if max_in_flight_per_connection < 1:
             raise InterfaceError(
                 f"max_in_flight_per_connection must be >= 1, got "
                 f"{max_in_flight_per_connection}"
             )
+        if max_pending_ingest_rows_per_connection < 1:
+            raise InterfaceError(
+                f"max_pending_ingest_rows_per_connection must be >= 1, "
+                f"got {max_pending_ingest_rows_per_connection}"
+            )
         self.warehouse = warehouse
         self.max_in_flight_per_connection = max_in_flight_per_connection
+        self.max_pending_ingest_rows_per_connection = (
+            max_pending_ingest_rows_per_connection
+        )
         self._requested = (host, port)
         self._owns_warehouse = owns_warehouse
         self._listener: socket.socket | None = None

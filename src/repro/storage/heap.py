@@ -52,6 +52,20 @@ class HeapFile:
         """Return the row at (``page_id``, ``slot_id``)."""
         return self.page(page_id).slot(slot_id)
 
+    def write_row(self, page_id: int, slot_id: int, row: tuple) -> None:
+        """Replace the row at (``page_id``, ``slot_id``) in place.
+
+        The page count, row count, and every address are unchanged, so
+        the continuous scan's stable-order guarantee holds across the
+        write (the dimension-upsert path relies on this).
+
+        Raises:
+            StorageError: if the address does not hold a row.
+        """
+        page = self.page(page_id)
+        page.slot(slot_id)  # raises on an empty/unknown slot
+        page.rows[slot_id] = tuple(row)
+
     @property
     def page_count(self) -> int:
         """Number of pages in the heap."""

@@ -98,6 +98,47 @@ class Table:
             index.setdefault(value, []).append(address)
         return address
 
+    def upsert(self, row: tuple) -> tuple[int, int]:
+        """Insert ``row``, or replace the row sharing its primary key.
+
+        The replace happens in place at the existing heap address, so
+        row count, page layout, and scan order are all unchanged —
+        which is what lets the streaming-ingest path upsert dimensions
+        under the continuous scan without disturbing its stable-order
+        guarantee (DESIGN.md section 15).  Secondary indexes are kept
+        consistent with the new column values.
+
+        Raises:
+            SchemaError: if the row does not match the schema.
+            StorageError: if the table has no primary key (fact tables
+                take plain appends, not upserts).
+        """
+        row = tuple(row)
+        self.schema.validate_row(row)
+        if self._pk_index is None:
+            raise StorageError(
+                f"table {self.schema.name!r} has no primary key; "
+                f"upsert targets keyed (dimension) tables"
+            )
+        key = row[self.schema.column_index(self.schema.primary_key)]
+        address = self._pk_index.get(key)
+        if address is None:
+            return self.insert(row)
+        old_row = self.heap.read_row(*address)
+        self.heap.write_row(*address, row)
+        for column_name, index in self._secondary.items():
+            position = self.schema.column_index(column_name)
+            old_value, new_value = old_row[position], row[position]
+            if old_value == new_value:
+                continue
+            addresses = index.get(old_value, [])
+            if address in addresses:
+                addresses.remove(address)
+                if not addresses:
+                    del index[old_value]
+            index.setdefault(new_value, []).append(address)
+        return address
+
     def lookup_pk(self, key: object) -> tuple | None:
         """Return the row with primary key ``key``, or None.
 

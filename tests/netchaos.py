@@ -96,6 +96,37 @@ def disconnect_mid_execute(address) -> dict:
     return {"query_ids": reply["query_ids"]}
 
 
+def disconnect_mid_ingest(address) -> dict:
+    """Ship a complete INGEST frame, then drop the socket before the ack.
+
+    The write-path twin of ``disconnect_mid_execute``: the server owns
+    a staged (possibly not-yet-applied) batch whose producer is gone.
+    Teardown must discard the connection's buffered-but-unacked
+    batches without leaking a slot, thread, or task — and whether the
+    batch raced to an apply or was discarded, the dataset the other
+    clients query must stay identical.  The batch is deliberately
+    idempotent (an upsert rewriting a store row with its current
+    values), so the suite's COUNT invariant holds either way.
+    """
+    sock = open_raw(address)
+    handshake(sock)
+    sock.sendall(
+        protocol.encode_frame(
+            {
+                "type": "ingest",
+                "dim_upserts": {"store": [[1, "lyon", 100]]},
+                "request_id": 0,
+            }
+        )
+    )
+    # abandon the socket abruptly, without ever reading INGEST_OK
+    sock.setsockopt(
+        socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+    )
+    sock.close()
+    return {}
+
+
 def dribble_writes(address) -> dict:
     """A whole valid exchange, one byte per send.
 
@@ -227,6 +258,7 @@ SCENARIOS = {
     "torn_header": torn_header,
     "torn_body": torn_body,
     "disconnect_mid_execute": disconnect_mid_execute,
+    "disconnect_mid_ingest": disconnect_mid_ingest,
     "dribble_writes": dribble_writes,
     "stalled_reader": stalled_reader,
     "garbage_after_hello": garbage_after_hello,

@@ -178,7 +178,7 @@ class TestReconfigure:
             stats = warehouse.stats()
             assert set(stats) == {
                 "latency", "pipeline", "service", "tuning", "backend",
-                "autotune",
+                "autotune", "ingest",
             }
             assert stats["tuning"] == warehouse.tuning.as_dict()
             assert stats["autotune"] == {"enabled": False, "decisions": []}

@@ -14,7 +14,7 @@ EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
 
 
-def test_examples_directory_has_the_documented_seven():
+def test_examples_directory_has_the_documented_eight():
     assert EXAMPLES == [
         "client_session.py",
         "concurrent_analytics.py",
@@ -22,6 +22,7 @@ def test_examples_directory_has_the_documented_seven():
         "live_dashboard.py",
         "quickstart.py",
         "remote_client.py",
+        "streaming_ingest.py",
         "updates_and_snapshots.py",
     ]
 

@@ -1,0 +1,239 @@
+"""Property-based tests: snapshot isolation under streaming ingest.
+
+The invariants the ingest subsystem leans on (DESIGN.md section 15):
+
+* **no torn reads** — a reader holding any snapshot issued before a
+  commit sees exactly its pre-commit row set at *every* intermediate
+  point of the commit (after each delete, after each insert) because
+  new versions carry an ``xmin`` above every issued snapshot until
+  the counter bump publishes them, and the bump is the commit's last
+  step;
+* **all-or-nothing per generation** — an applied ingest batch flips
+  visibility atomically: queries stamped before the apply never see
+  any of its rows, queries stamped after see all of them, and each
+  batch advances the buffer's generation counter by exactly one —
+  including its dimension upserts, which land in place under the
+  write barrier before any new fact row becomes visible.
+
+The deterministic properties replicate the exact interleaving
+``TransactionManager.commit`` performs; the threaded test races real
+snapshot readers against a real producer and accepts only whole-batch
+counts.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.catalog.schema import Column, DataType, TableSchema
+from repro.engine import Warehouse
+from repro.query.aggregates import AggregateSpec
+from repro.query.star import StarQuery
+from repro.storage.mvcc import TransactionManager, VersionedTable
+from repro.storage.table import Table
+from tests.conftest import make_tiny_star
+
+#: every row of this batch joins store 1 / product 10 in the tiny star
+JOINING_ROW = (1, 10, 1, 5)
+
+
+def _versioned_fixture(initial_rows: list[tuple]) -> VersionedTable:
+    schema = TableSchema(
+        "facts", [Column("k", DataType.INT), Column("v", DataType.INT)]
+    )
+    return VersionedTable(
+        Table.from_rows(schema, initial_rows, rows_per_page=4)
+    )
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=0, max_value=99),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@given(
+    initial=rows_strategy,
+    batches=st.lists(rows_strategy, min_size=1, max_size=4),
+    delete_some=st.booleans(),
+)
+@settings(max_examples=80, deadline=None)
+def test_no_snapshot_observes_a_partial_commit(
+    initial, batches, delete_some
+):
+    """Mid-commit states are invisible to every issued snapshot.
+
+    Replays commit's exact step order — deletes, inserts, counter
+    bump — checking after every single step that each snapshot issued
+    so far still sees precisely the rows it saw before the commit
+    began.  Only the bump may change any reader's view, and then only
+    for snapshots issued after it.
+    """
+    table = _versioned_fixture(initial)
+    manager = TransactionManager()
+    issued = [manager.current_snapshot()]
+    for batch in batches:
+        baseline = {
+            snapshot.snapshot_id: table.visible_rows(snapshot)
+            for snapshot in issued
+        }
+
+        def assert_unchanged():
+            for snapshot in issued:
+                assert table.visible_rows(snapshot) == (
+                    baseline[snapshot.snapshot_id]
+                ), "a snapshot observed a partially-applied batch"
+
+        pre_snapshot = manager.current_snapshot()
+        txn_id = pre_snapshot.snapshot_id + 1
+        live_before = [
+            (position, row)
+            for position, row in enumerate(table.table.heap.iter_rows())
+            if pre_snapshot.can_see(table.version_at(position))
+        ]
+        deleted_positions: set[int] = set()
+        if delete_some and live_before:
+            # delete the first live position, exactly as an upsert-
+            # as-delete+insert would
+            position = live_before[0][0]
+            table.delete(position, xmax=txn_id)
+            deleted_positions.add(position)
+            assert_unchanged()
+        for row in batch:
+            table.insert(row, xmin=txn_id)
+            assert_unchanged()
+        committed = manager.commit(table)  # the bump, nothing else
+        assert committed.snapshot_id == txn_id
+        assert table.visible_rows(committed) == [
+            row
+            for position, row in live_before
+            if position not in deleted_positions
+        ] + list(batch)
+        issued.append(committed)
+
+
+@given(batches=st.lists(st.integers(min_value=1, max_value=5),
+                        min_size=1, max_size=4))
+@settings(max_examples=30, deadline=None)
+def test_ingest_batches_flip_visibility_all_or_nothing(batches):
+    """Queries stamped before an apply exclude the whole batch;
+    queries stamped after include the whole batch; one generation per
+    batch."""
+    catalog, star = make_tiny_star()
+    warehouse = Warehouse(catalog, star, enable_updates=True)
+    count_query = StarQuery.build(
+        "sales",
+        dimension_predicates={},
+        aggregates=[AggregateSpec("count")],
+        label="mvcc-count",
+    )
+    try:
+        applied = 0
+        for batch_rows in batches:
+            before = warehouse.submit(count_query)  # stamped pre-apply
+            warehouse.ingest(fact_rows=[JOINING_ROW] * batch_rows)
+            assert warehouse.apply_pending_ingest() == batch_rows
+            after = warehouse.submit(count_query)  # stamped post-apply
+            warehouse.run()
+            assert before.results(timeout=30.0) == [(12 + applied,)]
+            applied += batch_rows
+            assert after.results(timeout=30.0) == [(12 + applied,)]
+        assert warehouse.ingest_buffer.stats()["generation"] == len(batches)
+        assert warehouse.ingest_buffer.stats()["rows_applied"] == applied
+    finally:
+        warehouse.close()
+
+
+@given(
+    upserts=st.dictionaries(
+        st.sampled_from([1, 2, 3]),
+        st.tuples(
+            st.sampled_from(["lyon", "paris", "nice", "brest"]),
+            st.integers(min_value=1, max_value=500),
+        ),
+        min_size=1,
+        max_size=3,
+    ),
+    fact_count=st.integers(min_value=0, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_dim_upserts_are_atomic_per_generation(upserts, fact_count):
+    """A batch's dimension upserts land together with its fact rows in
+    one generation: nothing before the apply, everything after."""
+    catalog, star = make_tiny_star()
+    warehouse = Warehouse(catalog, star, enable_updates=True)
+    store = catalog.table("store")
+    expected = {row[0]: row for row in store.all_rows()}
+    try:
+        ticket = warehouse.ingest(
+            fact_rows=[JOINING_ROW] * fact_count or None,
+            dim_upserts={
+                "store": [
+                    (key, city, size)
+                    for key, (city, size) in upserts.items()
+                ]
+            },
+        )
+        # staged but unapplied: the dimension is untouched
+        assert {row[0]: row for row in store.all_rows()} == expected
+        warehouse.apply_pending_ingest()
+        receipt = ticket.result(timeout=30.0)
+        assert receipt["generation"] == 1
+        for key, (city, size) in upserts.items():
+            expected[key] = (key, city, size)
+        assert {row[0]: row for row in store.all_rows()} == expected
+        # scan order is stable: upserts rewrite in place, never move
+        assert [row[0] for row in store.all_rows()] == [1, 2, 3]
+    finally:
+        warehouse.close()
+
+
+def test_threaded_readers_only_ever_see_whole_batches():
+    """Real snapshot readers racing a real producer: every count is
+    12 + 5k for integer k — no reader ever catches a batch half-way."""
+    catalog, star = make_tiny_star()
+    warehouse = Warehouse(catalog, star, enable_updates=True)
+    warehouse.start_service()
+    count_query = StarQuery.build(
+        "sales",
+        dimension_predicates={},
+        aggregates=[AggregateSpec("count")],
+        label="mvcc-race-count",
+    )
+    batch = [JOINING_ROW] * 5
+    observed: list[int] = []
+    failures: list[BaseException] = []
+    stop = threading.Event()
+
+    def reader() -> None:
+        try:
+            while not stop.is_set():
+                handle = warehouse.submit(count_query)
+                observed.append(handle.results(timeout=30.0)[0][0])
+        except BaseException as error:  # pragma: no cover - surfaced below
+            failures.append(error)
+
+    threads = [threading.Thread(target=reader) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    try:
+        tickets = [warehouse.ingest(fact_rows=batch) for _ in range(12)]
+        for ticket in tickets:
+            ticket.result(timeout=30.0)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(30.0)
+        warehouse.close()
+    assert not failures, failures
+    assert observed, "readers never completed a query"
+    torn = [count for count in observed if (count - 12) % len(batch)]
+    assert not torn, f"torn batch counts observed: {sorted(set(torn))}"
+    assert max(observed) <= 12 + 12 * len(batch)

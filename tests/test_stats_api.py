@@ -23,6 +23,7 @@ from repro.server import AsyncWarehouseServer, WarehouseServer, protocol
 
 STATS_KEYS = {
     "latency", "pipeline", "service", "tuning", "backend", "autotune",
+    "ingest",
 }
 
 COUNT_SQL = "SELECT COUNT(*) FROM sales, store WHERE f_store = s_id"
@@ -58,6 +59,9 @@ def assert_stats_shape(stats: dict) -> None:
     assert {"enabled", "decisions"} <= set(stats["autotune"])
     assert "p95" in stats["latency"]
     assert "queries_completed" in stats["pipeline"]
+    assert {
+        "rows_applied", "generation", "buffer_rows", "snapshot_id",
+    } <= set(stats["ingest"])
 
 
 class TestLocalStats:
