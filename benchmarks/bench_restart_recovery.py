@@ -1,0 +1,243 @@
+"""Restart recovery: crash durability and warm-start speed (ISSUE 10).
+
+The acceptance gate for the durable-storage subsystem (DESIGN.md
+section 16, EXPERIMENTS.md section 13), in two halves:
+
+* **correctness** — a child process opens a durable warehouse, applies
+  ``CRASH_BATCHES`` ingest batches (each acked only after its WAL
+  record is fsynced), then dies via ``os._exit`` WITHOUT closing —
+  simulating power loss with a WAL tail past the last snapshot.  The
+  parent reopens the data directory and requires ``acked_survival ==
+  1.0``: every row the child reported ``ACKED`` is visible after
+  recovery, and the ingest generation resumes past the last ack.
+* **speed** — ``restart_recovery = cold_generate_seconds /
+  warm_open_seconds``: the cost of regenerating and loading the SSB
+  dataset from scratch over the cost of ``Warehouse.open`` on the
+  durable directory (decode columns + replay the WAL tail).  Higher is
+  better; the gate requires at least parity (a warm restart must never
+  be slower than regeneration, the whole point of the subsystem).
+
+``measure_restart_recovery`` feeds the ``restart_recovery`` ratio
+tracked by scripts/check_bench_regression.py; ``--smoke`` runs a
+seconds-scale pass (seed -> crash child -> recover -> survival check)
+for the CI smoke gate::
+
+    PYTHONPATH=src python benchmarks/bench_restart_recovery.py --smoke
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SCALE_FACTOR = 0.01
+SMOKE_SCALE_FACTOR = 0.002
+#: acked single-template batches the crash child applies before dying
+CRASH_BATCHES = 4
+BATCH_ROWS = 200
+#: the child's deliberate exit code — distinguishes the simulated
+#: power loss from a harness or library failure
+CRASH_EXIT_CODE = 137
+CHILD_TIMEOUT = 300.0
+#: a warm restart must at least match regenerating from scratch
+REQUIRED_SPEEDUP = 1.0
+
+
+def _child_env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else os.pathsep.join(
+        [src, existing]
+    )
+    return env
+
+
+def _crash_child(data_dir: str, batches: int, batch_rows: int) -> int:
+    """Child mode: ack ``batches`` ingest batches, then lose power.
+
+    Each batch clones existing fact rows (every foreign key joins),
+    applies at a scan boundary, and prints ``ACKED <generation>
+    <rows>`` only once the ticket resolves — which the durability
+    contract ties to an fsynced WAL record.  The final ``os._exit``
+    skips every destructor and the close-time checkpoint, leaving the
+    WAL tail as the only record of the acked batches.
+    """
+    from repro.engine import Warehouse
+
+    warehouse = Warehouse.open(data_dir)
+    template = warehouse.catalog.table(
+        warehouse.star.fact.name
+    ).all_rows()[:batch_rows]
+    for _ in range(batches):
+        ticket = warehouse.ingest(fact_rows=list(template))
+        warehouse.apply_pending_ingest()
+        result = ticket.result(timeout=60.0)
+        print(f"ACKED {result['generation']} {result['rows']}", flush=True)
+    os._exit(CRASH_EXIT_CODE)
+
+
+def measure_restart_recovery(
+    scale_factor: float = SCALE_FACTOR,
+    crash_batches: int = CRASH_BATCHES,
+    batch_rows: int = BATCH_ROWS,
+) -> dict:
+    """One full cold-generate / seed / crash / recover cycle."""
+    from repro.engine import Warehouse
+
+    with tempfile.TemporaryDirectory(prefix="bench-restart-") as tmp:
+        data_dir = os.path.join(tmp, "warehouse")
+
+        # cold path: regenerate + load, nothing durable (the thing a
+        # restart without this subsystem would have to repeat)
+        started = time.perf_counter()
+        cold = Warehouse.from_ssb(scale_factor=scale_factor)
+        cold_generate_seconds = time.perf_counter() - started
+        base_rows = cold.catalog.table(cold.star.fact.name).row_count
+        cold.close()
+
+        # seed the durable copy (untimed: a one-time cost)
+        Warehouse.from_ssb(
+            scale_factor=scale_factor, data_dir=data_dir
+        ).close()
+
+        # crash a child mid-stream, past several durable acks
+        child = subprocess.run(
+            [
+                sys.executable,
+                os.fspath(Path(__file__).resolve()),
+                "--child",
+                data_dir,
+                str(crash_batches),
+                str(batch_rows),
+            ],
+            capture_output=True,
+            text=True,
+            env=_child_env(),
+            timeout=CHILD_TIMEOUT,
+        )
+        if child.returncode != CRASH_EXIT_CODE:
+            raise AssertionError(
+                f"crash child exited {child.returncode}, expected "
+                f"{CRASH_EXIT_CODE}:\n{child.stdout}\n{child.stderr}"
+            )
+        acked = [
+            (int(generation), int(rows))
+            for line in child.stdout.splitlines()
+            if line.startswith("ACKED ")
+            for _, generation, rows in [line.split()]
+        ]
+        acked_rows = sum(rows for _, rows in acked)
+
+        # warm path: open the durable directory, replay the WAL tail
+        started = time.perf_counter()
+        warm = Warehouse.open(data_dir)
+        warm_open_seconds = time.perf_counter() - started
+        replay = warm.last_replay
+        recovered_rows = warm.catalog.table(
+            warm.star.fact.name
+        ).row_count
+        generation_resumed = warm.ingest_buffer.generation >= max(
+            (generation for generation, _ in acked), default=0
+        )
+        warm.close()
+
+    survived = min(recovered_rows - base_rows, acked_rows)
+    return {
+        "cold_generate_seconds": cold_generate_seconds,
+        "warm_open_seconds": warm_open_seconds,
+        "speedup": cold_generate_seconds / max(warm_open_seconds, 1e-9),
+        "base_rows": base_rows,
+        "acked_batches": len(acked),
+        "acked_rows": acked_rows,
+        "recovered_rows": recovered_rows,
+        "acked_survival": (
+            survived / acked_rows if acked_rows else 1.0
+        ),
+        "generation_resumed": generation_resumed,
+        "wal_records_replayed": replay.wal_records if replay else 0,
+        "identical": recovered_rows == base_rows + acked_rows,
+    }
+
+
+def _format(measured: dict) -> str:
+    return (
+        f"cold generate: {measured['cold_generate_seconds']:.3f}s  "
+        f"warm open: {measured['warm_open_seconds']:.3f}s  "
+        f"speedup: {measured['speedup']:.1f}x  "
+        f"acked rows: {measured['acked_rows']} "
+        f"(survival {measured['acked_survival']:.2f}, "
+        f"{measured['wal_records_replayed']} WAL records replayed)"
+    )
+
+
+def test_restart_recovery_durable_and_fast():
+    """Every acked row survives the crash; warm restart beats cold."""
+    measured = measure_restart_recovery()
+    print()
+    print(_format(measured))
+    assert measured["acked_batches"] == CRASH_BATCHES
+    assert measured["acked_survival"] == 1.0, (
+        f"acked rows lost in the crash: {measured['recovered_rows']} "
+        f"recovered vs {measured['base_rows']} + {measured['acked_rows']}"
+    )
+    assert measured["identical"], "recovery applied a partial batch"
+    assert measured["generation_resumed"], (
+        "the ingest generation did not resume past the last ack"
+    )
+    assert measured["wal_records_replayed"] >= 1, (
+        "the crash never exercised the WAL replay path"
+    )
+    assert measured["speedup"] >= REQUIRED_SPEEDUP, (
+        f"warm restart slower than regeneration: "
+        f"{measured['speedup']:.2f}x < {REQUIRED_SPEEDUP}x"
+    )
+
+
+def _smoke() -> int:
+    """Seconds-scale CI pass: crash, recover, every acked row back."""
+    measured = measure_restart_recovery(
+        scale_factor=SMOKE_SCALE_FACTOR, crash_batches=2, batch_rows=50
+    )
+    print(_format(measured))
+    if measured["acked_survival"] != 1.0 or not measured["identical"]:
+        print("FAIL: acked rows did not survive the crash")
+        return 1
+    if not measured["generation_resumed"]:
+        print("FAIL: ingest generation did not resume past the last ack")
+        return 1
+    if measured["wal_records_replayed"] < 1:
+        print("FAIL: the crash never exercised WAL replay")
+        return 1
+    print("restart recovery smoke ok")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["--child"]:
+        data_dir, batches, batch_rows = argv[1], int(argv[2]), int(argv[3])
+        return _crash_child(data_dir, batches, batch_rows)
+    if argv == ["--smoke"]:
+        return _smoke()
+    if argv:
+        print(f"unknown arguments {argv}; expected --smoke or nothing")
+        return 2
+    measured = measure_restart_recovery()
+    print(_format(measured))
+    ok = (
+        measured["acked_survival"] == 1.0
+        and measured["identical"]
+        and measured["speedup"] >= REQUIRED_SPEEDUP
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

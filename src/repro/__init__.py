@@ -38,10 +38,12 @@ from repro.client import Connection, Cursor, connect, connect_async
 from repro.engine import (
     AutoTuner,
     Submission,
+    SwapReport,
     TuningDecision,
     TuningPolicy,
     Warehouse,
     WarehouseService,
+    blue_green_swap,
 )
 from repro.server import AsyncWarehouseServer, WarehouseServer
 from repro.errors import IngestBackpressureError, IngestError, ReproError
@@ -91,6 +93,7 @@ __all__ = [
     "StarQuery",
     "StarSchema",
     "Submission",
+    "SwapReport",
     "Table",
     "TableSchema",
     "TruePredicate",
@@ -101,6 +104,7 @@ __all__ = [
     "WarehouseServer",
     "WarehouseService",
     "__version__",
+    "blue_green_swap",
     "connect",
     "connect_async",
 ]

@@ -153,6 +153,16 @@ class Connection:
         with translated():
             return self.warehouse.stats()
 
+    def ingest_generation(self) -> int:
+        """The warehouse's applied-ingest generation (stats shortcut).
+
+        Monotonic across restarts of a durable warehouse (DESIGN.md
+        section 16): a client reconnecting after a server restart can
+        compare this against the ``generation`` in its last ingest
+        receipt to confirm its acked writes survived the crash.
+        """
+        return int(self.stats()["ingest"]["generation"])
+
     # ------------------------------------------------------------------
     # Streaming ingest (docs/PROTOCOL.md section 10, local transport)
     # ------------------------------------------------------------------

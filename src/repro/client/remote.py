@@ -286,6 +286,19 @@ class RemoteConnection:
         reply = self._request({"type": protocol.STATS})
         return reply.get("stats", {})
 
+    def ingest_generation(self) -> int:
+        """The warehouse's applied-ingest generation (stats shortcut).
+
+        Monotonic across restarts of a durable server (DESIGN.md
+        section 16): a client reconnecting after a restart compares
+        this against the ``generation`` of its last ingest receipt to
+        confirm its acked writes survived.
+
+        Raises:
+            NotSupportedError: on a protocol-v1 session.
+        """
+        return int(self.stats()["ingest"]["generation"])
+
     # ------------------------------------------------------------------
     # Streaming ingest (docs/PROTOCOL.md section 10)
     # ------------------------------------------------------------------

@@ -13,6 +13,7 @@ from repro.engine.autotune import AutoTuner, TuningDecision, TuningPolicy
 from repro.engine.router import QueryRouter, RoutingDecision
 from repro.engine.service import WarehouseService
 from repro.engine.submission import Submission, SubmissionQueue
+from repro.engine.swap import SwapReport, WarehouseHolder, blue_green_swap
 from repro.engine.warehouse import Warehouse
 
 __all__ = [
@@ -21,8 +22,11 @@ __all__ = [
     "RoutingDecision",
     "Submission",
     "SubmissionQueue",
+    "SwapReport",
     "TuningDecision",
     "TuningPolicy",
     "Warehouse",
+    "WarehouseHolder",
     "WarehouseService",
+    "blue_green_swap",
 ]

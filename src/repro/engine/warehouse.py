@@ -79,6 +79,7 @@ class Warehouse:
         backend: str = "serial",
         tuning: TuningConfig | None = None,
         ingest_buffer_rows: int = DEFAULT_BUFFER_ROWS,
+        data_dir: str | None = None,
         **deprecated,
     ) -> None:
         """Args:
@@ -105,6 +106,15 @@ class Warehouse:
                 writes (DESIGN.md section 15); a full buffer rejects
                 :meth:`ingest` with
                 :class:`~repro.errors.IngestBackpressureError`.
+            data_dir: when set, the warehouse is durable (DESIGN.md
+                section 16): the constructor publishes an initial
+                snapshot of the dataset it was given (a *new
+                generation* when the directory already holds one —
+                the blue-green reload path), every acked ingest batch
+                is WAL-logged before its ticket resolves, and
+                :meth:`close` checkpoints a final snapshot.  Use
+                :meth:`open` to cold-start from the directory without
+                regenerating anything.
 
         The pre-redesign keywords (``workers``, ``max_in_flight``,
         ``idle_sleep``, ``admission_queue_depth``, ``batch_size``) are
@@ -198,6 +208,15 @@ class Warehouse:
             maxlen=SUBMISSION_LOG_LIMIT
         )
         self._closed = False
+        #: durable storage (DESIGN.md section 16); None = in-memory only
+        self.durability = None
+        #: the ReplayReport of the open() that built this warehouse
+        self.last_replay = None
+        if data_dir is not None:
+            from repro.storage.persist import DurabilityManager
+
+            self.durability = DurabilityManager(data_dir)
+            self.save()
 
     @classmethod
     def from_ssb(
@@ -211,6 +230,74 @@ class Warehouse:
 
         catalog, star = load_ssb(scale_factor, seed)
         return cls(catalog, star, **kwargs)
+
+    @classmethod
+    def open(cls, data_dir: str, **kwargs) -> "Warehouse":
+        """Cold-start a warehouse from an on-disk snapshot.
+
+        Zero regeneration: the catalog, star topology, and every
+        table's rows come back from the active snapshot in
+        ``data_dir`` (checksum-verified), then any WAL tail past that
+        snapshot's generation replays on top — so every ingest batch
+        that was acked before the previous process died is visible
+        again.  The ingest generation counter and the MVCC snapshot
+        counter both continue from the recovered high-water mark.
+
+        ``kwargs`` are the constructor's runtime knobs (``execution``,
+        ``tuning``, ``enable_updates``, ...); the dataset itself comes
+        from disk.
+
+        Raises:
+            PersistenceError: when ``data_dir`` has no snapshot, or
+                the snapshot fails its checksums.
+        """
+        from repro.storage.persist import DurabilityManager
+
+        kwargs.pop("data_dir", None)
+        manager = DurabilityManager(data_dir)
+        catalog, star, replay = manager.load()
+        warehouse = cls(catalog, star, **kwargs)
+        warehouse.durability = manager
+        warehouse.ingest_buffer.restore_generation(replay.generation)
+        if warehouse.transactions is not None:
+            warehouse.transactions.restore(replay.snapshot_id)
+        warehouse.last_replay = replay
+        return warehouse
+
+    def save(self):
+        """Publish a new on-disk snapshot generation; returns its info.
+
+        Staged ingest lands first, then the snapshot is written under
+        the ingest-apply lock and the pipeline's write barrier — the
+        image is a scan-cycle-consistent cut, never a half-applied
+        batch.  The publication itself is atomic (the ``CURRENT``
+        pointer flips last), and a fresh WAL epoch starts with the new
+        snapshot.
+
+        Raises:
+            PersistenceError: when the warehouse has no ``data_dir``.
+            QueryError: when the warehouse has been closed.
+        """
+        from repro.errors import PersistenceError
+
+        if self.durability is None:
+            raise PersistenceError(
+                "warehouse has no data_dir: pass data_dir= at "
+                "construction (or use Warehouse.open) to enable saves"
+            )
+        self._require_open()
+        self.apply_pending_ingest()
+        return self._checkpoint()
+
+    def _checkpoint(self):
+        """Write a snapshot of the current catalog (durable path only)."""
+        with self._ingest_apply_lock, self.cjoin.manager.write_barrier():
+            return self.durability.save_snapshot(
+                self.catalog,
+                self.star,
+                ingest_generation=self.ingest_buffer.generation,
+                snapshot_id=self.current_snapshot_id,
+            )
 
     # ------------------------------------------------------------------
     # Query submission
@@ -611,6 +698,14 @@ class Warehouse:
         )
         for queue in self._offline_queues.values():
             queue.cancel_all()
+        if self.durability is not None:
+            # a clean shutdown checkpoints: the WAL tail compacts into
+            # a fresh snapshot generation, so the next open() loads one
+            # image instead of replaying history
+            try:
+                self._checkpoint()
+            finally:
+                self.durability.close()
 
     @property
     def closed(self) -> bool:
@@ -765,16 +860,32 @@ class Warehouse:
             if not taken:
                 return 0
             preprocessor.stall()
+            durability = self.durability
             try:
                 for batch, ticket in taken:
                     started = time.perf_counter()
                     try:
                         snapshot_id = self._apply_ingest_batch(batch)
+                        generation = buffer.next_generation()
+                        if durability is not None:
+                            # WAL-append + fsync BEFORE the ack resolves:
+                            # once the producer sees applied, the batch
+                            # survives any crash (DESIGN.md section 16);
+                            # a failed append fails the ticket instead
+                            # of acking a write the disk never saw
+                            durability.log_batch(
+                                batch,
+                                generation=generation,
+                                snapshot_id=snapshot_id,
+                            )
                     except BaseException as error:
                         buffer.record_failure(ticket, error)
                         continue
                     buffer.record_apply(
-                        ticket, snapshot_id, time.perf_counter() - started
+                        ticket,
+                        snapshot_id,
+                        time.perf_counter() - started,
+                        generation=generation,
                     )
                     applied_rows += ticket.rows
             finally:

@@ -33,6 +33,15 @@ class SnapshotError(StorageError):
     """
 
 
+class PersistenceError(StorageError):
+    """A durable-storage operation failed (no snapshot in the data
+    directory, checksum mismatch, unreadable manifest, WAL misuse, ...).
+
+    Torn WAL tails are *not* errors — recovery replays the longest
+    valid prefix silently (DESIGN.md section 16).
+    """
+
+
 class QueryError(ReproError):
     """A query object is malformed with respect to its schema."""
 

@@ -202,13 +202,52 @@ class IngestBuffer:
             self._pending_rows = 0
         return taken
 
-    def record_apply(
-        self, ticket: IngestTicket, snapshot_id: int, seconds: float
-    ) -> None:
-        """Resolve one applied batch and fold it into the telemetry."""
+    def next_generation(self) -> int:
+        """Claim the next apply generation (before the ack).
+
+        The durable-apply path claims the generation *first* so the
+        WAL record carries it, then acks through :meth:`record_apply`
+        with the claimed value; a failed apply simply leaves a gap
+        (generations are monotonic, not dense).
+        """
         with self._lock:
             self._generation += 1
-            generation = self._generation
+            return self._generation
+
+    def restore_generation(self, generation: int) -> None:
+        """Fast-forward the counter past recovered history.
+
+        Called by ``Warehouse.open`` so tickets acked after a restart
+        continue the pre-crash sequence instead of reissuing it.
+        """
+        with self._lock:
+            self._generation = max(self._generation, int(generation))
+
+    @property
+    def generation(self) -> int:
+        """Apply generations issued so far (monotonic)."""
+        with self._lock:
+            return self._generation
+
+    def record_apply(
+        self,
+        ticket: IngestTicket,
+        snapshot_id: int,
+        seconds: float,
+        generation: int | None = None,
+    ) -> None:
+        """Resolve one applied batch and fold it into the telemetry.
+
+        ``generation`` carries a value pre-claimed via
+        :meth:`next_generation` (the durable path); when omitted, the
+        next generation is claimed here.
+        """
+        with self._lock:
+            if generation is None:
+                self._generation += 1
+                generation = self._generation
+            else:
+                self._generation = max(self._generation, generation)
             self._rows_applied += ticket.rows
             self._batches_applied += 1
             self._apply_seconds.append(seconds)

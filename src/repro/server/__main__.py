@@ -25,6 +25,7 @@ import threading
 
 from repro.engine.warehouse import Warehouse
 from repro.server.tcp import DEFAULT_PORT, WarehouseServer
+from repro.storage.persist import has_snapshot
 from repro.tuning import DEFAULT_MAX_IN_FLIGHT_PER_CONNECTION, TuningConfig
 
 
@@ -66,24 +67,48 @@ def build_parser() -> argparse.ArgumentParser:
         "(DESIGN.md section 13); decisions are auditable through "
         "connection.stats()",
     )
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        help="durable storage directory (DESIGN.md section 16): when "
+        "it holds a snapshot the server cold-starts from disk with "
+        "zero regeneration (replaying any WAL tail) and --scale-factor"
+        "/--seed are ignored; otherwise SSB is generated once and "
+        "persisted there",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    print(
-        f"loading SSB at scale factor {args.scale_factor} "
-        f"(seed {args.seed}, execution={args.execution})..."
-    )
     tuning = TuningConfig()
     if args.max_in_flight is not None:
         tuning = tuning.replace(max_in_flight=args.max_in_flight)
-    warehouse = Warehouse.from_ssb(
-        scale_factor=args.scale_factor,
-        seed=args.seed,
-        execution=args.execution,
-        tuning=tuning,
-    )
+    if args.data_dir is not None and has_snapshot(args.data_dir):
+        print(f"cold-starting from {args.data_dir} (zero regeneration)...")
+        warehouse = Warehouse.open(
+            args.data_dir, execution=args.execution, tuning=tuning
+        )
+        replay = warehouse.last_replay
+        print(
+            f"loaded snapshot generation {replay.snapshot_generation}, "
+            f"replayed {replay.wal_records} WAL record(s) "
+            f"({replay.wal_rows} rows)"
+        )
+    else:
+        print(
+            f"loading SSB at scale factor {args.scale_factor} "
+            f"(seed {args.seed}, execution={args.execution})..."
+        )
+        warehouse = Warehouse.from_ssb(
+            scale_factor=args.scale_factor,
+            seed=args.seed,
+            execution=args.execution,
+            tuning=tuning,
+            data_dir=args.data_dir,
+        )
+        if args.data_dir is not None:
+            print(f"dataset persisted to {args.data_dir}")
     if args.autotune:
         warehouse.enable_autotuning()
         print("adaptive right-sizing controller enabled")

@@ -286,6 +286,18 @@ class AsyncWarehouseServer:
         if self._owns_warehouse and not self.warehouse.closed:
             self.warehouse.close()
 
+    def swap_warehouse(self, shadow, **kwargs):
+        """Blue-green cutover to ``shadow`` (DESIGN.md section 16).
+
+        Safe from any thread: sessions resolve ``server.warehouse``
+        per statement on the loop thread, and the attribute flip is
+        atomic under the old pipeline's write barrier.  Returns the
+        :class:`~repro.engine.swap.SwapReport`.
+        """
+        from repro.engine.swap import blue_green_swap
+
+        return blue_green_swap(self, shadow, **kwargs)
+
     def __enter__(self) -> "AsyncWarehouseServer":
         return self.start()
 

@@ -448,6 +448,21 @@ class WarehouseServer:
         if self._owns_warehouse and not self.warehouse.closed:
             self.warehouse.close()
 
+    def swap_warehouse(self, shadow: Warehouse, **kwargs):
+        """Blue-green cutover to ``shadow`` (DESIGN.md section 16).
+
+        Sessions survive: they resolve ``server.warehouse`` per
+        statement, so queries submitted after the flip run on the
+        shadow while handles already streaming complete against the
+        dataset version that admitted them.  Returns the
+        :class:`~repro.engine.swap.SwapReport`; the old warehouse is
+        drained and retired (kwargs forward to
+        :func:`~repro.engine.swap.blue_green_swap`).
+        """
+        from repro.engine.swap import blue_green_swap
+
+        return blue_green_swap(self, shadow, **kwargs)
+
     def __enter__(self) -> "WarehouseServer":
         return self.start()
 

@@ -12,7 +12,9 @@ the services CJOIN needs:
 * snapshot-isolation visibility for mixed query/update workloads
   (`mvcc`),
 * the section-5 extensions: column storage (`column`), dictionary
-  compression (`compression`), and range partitioning (`partition`).
+  compression (`compression`), and range partitioning (`partition`),
+* durable snapshots plus the ingest WAL (`persist`, DESIGN.md
+  section 16).
 """
 
 from repro.storage.buffer import BufferPool
@@ -21,6 +23,7 @@ from repro.storage.compression import DictionaryCodec, compress_table
 from repro.storage.heap import HeapFile
 from repro.storage.iostats import IOStats
 from repro.storage.matview import DimensionView
+from repro.storage.persist import DurabilityManager, ReplayReport, SnapshotInfo, has_snapshot
 from repro.storage.mvcc import Snapshot, TransactionManager, TupleVersion, VersionedTable
 from repro.storage.page import Page
 from repro.storage.partition import PartitionedTable, RangePartitioning
@@ -33,16 +36,20 @@ __all__ = [
     "ContinuousScan",
     "DictionaryCodec",
     "DimensionView",
+    "DurabilityManager",
     "HeapFile",
     "IOStats",
     "Page",
     "PartitionedTable",
     "RangePartitioning",
+    "ReplayReport",
     "Snapshot",
+    "SnapshotInfo",
     "Table",
     "TableScan",
     "TransactionManager",
     "TupleVersion",
     "VersionedTable",
     "compress_table",
+    "has_snapshot",
 ]

@@ -119,6 +119,16 @@ class TransactionManager:
         """Return a snapshot of everything committed so far."""
         return Snapshot(self._committed)
 
+    def restore(self, snapshot_id: int) -> None:
+        """Fast-forward the id counter past recovered history.
+
+        Recovered rows are bulk-loaded with ``xmin=0`` (visible
+        everywhere), so only the counter needs to continue — a
+        post-restart commit must not reuse a snapshot id that was
+        already handed out as an ingest receipt before the crash.
+        """
+        self._committed = max(self._committed, int(snapshot_id))
+
     def commit(
         self,
         table: VersionedTable,

@@ -1,0 +1,585 @@
+"""Durable on-disk storage: snapshots plus an ingest WAL (DESIGN.md
+section 16).
+
+The paper's warehouse is *always on*, but an always-on operator is
+only as durable as its dataset: until this module, every process start
+regenerated SSB from scratch and a crash dropped every acked streamed
+write.  This module gives the warehouse a data directory with two
+complementary structures:
+
+* **Snapshots** — a full columnar image of the catalog (every table's
+  rows, re-encoded with the shm transport's per-column codecs: i64 /
+  f64 / one-byte-dict / pickle, DESIGN.md section 14) plus a JSON
+  manifest carrying the schemas, the star topology, per-file SHA-256
+  checksums, and the ingest generation the image includes.  Snapshot
+  publication is atomic: all ``.col`` files and the manifest are
+  written and fsynced first, and only then does ``CURRENT`` — a
+  one-line pointer file — flip to the new manifest via
+  ``os.replace``.  A crash anywhere during a save leaves ``CURRENT``
+  pointing at the previous complete snapshot.
+
+* **WAL** — an append-only log, one file per snapshot generation, of
+  every ingest batch applied after that snapshot.  A record is
+  ``[u32 length | u32 crc32 | pickle payload]``; the append is
+  flushed and ``os.fsync``'d *before* the batch's
+  :class:`~repro.ingest.buffer.IngestTicket` resolves, so an ack
+  means durable.  Recovery replays the longest valid record prefix —
+  a torn tail (truncated frame or checksum mismatch) ends replay
+  cleanly without ever applying a partial batch — then truncates the
+  tail so future appends extend the valid prefix.
+
+``CRASH_HOOK`` is the fault-injection seam for the crash-matrix tests:
+when set, it is called with a checkpoint name at every
+ordering-sensitive point (after each table file, before/after the
+``CURRENT`` flip, before/after the WAL fsync), and a hook that calls
+``os._exit`` simulates power loss exactly there.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import re
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import (
+    Column,
+    DataType,
+    ForeignKey,
+    StarSchema,
+    TableSchema,
+)
+from repro.errors import PersistenceError
+from repro.storage.shm import _encode_column
+from repro.storage.table import Table
+
+#: Bumped when the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+
+#: The atomic pointer file naming the active manifest.
+CURRENT_NAME = "CURRENT"
+
+_MANIFEST_PATTERN = re.compile(r"^MANIFEST-(\d+)\.json$")
+
+#: WAL record header: payload length, then crc32 of the payload.
+_WAL_HEADER = struct.Struct(">II")
+
+#: Test-only fault injection: when set, called with a checkpoint name
+#: at every ordering-sensitive point of a save or WAL append.
+CRASH_HOOK = None
+
+
+def crash_point(name: str) -> None:
+    """Invoke the fault-injection hook, when one is installed."""
+    hook = CRASH_HOOK
+    if hook is not None:
+        hook(name)
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """Receipt for one published snapshot generation."""
+
+    generation: int
+    ingest_generation: int
+    snapshot_id: int
+    manifest: str
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """What :meth:`DurabilityManager.load` recovered."""
+
+    snapshot_generation: int
+    generation: int       # highest ingest generation (snapshot or WAL)
+    snapshot_id: int
+    wal_records: int
+    wal_rows: int
+
+
+# ----------------------------------------------------------------------
+# Column codec (the shm layout, hardened for JSON manifests)
+# ----------------------------------------------------------------------
+def encode_column(values) -> tuple[str, bytes, tuple | None]:
+    """The shm codec, restricted so decode tables survive a manifest.
+
+    The dictionary codec's decode table rides in the JSON manifest, and
+    JSON cannot round-trip every hashable Python value bit-exact (1 vs
+    1.0 vs True collide as dict keys; tuples come back as lists) — so
+    a dict table holding anything but ``str`` falls back to the pickle
+    backstop.  SSB's low-cardinality columns are all strings, so the
+    hot path is unchanged.
+    """
+    kind, blob, table = _encode_column(tuple(values))
+    if kind == "dict" and not all(type(value) is str for value in table):
+        return (
+            "pickle",
+            pickle.dumps(list(values), pickle.HIGHEST_PROTOCOL),
+            None,
+        )
+    return kind, blob, table
+
+
+def decode_column(kind: str, blob, values, row_count: int) -> list:
+    """Decode one column blob back to its value list."""
+    view = memoryview(blob)
+    try:
+        if kind == "i64":
+            column = view.cast("q").tolist()
+        elif kind == "f64":
+            column = view.cast("d").tolist()
+        elif kind == "dict":
+            column = list(map(tuple(values).__getitem__, view))
+        elif kind == "pickle":
+            column = list(pickle.loads(view))
+        else:
+            raise PersistenceError(f"unknown column codec {kind!r}")
+    finally:
+        view.release()
+    if len(column) != row_count:
+        raise PersistenceError(
+            f"column decoded to {len(column)} values, expected {row_count}"
+        )
+    return column
+
+
+def _schema_to_manifest(schema: TableSchema) -> dict:
+    return {
+        "name": schema.name,
+        "columns": [[c.name, c.dtype.value] for c in schema.columns],
+        "primary_key": schema.primary_key,
+        "foreign_keys": [
+            [fk.column, fk.referenced_table, fk.referenced_column]
+            for fk in schema.foreign_keys
+        ],
+    }
+
+
+def _schema_from_manifest(spec: dict) -> TableSchema:
+    return TableSchema(
+        spec["name"],
+        [Column(name, DataType(dtype)) for name, dtype in spec["columns"]],
+        primary_key=spec["primary_key"],
+        foreign_keys=[ForeignKey(*fk) for fk in spec["foreign_keys"]],
+    )
+
+
+def _write_durable(path: Path, payload: bytes) -> None:
+    """Write ``path`` and fsync it (contents reach the platters)."""
+    with open(path, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _fsync_dir(path: Path) -> None:
+    """Best-effort directory fsync so renames/creates are durable."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def read_wal(path: Path) -> tuple[list[dict], int]:
+    """Replay a WAL file; returns (records, valid_prefix_bytes).
+
+    Stops — without raising — at the first truncated frame, checksum
+    mismatch, or unpicklable payload: everything past that point is a
+    torn tail from a crash mid-append, and because the frame carries
+    its own crc32 a partially written batch can never decode as valid.
+    """
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return [], 0
+    records: list[dict] = []
+    offset = 0
+    size = len(data)
+    while offset + _WAL_HEADER.size <= size:
+        length, crc = _WAL_HEADER.unpack_from(data, offset)
+        start = offset + _WAL_HEADER.size
+        end = start + length
+        if end > size:
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break
+        try:
+            record = pickle.loads(payload)
+        except Exception:
+            break
+        records.append(record)
+        offset = end
+    return records, offset
+
+
+def has_snapshot(data_dir) -> bool:
+    """True iff ``data_dir`` holds a loadable snapshot pointer."""
+    directory = Path(data_dir)
+    current = directory / CURRENT_NAME
+    try:
+        manifest_name = current.read_text().strip()
+    except OSError:
+        return False
+    return (directory / manifest_name).is_file()
+
+
+class DurabilityManager:
+    """One warehouse's data directory: snapshots plus the live WAL.
+
+    Thread-safe; the warehouse calls :meth:`log_batch` from its
+    scan-boundary apply (driver thread) and :meth:`save_snapshot` from
+    ``save()``/``close()`` (any thread).
+    """
+
+    def __init__(self, data_dir) -> None:
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._wal_path: Path | None = None
+        self._wal_file = None
+        self._generation = self._current_generation()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """The active snapshot generation (0 before the first save)."""
+        with self._lock:
+            return self._generation
+
+    def has_snapshot(self) -> bool:
+        """True iff the directory holds a loadable snapshot."""
+        return has_snapshot(self.data_dir)
+
+    def _current_generation(self) -> int:
+        current = self.data_dir / CURRENT_NAME
+        try:
+            manifest_name = current.read_text().strip()
+        except OSError:
+            return 0
+        match = _MANIFEST_PATTERN.match(manifest_name)
+        return int(match.group(1)) if match else 0
+
+    # ------------------------------------------------------------------
+    # Snapshot write
+    # ------------------------------------------------------------------
+    def save_snapshot(
+        self,
+        catalog: Catalog,
+        star: StarSchema,
+        *,
+        ingest_generation: int = 0,
+        snapshot_id: int = 0,
+    ) -> SnapshotInfo:
+        """Publish a new snapshot generation atomically.
+
+        Every table file, the manifest, and an empty successor WAL are
+        written and fsynced *before* ``CURRENT`` flips — so a crash at
+        any point leaves the previous snapshot (and its WAL) active
+        and complete.  After the flip the previous generation's files
+        are retired best-effort.
+        """
+        with self._lock:
+            generation = self._generation + 1
+            tables_meta = []
+            for name in catalog.table_names():
+                table = catalog.table(name)
+                entry = self._write_table_file(table, generation)
+                tables_meta.append(entry)
+                crash_point(f"snapshot:table:{name}")
+            wal_name = f"wal-{generation:06d}.log"
+            _write_durable(self.data_dir / wal_name, b"")
+            manifest = {
+                "format_version": FORMAT_VERSION,
+                "generation": generation,
+                "ingest_generation": ingest_generation,
+                "snapshot_id": snapshot_id,
+                "wal": wal_name,
+                "star": {
+                    "fact": star.fact.name,
+                    "dimensions": star.dimension_names(),
+                },
+                "tables": tables_meta,
+            }
+            manifest_name = f"MANIFEST-{generation:06d}.json"
+            _write_durable(
+                self.data_dir / manifest_name,
+                json.dumps(manifest, indent=1).encode("utf-8"),
+            )
+            crash_point("snapshot:before-current")
+            self._flip_current(manifest_name)
+            crash_point("snapshot:after-current")
+            self._close_wal()
+            self._wal_path = self.data_dir / wal_name
+            self._generation = generation
+            self._retire_before(generation)
+            return SnapshotInfo(
+                generation=generation,
+                ingest_generation=ingest_generation,
+                snapshot_id=snapshot_id,
+                manifest=manifest_name,
+            )
+
+    def _write_table_file(self, table: Table, generation: int) -> dict:
+        schema = table.schema
+        rows = table.all_rows()
+        columns = list(zip(*rows)) if rows else [()] * schema.arity
+        specs = []
+        blobs = []
+        offset = 0
+        for column in columns:
+            kind, blob, values = encode_column(column)
+            specs.append(
+                {
+                    "kind": kind,
+                    "offset": offset,
+                    "length": len(blob),
+                    "values": list(values) if values is not None else None,
+                }
+            )
+            blobs.append(blob)
+            offset += len(blob)
+        payload = b"".join(blobs)
+        file_name = f"{schema.name}-{generation:06d}.col"
+        _write_durable(self.data_dir / file_name, payload)
+        return {
+            "name": schema.name,
+            "file": file_name,
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "row_count": len(rows),
+            "rows_per_page": table.heap.rows_per_page,
+            "schema": _schema_to_manifest(schema),
+            "columns": specs,
+        }
+
+    def _flip_current(self, manifest_name: str) -> None:
+        staging = self.data_dir / (CURRENT_NAME + ".tmp")
+        _write_durable(staging, (manifest_name + "\n").encode("utf-8"))
+        os.replace(staging, self.data_dir / CURRENT_NAME)
+        _fsync_dir(self.data_dir)
+
+    def _retire_before(self, keep_generation: int) -> None:
+        """Unlink files of superseded generations (best-effort)."""
+        for path in self.data_dir.iterdir():
+            stem = path.name
+            match = re.search(r"-(\d{6})\.(?:col|json|log)$", stem)
+            if match is None:
+                continue
+            if int(match.group(1)) < keep_generation:
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
+
+    # ------------------------------------------------------------------
+    # Snapshot load + WAL replay
+    # ------------------------------------------------------------------
+    def load(self) -> tuple[Catalog, StarSchema, ReplayReport]:
+        """Rebuild the catalog from the active snapshot, replay the WAL.
+
+        Raises:
+            PersistenceError: when the directory holds no snapshot, the
+                manifest is unreadable, or a table file fails its
+                checksum.  A torn WAL tail is *not* an error: replay
+                applies the longest valid prefix and truncates the
+                rest.
+        """
+        with self._lock:
+            manifest = self._read_manifest()
+            schemas: dict[str, TableSchema] = {}
+            tables: dict[str, Table] = {}
+            for entry in manifest["tables"]:
+                table = self._load_table(entry)
+                tables[table.schema.name] = table
+                schemas[table.schema.name] = table.schema
+            star_spec = manifest["star"]
+            try:
+                star = StarSchema(
+                    fact=schemas[star_spec["fact"]],
+                    dimensions={
+                        name: schemas[name]
+                        for name in star_spec["dimensions"]
+                    },
+                )
+            except KeyError as missing:
+                raise PersistenceError(
+                    f"manifest star references unknown table {missing}"
+                ) from None
+            catalog = Catalog()
+            for name in tables:
+                catalog.register_table(tables[name])
+            catalog.register_star(star)
+            report = self._replay_wal(manifest, catalog, star)
+            self._generation = manifest["generation"]
+            return catalog, star, report
+
+    def _read_manifest(self) -> dict:
+        current = self.data_dir / CURRENT_NAME
+        try:
+            manifest_name = current.read_text().strip()
+        except OSError:
+            raise PersistenceError(
+                f"no snapshot in {self.data_dir}: save() one first (or "
+                f"pass the dataset and let the warehouse write it)"
+            ) from None
+        try:
+            manifest = json.loads(
+                (self.data_dir / manifest_name).read_text("utf-8")
+            )
+        except (OSError, ValueError) as error:
+            raise PersistenceError(
+                f"cannot read manifest {manifest_name!r}: {error}"
+            ) from None
+        if manifest.get("format_version") != FORMAT_VERSION:
+            raise PersistenceError(
+                f"snapshot format {manifest.get('format_version')!r} is "
+                f"not this build's format {FORMAT_VERSION}"
+            )
+        return manifest
+
+    def _load_table(self, entry: dict) -> Table:
+        path = self.data_dir / entry["file"]
+        try:
+            payload = path.read_bytes()
+        except OSError as error:
+            raise PersistenceError(
+                f"cannot read table file {entry['file']!r}: {error}"
+            ) from None
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != entry["sha256"]:
+            raise PersistenceError(
+                f"checksum mismatch in {entry['file']!r}: snapshot is "
+                f"corrupt (expected {entry['sha256'][:12]}…, got "
+                f"{digest[:12]}…)"
+            )
+        schema = _schema_from_manifest(entry["schema"])
+        row_count = entry["row_count"]
+        columns = [
+            decode_column(
+                spec["kind"],
+                payload[spec["offset"]:spec["offset"] + spec["length"]],
+                spec["values"],
+                row_count,
+            )
+            for spec in entry["columns"]
+        ]
+        if columns:
+            rows = list(zip(*columns))
+        else:
+            rows = [() for _ in range(row_count)]
+        rows_per_page = entry["rows_per_page"]
+        if schema.primary_key is None:
+            # unkeyed tables (the fact) take the page-slicing bulk path:
+            # the rows come from a checksum-verified image of a table
+            # that validated them on the way in
+            return Table.from_validated_rows(schema, rows, rows_per_page)
+        return Table.from_rows(schema, rows, rows_per_page)
+
+    def _replay_wal(
+        self, manifest: dict, catalog: Catalog, star: StarSchema
+    ) -> ReplayReport:
+        wal_path = self.data_dir / manifest["wal"]
+        records, valid_bytes = read_wal(wal_path)
+        generation = manifest["ingest_generation"]
+        snapshot_id = manifest["snapshot_id"]
+        rows = 0
+        fact_table = catalog.table(star.fact.name)
+        for record in records:
+            for name, upserts in record["dim_upserts"].items():
+                table = catalog.table(name)
+                for row in upserts:
+                    table.upsert(tuple(row))
+                    rows += 1
+            for row in record["fact_rows"]:
+                fact_table.insert(tuple(row))
+                rows += 1
+            generation = max(generation, record["generation"])
+            snapshot_id = max(snapshot_id, record.get("snapshot_id", 0))
+        try:
+            if wal_path.stat().st_size > valid_bytes:
+                # drop the torn tail so future appends extend the
+                # longest valid prefix instead of burying records
+                # behind a corrupt frame
+                with open(wal_path, "r+b") as handle:
+                    handle.truncate(valid_bytes)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        except OSError:
+            pass
+        self._close_wal()
+        self._wal_path = wal_path
+        return ReplayReport(
+            snapshot_generation=manifest["generation"],
+            generation=generation,
+            snapshot_id=snapshot_id,
+            wal_records=len(records),
+            wal_rows=rows,
+        )
+
+    # ------------------------------------------------------------------
+    # WAL append (the ack-implies-durable contract)
+    # ------------------------------------------------------------------
+    def log_batch(
+        self, batch, *, generation: int, snapshot_id: int
+    ) -> None:
+        """Append one applied batch to the WAL and fsync it.
+
+        The warehouse calls this *after* applying the batch in memory
+        and *before* resolving its ticket: once this returns, the
+        batch survives any crash, so the ack the producer then sees is
+        a durability receipt.
+
+        Raises:
+            PersistenceError: when no snapshot (and hence no WAL
+                epoch) exists yet.
+        """
+        record = {
+            "generation": generation,
+            "snapshot_id": snapshot_id,
+            "fact_rows": batch.fact_rows,
+            "dim_upserts": batch.dim_upserts,
+        }
+        payload = pickle.dumps(record, pickle.HIGHEST_PROTOCOL)
+        frame = _WAL_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        with self._lock:
+            handle = self._require_wal()
+            crash_point("wal:before-write")
+            handle.write(frame)
+            crash_point("wal:before-sync")
+            handle.flush()
+            os.fsync(handle.fileno())
+            crash_point("wal:after-sync")
+
+    def _require_wal(self):
+        if self._wal_file is None:
+            if self._wal_path is None:
+                raise PersistenceError(
+                    "no WAL epoch: save a snapshot before logging ingest"
+                )
+            self._wal_file = open(self._wal_path, "ab")
+        return self._wal_file
+
+    def _close_wal(self) -> None:
+        if self._wal_file is not None:
+            self._wal_file.close()
+            self._wal_file = None
+
+    def close(self) -> None:
+        """Release the WAL handle (idempotent)."""
+        with self._lock:
+            self._close_wal()

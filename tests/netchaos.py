@@ -241,6 +241,76 @@ def unknown_version(address) -> dict:
     return {}
 
 
+def _count_exchange(sock: socket.socket) -> list:
+    """One full execute/fetch exchange; returns the result rows."""
+    sock.sendall(
+        protocol.encode_frame(
+            {"type": "execute", "sql": COUNT_SQL, "request_id": 0}
+        )
+    )
+    reply = read_reply(sock)
+    assert reply is not None and reply["type"] == "execute_ok", reply
+    (query_id,) = reply["query_ids"]
+    sock.sendall(
+        protocol.encode_frame(
+            {
+                "type": "fetch",
+                "query_id": query_id,
+                "timeout": 30,
+                "request_id": 1,
+            }
+        )
+    )
+    rows = read_reply(sock)
+    assert rows is not None and rows["type"] == "rows", rows
+    return rows["rows"]
+
+
+def server_restart_mid_session(address, restart=None) -> dict:
+    """A session whose server restarts out from under it (ISSUE 10).
+
+    Standalone (no ``restart``) this is the clean subset — one full
+    execute/fetch exchange, then an orderly close — so the generic
+    leak suite can run it against any live server.  The dedicated
+    restart test passes ``restart``, a callable that stops the server,
+    reopens its durable warehouse, starts a replacement, and returns
+    the replacement's address.  The helper then asserts the raw-wire
+    contract of a restart: the old socket dies promptly (EOF, reset,
+    or a framed ERROR — never a hang), and a fresh socket against the
+    new address completes the same exchange.
+    """
+    sock = open_raw(address)
+    try:
+        handshake(sock)
+        observation = {"rows_before": _count_exchange(sock)}
+        if restart is None:
+            return observation
+        new_address = restart()
+        # the old socket is dead: a fetch either fails to send or
+        # reads EOF / a last-gasp framed error, within the timeout
+        try:
+            sock.sendall(
+                protocol.encode_frame(
+                    {
+                        "type": "execute",
+                        "sql": COUNT_SQL,
+                        "request_id": 2,
+                    }
+                )
+            )
+            reply = read_reply(sock)
+        except OSError:
+            reply = None
+        assert reply is None or reply["type"] == "error", reply
+        observation["old_socket_dead"] = True
+    finally:
+        sock.close()
+    with open_raw(new_address) as fresh:
+        handshake(fresh)
+        observation["rows_after"] = _count_exchange(fresh)
+    return observation
+
+
 def hello_flood_then_vanish(address, count: int = 8) -> list:
     """Many half-open connections abandoned right after HELLO."""
     socks = []
@@ -264,6 +334,7 @@ SCENARIOS = {
     "garbage_after_hello": garbage_after_hello,
     "oversized_length_prefix": oversized_length_prefix,
     "missing_request_id": missing_request_id,
+    "server_restart_mid_session": server_restart_mid_session,
     "unknown_version": unknown_version,
     "hello_flood_then_vanish": hello_flood_then_vanish,
 }

@@ -1,0 +1,85 @@
+"""Subprocess half of the crash matrix (not a pytest module).
+
+``test_persistence.py`` launches this script with ``sys.executable``
+to die — via ``os._exit`` through ``persist.CRASH_HOOK`` — at an
+exact checkpoint inside a WAL append or a snapshot save, simulating
+power loss at every ordering-sensitive point.  The parent then
+reopens the data directory and asserts the durability contract: every
+batch this script reported ``ACKED`` must be visible after recovery,
+and no batch may ever be half-applied.
+
+Usage::
+
+    python tests/persist_crash_child.py ingest <data_dir> <crash_point> <n_ok>
+    python tests/persist_crash_child.py snapshot <data_dir> <crash_point>
+
+``ingest`` opens the warehouse, applies ``n_ok`` single-row batches
+(printing ``ACKED <marker>`` for each durable ack), then installs the
+crash hook and stages one more batch whose apply dies at
+``crash_point``.  ``snapshot`` applies two acked batches, then dies at
+``crash_point`` inside ``Warehouse.save()``.
+
+Exit code 137 signals the intended crash; anything else is a bug in
+the harness or the library.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+#: Markers (f_total values) for batches acked before the crash.
+OK_MARKERS = [1001, 1002, 1003, 1004]
+
+#: Marker of the batch in flight when the process dies.
+CRASH_MARKER = 1999
+
+
+def fact_row(marker: int) -> tuple:
+    # tiny star fact: (f_store, f_product, f_qty, f_total)
+    return (1, 10, 1, marker)
+
+
+def install_hook(crash_point: str) -> None:
+    from repro.storage import persist
+
+    def hook(point: str) -> None:
+        if point == crash_point:
+            sys.stdout.flush()
+            os._exit(137)
+
+    persist.CRASH_HOOK = hook
+
+
+def apply_one(warehouse, marker: int) -> None:
+    ticket = warehouse.ingest(fact_rows=[fact_row(marker)])
+    warehouse.apply_pending_ingest()
+    ticket.result(timeout=5)
+    print(f"ACKED {marker}", flush=True)
+
+
+def main() -> int:
+    mode, data_dir, crash_point = sys.argv[1], sys.argv[2], sys.argv[3]
+    from repro import Warehouse
+
+    warehouse = Warehouse.open(data_dir)
+    if mode == "ingest":
+        n_ok = int(sys.argv[4])
+        for marker in OK_MARKERS[:n_ok]:
+            apply_one(warehouse, marker)
+        install_hook(crash_point)
+        apply_one(warehouse, CRASH_MARKER)
+    elif mode == "snapshot":
+        for marker in OK_MARKERS[:2]:
+            apply_one(warehouse, marker)
+        install_hook(crash_point)
+        warehouse.save()
+    else:
+        raise SystemExit(f"unknown mode {mode!r}")
+    # reaching here means the crash point never fired
+    print("NO_CRASH", flush=True)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,396 @@
+"""Durability subsystem tests (DESIGN.md section 16).
+
+Three layers of adversity, in escalating order:
+
+1. **Round-trip properties** (hypothesis): the catalog — schemas,
+   rows with exact value types across every column codec, the star
+   topology, and the ingest generation counter — survives
+   save → open bit-exact.
+2. **Crash matrix** (``os._exit`` subprocess harness,
+   ``persist_crash_child.py``): the process dies at every
+   ordering-sensitive checkpoint of a WAL append and a snapshot save;
+   recovery must keep every acked batch and never surface a torn one.
+3. **Torn-write sweep**: the WAL is truncated at *every byte offset*
+   of its final record; replay must recover exactly the longest valid
+   prefix and never apply a partial batch.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import struct
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Warehouse
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import (
+    Column,
+    DataType,
+    ForeignKey,
+    StarSchema,
+    TableSchema,
+)
+from repro.errors import PersistenceError
+from repro.storage.persist import (
+    DurabilityManager,
+    decode_column,
+    encode_column,
+    has_snapshot,
+    read_wal,
+)
+from repro.storage.table import Table
+
+from tests.conftest import make_tiny_star
+
+COUNT_SQL = "SELECT COUNT(*) FROM sales, store WHERE f_store = s_id"
+
+CHILD = os.path.join(os.path.dirname(__file__), "persist_crash_child.py")
+
+
+def child_env() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    return env
+
+
+def run_child(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, CHILD, *args],
+        capture_output=True,
+        text=True,
+        env=child_env(),
+        timeout=60,
+    )
+
+
+def fact_totals(warehouse) -> list[int]:
+    """All f_total values in the fact table (markers included)."""
+    table = warehouse.catalog.table(warehouse.star.fact.name)
+    position = table.schema.column_index("f_total")
+    return [row[position] for row in table.all_rows()]
+
+
+# ----------------------------------------------------------------------
+# 1. Round-trip properties
+# ----------------------------------------------------------------------
+# Values every codec must round-trip with exact types: machine ints
+# (i64), beyond-int64 ints and mixed columns (pickle), floats (f64),
+# low-cardinality strings (dict), NULLs.
+VALUE = st.one_of(
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.integers(min_value=2**63, max_value=2**70),
+    st.floats(allow_nan=False),
+    st.sampled_from(["lyon", "paris", "nice", ""]),
+    st.text(max_size=8),
+    st.none(),
+    st.booleans(),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(VALUE, max_size=64))
+def test_column_codec_round_trip_bit_exact(values):
+    kind, blob, table = encode_column(values)
+    decoded = decode_column(kind, blob, table, len(values))
+    assert decoded == values
+    # == alone accepts 1 == 1.0 == True; durability means exact types
+    assert [type(v) for v in decoded] == [type(v) for v in values]
+
+
+@st.composite
+def star_dataset(draw):
+    """A small two-table star with draw-controlled column contents."""
+    n_dim = draw(st.integers(min_value=1, max_value=6))
+    n_fact = draw(st.integers(min_value=0, max_value=24))
+    cities = draw(st.lists(st.text(max_size=6), min_size=1, max_size=4))
+    dim_rows = [
+        (key, draw(st.sampled_from(cities)), draw(st.floats(allow_nan=False)))
+        for key in range(1, n_dim + 1)
+    ]
+    fact_rows = [
+        (
+            draw(st.integers(min_value=1, max_value=n_dim)),
+            draw(st.one_of(st.none(), st.integers(-(2**64), 2**64))),
+            draw(st.floats(allow_nan=False)),
+        )
+        for _ in range(n_fact)
+    ]
+    return dim_rows, fact_rows
+
+
+@settings(max_examples=25, deadline=None)
+@given(star_dataset(), st.integers(min_value=0, max_value=5))
+def test_catalog_round_trip_bit_exact(tmp_path_factory, dataset, applies):
+    dim_rows, fact_rows = dataset
+    dim = TableSchema(
+        "dim",
+        [
+            Column("d_id", DataType.INT),
+            Column("d_city", DataType.STRING),
+            Column("d_score", DataType.FLOAT),
+        ],
+        primary_key="d_id",
+    )
+    fact = TableSchema(
+        "fact",
+        [
+            Column("f_dim", DataType.INT),
+            Column("f_big", DataType.INT),
+            Column("f_value", DataType.FLOAT),
+        ],
+        foreign_keys=[ForeignKey("f_dim", "dim", "d_id")],
+    )
+    star = StarSchema(fact=fact, dimensions={"dim": dim})
+    catalog = Catalog()
+    catalog.register_table(Table.from_rows(dim, dim_rows, rows_per_page=4))
+    catalog.register_table(Table.from_rows(fact, fact_rows, rows_per_page=4))
+    catalog.register_star(star)
+
+    data_dir = tmp_path_factory.mktemp("roundtrip")
+    manager = DurabilityManager(data_dir)
+    manager.save_snapshot(
+        catalog, star, ingest_generation=applies, snapshot_id=0
+    )
+    loaded_catalog, loaded_star, replay = DurabilityManager(data_dir).load()
+
+    assert loaded_catalog.table_names() == catalog.table_names()
+    for name in catalog.table_names():
+        original, loaded = catalog.table(name), loaded_catalog.table(name)
+        assert loaded.all_rows() == original.all_rows()
+        assert [
+            [type(v) for v in row] for row in loaded.all_rows()
+        ] == [[type(v) for v in row] for row in original.all_rows()]
+        assert loaded.heap.rows_per_page == original.heap.rows_per_page
+        assert loaded.schema.primary_key == original.schema.primary_key
+        assert [
+            (c.name, c.dtype) for c in loaded.schema.columns
+        ] == [(c.name, c.dtype) for c in original.schema.columns]
+    assert loaded_star.fact.name == star.fact.name
+    assert loaded_star.dimension_names() == star.dimension_names()
+    # the generation counter the snapshot carries survives verbatim
+    assert replay.generation == applies
+    assert replay.wal_records == 0
+
+
+def test_warehouse_generation_counter_survives(tmp_path):
+    """save/open keeps the ingest generation counting monotonically."""
+    catalog, star = make_tiny_star()
+    data_dir = str(tmp_path / "wh")
+    warehouse = Warehouse(catalog, star, data_dir=data_dir)
+    for marker in (2001, 2002, 2003):
+        warehouse.ingest(fact_rows=[(1, 10, 1, marker)])
+        warehouse.apply_pending_ingest()
+    assert warehouse.ingest_buffer.generation == 3
+    warehouse.close()
+
+    reopened = Warehouse.open(data_dir)
+    assert reopened.ingest_buffer.generation == 3
+    ticket = reopened.ingest(fact_rows=[(1, 10, 1, 2004)])
+    reopened.apply_pending_ingest()
+    assert ticket.result(5)["generation"] == 4
+    reopened.close()
+
+
+def test_open_without_snapshot_raises(tmp_path):
+    assert not has_snapshot(tmp_path)
+    with pytest.raises(PersistenceError):
+        Warehouse.open(str(tmp_path))
+
+
+def test_checksum_mismatch_raises(tmp_path):
+    catalog, star = make_tiny_star()
+    data_dir = str(tmp_path / "wh")
+    Warehouse(catalog, star, data_dir=data_dir).close()
+    [col] = [
+        name for name in os.listdir(data_dir) if name.startswith("sales-")
+    ]
+    path = os.path.join(data_dir, col)
+    blob = bytearray(open(path, "rb").read())
+    blob[0] ^= 0xFF
+    open(path, "wb").write(bytes(blob))
+    with pytest.raises(PersistenceError, match="checksum"):
+        Warehouse.open(data_dir)
+
+
+# ----------------------------------------------------------------------
+# 2. Crash matrix (subprocess harness)
+# ----------------------------------------------------------------------
+def seed_warehouse(tmp_path) -> str:
+    """A durable tiny-star warehouse on disk, cleanly closed."""
+    catalog, star = make_tiny_star()
+    data_dir = str(tmp_path / "wh")
+    Warehouse(catalog, star, data_dir=data_dir).close()
+    return data_dir
+
+
+def acked_markers(result: subprocess.CompletedProcess) -> list[int]:
+    return [
+        int(line.split()[1])
+        for line in result.stdout.splitlines()
+        if line.startswith("ACKED ")
+    ]
+
+
+@pytest.mark.parametrize(
+    "crash_point, crashing_batch_must_survive",
+    [
+        # nothing of the crashing batch reached the WAL: it is lost,
+        # and losing it is correct — its ticket never acked
+        ("wal:before-write", False),
+        # frame written but not fsynced: may or may not survive; the
+        # contract only says unacked, so either outcome is legal
+        ("wal:before-sync", None),
+        # fsync done, ack pending: the producer never saw the ack, but
+        # the batch is durable — it MUST be there after recovery
+        ("wal:after-sync", True),
+    ],
+)
+def test_crash_during_wal_append(
+    tmp_path, crash_point, crashing_batch_must_survive
+):
+    from tests.persist_crash_child import CRASH_MARKER
+
+    data_dir = seed_warehouse(tmp_path)
+    result = run_child("ingest", data_dir, crash_point, "2")
+    assert result.returncode == 137, (result.stdout, result.stderr)
+    acked = acked_markers(result)
+    assert acked == [1001, 1002]
+
+    recovered = Warehouse.open(data_dir)
+    totals = fact_totals(recovered)
+    # the durability contract: every acked batch survives the crash
+    for marker in acked:
+        assert totals.count(marker) == 1
+    survived = totals.count(CRASH_MARKER)
+    if crashing_batch_must_survive is True:
+        assert survived == 1
+    elif crashing_batch_must_survive is False:
+        assert survived == 0
+    else:
+        assert survived in (0, 1)
+    # replay continued the generation sequence past the acked batches
+    assert recovered.ingest_buffer.generation >= len(acked)
+    recovered.close()
+
+
+@pytest.mark.parametrize(
+    "crash_point",
+    ["snapshot:table:sales", "snapshot:before-current", "snapshot:after-current"],
+)
+def test_crash_during_snapshot_save(tmp_path, crash_point):
+    data_dir = seed_warehouse(tmp_path)
+    result = run_child("snapshot", data_dir, crash_point)
+    assert result.returncode == 137, (result.stdout, result.stderr)
+    assert acked_markers(result) == [1001, 1002]
+
+    # whichever side of the CURRENT flip the crash landed on, the
+    # directory holds one complete snapshot and both acked batches
+    recovered = Warehouse.open(data_dir)
+    totals = fact_totals(recovered)
+    assert totals.count(1001) == 1
+    assert totals.count(1002) == 1
+    assert (
+        recovered.execute_sql(COUNT_SQL)[0][0] == 14
+    ), "12 seeded rows + 2 acked ingest rows"
+    recovered.close()
+
+
+# ----------------------------------------------------------------------
+# 3. Torn-write recovery
+# ----------------------------------------------------------------------
+def test_torn_wal_tail_truncated_at_every_offset(tmp_path):
+    """Truncate the WAL at every byte of its final record.
+
+    Replay must recover exactly the two complete records for every
+    truncation point short of the full file, and never a partial
+    third batch — the 2-row crashing batch appears with 0 rows or 2,
+    never 1.
+    """
+    catalog, star = make_tiny_star()
+    master = str(tmp_path / "master")
+    warehouse = Warehouse(catalog, star, data_dir=master)
+    for marker in (3001, 3002):
+        warehouse.ingest(fact_rows=[(1, 10, 1, marker)])
+        warehouse.apply_pending_ingest()
+    # final record: a two-row batch (so a torn half-batch would show)
+    warehouse.ingest(fact_rows=[(1, 10, 1, 3999), (2, 20, 1, 3999)])
+    warehouse.apply_pending_ingest()
+    # simulate a crash: detach durability so close() cannot
+    # checkpoint, leaving the WAL tail on disk
+    warehouse.durability.close()
+    warehouse.durability = None
+    warehouse.close()
+
+    [wal_name] = [n for n in os.listdir(master) if n.startswith("wal-")]
+    wal_master = os.path.join(master, wal_name)
+    records, valid_bytes = read_wal(Path(wal_master))
+    assert len(records) == 3
+    assert valid_bytes == os.path.getsize(wal_master)
+    # walk the frame headers to the final record's start offset
+    data = open(wal_master, "rb").read()
+    frame_starts, position = [], 0
+    while position < len(data):
+        (length,) = struct.unpack_from(">I", data, position)
+        frame_starts.append(position)
+        position += 8 + length
+    assert len(frame_starts) == 3
+    final_start = frame_starts[-1]
+
+    for offset in range(final_start, len(data) + 1):
+        copy_dir = str(tmp_path / f"torn-{offset}")
+        shutil.copytree(master, copy_dir)
+        wal_copy = os.path.join(copy_dir, wal_name)
+        with open(wal_copy, "r+b") as handle:
+            handle.truncate(offset)
+        recovered = Warehouse.open(copy_dir)
+        totals = fact_totals(recovered)
+        assert totals.count(3001) == 1
+        assert totals.count(3002) == 1
+        torn_rows = totals.count(3999)
+        if offset == len(data):
+            assert torn_rows == 2
+        else:
+            assert torn_rows == 0, (
+                f"truncation at byte {offset} surfaced a partial batch"
+            )
+        recovered.close()
+        shutil.rmtree(copy_dir)
+
+
+def test_recovery_truncates_torn_tail_for_future_appends(tmp_path):
+    """After recovering a torn WAL, new appends must land cleanly."""
+    data_dir = seed_warehouse(tmp_path)
+    warehouse = Warehouse.open(data_dir)
+    warehouse.ingest(fact_rows=[(1, 10, 1, 4001)])
+    warehouse.apply_pending_ingest()
+    warehouse.durability.close()
+    warehouse.durability = None  # crash: no checkpoint on close
+    warehouse.close()
+    [wal_name] = [n for n in os.listdir(data_dir) if n.startswith("wal-")]
+    wal_path = os.path.join(data_dir, wal_name)
+    # tear the record: chop the last 3 bytes
+    size = os.path.getsize(wal_path)
+    with open(wal_path, "r+b") as handle:
+        handle.truncate(size - 3)
+
+    recovered = Warehouse.open(data_dir)
+    assert recovered.last_replay.wal_records == 0
+    assert fact_totals(recovered).count(4001) == 0
+    recovered.ingest(fact_rows=[(1, 10, 1, 4002)])
+    recovered.apply_pending_ingest()
+    recovered.durability.close()
+    recovered.durability = None  # crash again before the checkpoint
+    recovered.close()
+
+    final = Warehouse.open(data_dir)
+    assert fact_totals(final).count(4002) == 1
+    assert final.last_replay.wal_records == 1
+    final.close()

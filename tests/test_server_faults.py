@@ -31,6 +31,7 @@ from repro.engine import Warehouse
 from repro.server import AsyncWarehouseServer, WarehouseServer
 
 import netchaos
+from tests.conftest import make_tiny_star
 
 SERVER_CLASSES = {
     "threaded": WarehouseServer,
@@ -139,6 +140,80 @@ class TestServerDiesMidStream:
         with pytest.raises(OperationalError):
             cursor.rows_so_far()
         conn.close()
+
+
+class TestServerRestartMidSession:
+    """ISSUE 10 satellite: kill and restart both server flavors
+    against the same durable ``data_dir``.  Reconnecting clients see
+    every acked pre-restart ingest; clients holding dead sessions fail
+    with the typed mid-stream error; nothing leaks across the
+    restart — threads, tasks, or warehouse slots."""
+
+    @pytest.mark.parametrize("flavor", sorted(SERVER_CLASSES))
+    def test_restart_preserves_acked_ingest(self, tmp_path, flavor):
+        server_class = SERVER_CLASSES[flavor]
+        before = set(threading.enumerate())
+        data_dir = str(tmp_path / "wh")
+        catalog, star = make_tiny_star()
+        server = server_class(
+            Warehouse(catalog, star, data_dir=data_dir),
+            owns_warehouse=True,
+        ).start()
+        new_server = None
+        try:
+            # a client mid-session when the server goes down
+            stranded = repro.connect(server.url)
+            assert (
+                stranded.execute(netchaos.COUNT_SQL).fetchall() == [(12,)]
+            )
+            receipt = stranded.ingest(fact_rows=[(1, 10, 1, 4242)])
+            assert receipt["rows"] == 1
+            in_flight = stranded.execute(netchaos.COUNT_SQL)
+
+            def restart():
+                nonlocal new_server
+                # graceful stop: Warehouse.close() checkpoints, so the
+                # acked batch is on disk either via the WAL (fsynced
+                # before the ack) or the close-time snapshot.  The
+                # crash-crash variants live in tests/test_persistence.py.
+                server.stop()
+                new_server = server_class(
+                    Warehouse.open(data_dir), owns_warehouse=True
+                ).start()
+                return new_server.address
+
+            observation = netchaos.server_restart_mid_session(
+                server.address, restart=restart
+            )
+            assert observation["old_socket_dead"]
+            assert observation["rows_before"] in ([[12]], [[13]])
+            assert observation["rows_after"] == [[13]]
+
+            # the stranded client fails the typed way, never raw/hung
+            with pytest.raises(OperationalError):
+                in_flight.fetchall()
+            with pytest.raises(OperationalError):
+                stranded.execute(netchaos.COUNT_SQL).fetchall()
+            stranded.close()  # best-effort teardown, never raises
+
+            # a reconnecting client sees the post-ingest dataset and a
+            # generation at least as new as its last receipt
+            with repro.connect(new_server.url) as conn:
+                assert (
+                    conn.execute(netchaos.COUNT_SQL).fetchall() == [(13,)]
+                )
+                assert conn.ingest_generation() >= receipt["generation"]
+        finally:
+            server.stop()
+            if new_server is not None:
+                new_server.stop()
+        # nothing leaked across the restart, either server generation
+        assert wait_until(
+            lambda: set(threading.enumerate()) - before == set()
+        ), f"leaked threads: {set(threading.enumerate()) - before}"
+        for generation in (server, new_server):
+            if isinstance(generation, AsyncWarehouseServer):
+                assert generation.leaked_tasks == []
 
 
 class TestAsyncClientFaults:

@@ -416,3 +416,101 @@ class TestRunCompatibility:
             service.stop()
         assert not service.running
         assert set(threading.enumerate()) == before, "leaked threads"
+
+
+class TestBlueGreenSwap:
+    """ISSUE 10 tentpole: zero-downtime dataset swaps (DESIGN.md
+    section 16).  Eight concurrent clients stream queries through a
+    :func:`blue_green_swap`; every result must be reference-equal
+    against the dataset version that admitted it, no client may see a
+    dropped session, and the old warehouse must end retired with its
+    service threads reclaimed."""
+
+    def test_swap_under_concurrent_clients(self, tiny_star):
+        from repro.engine import WarehouseHolder, blue_green_swap
+        from repro.errors import QueryError
+        from tests.conftest import make_tiny_star
+
+        catalog, star = tiny_star
+        before = set(threading.enumerate())
+        live = Warehouse(catalog, star)
+        live.start_service()
+        holder = WarehouseHolder(live)
+
+        # the next dataset version: same star, one extra fact row, so
+        # blue and green answers are distinguishable
+        catalog2, star2 = make_tiny_star()
+        shadow = Warehouse(catalog2, star2)
+        shadow.ingest(fact_rows=[(1, 10, 7, 7000)])
+        shadow.apply_pending_ingest()
+
+        clients = 8
+        swapped = threading.Event()
+        stop = threading.Event()
+        failures: list[str] = []
+        checked = [0] * clients
+
+        def client(index: int) -> None:
+            while not (stop.is_set() and swapped.is_set()):
+                admitted = holder.warehouse  # capture, then submit
+                try:
+                    handle = admitted.submit(city_query("lyon"))
+                    results = handle.results(timeout=10.0)
+                except QueryError:
+                    # lost the race against retirement: the captured
+                    # version closed before the submit landed.  That
+                    # is a retry, never a dropped session.
+                    continue
+                expected = evaluate_star_query(
+                    city_query("lyon"), admitted.catalog
+                )
+                if results != expected:
+                    failures.append(
+                        f"client {index}: {results} != {expected}"
+                    )
+                    return
+                checked[index] += 1
+                if stop.is_set():
+                    return
+
+        threads = [
+            threading.Thread(target=client, args=(index,), daemon=True)
+            for index in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            # every client is mid-stream before the cutover
+            assert _wait_until(
+                lambda: all(count > 0 for count in checked)
+            ), f"clients never warmed up: {checked}"
+            report = blue_green_swap(holder, shadow)
+            swapped.set()
+            assert holder.warehouse is shadow
+            assert report.retired and live.closed
+            assert report.shadow_started and shadow.service.running
+            # every client keeps streaming against the new version
+            after_swap = list(checked)
+            assert _wait_until(
+                lambda: all(
+                    count > was
+                    for count, was in zip(checked, after_swap)
+                )
+            ), f"clients stalled after swap: {checked} vs {after_swap}"
+        finally:
+            stop.set()
+            swapped.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            shadow.close()
+            if not live.closed:
+                live.close()
+        assert failures == []
+        assert not any(thread.is_alive() for thread in threads)
+        # the swap retired the old service's threads too
+        assert _wait_until(
+            lambda: set(threading.enumerate()) - before == set()
+        ), f"leaked threads: {set(threading.enumerate()) - before}"
+        # and the new version answers with its extra row visible
+        expected = evaluate_star_query(city_query("lyon"), catalog2)
+        assert expected != evaluate_star_query(city_query("lyon"), catalog)
